@@ -1,0 +1,103 @@
+// Ablation: the pluggable outlier detectors (§6 — "outlier detection in
+// GRETEL is pluggable").  Compares the production level-shift detector
+// against the windowed z-score and EWMA alternatives on the three synthetic
+// regimes that matter for Fig. 8b-style behaviour:
+//   * a stationary noisy series (false alarms),
+//   * a sustained +8σ shift (detection delay, alarms during the shift —
+//     the LS property is ONE alarm then adaptation), and
+//   * the recovery back to baseline.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "detect/ewma.h"
+#include "detect/level_shift.h"
+#include "detect/zscore.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace gretel::detect;
+
+struct Outcome {
+  int false_alarms = 0;       // on the stationary prefix
+  double detect_delay = -1;   // samples from shift start to first alarm
+  int alarms_during_shift = 0;
+  int alarms_on_recovery = 0;
+};
+
+Outcome evaluate(OutlierDetector& d, std::uint64_t seed) {
+  gretel::util::Rng rng(seed);
+  Outcome out;
+  const int stationary = 600;
+  const int shifted = 600;
+  const int recovered = 300;
+  double t = 0;
+  for (int i = 0; i < stationary; ++i, ++t) {
+    out.false_alarms += d.observe(t, rng.next_gaussian(10.0, 0.4)).has_value();
+  }
+  for (int i = 0; i < shifted; ++i, ++t) {
+    if (d.observe(t, rng.next_gaussian(14.0, 0.4))) {
+      ++out.alarms_during_shift;
+      if (out.detect_delay < 0) out.detect_delay = i;
+    }
+  }
+  for (int i = 0; i < recovered; ++i, ++t) {
+    out.alarms_on_recovery +=
+        d.observe(t, rng.next_gaussian(10.0, 0.4)).has_value();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("\n=== Ablation: pluggable outlier detectors ===\n");
+  std::printf("%-14s %-14s %-14s %-16s %-14s\n", "detector",
+              "false alarms", "detect delay", "alarms in shift",
+              "recovery alarms");
+
+  struct Variant {
+    const char* name;
+    std::function<std::unique_ptr<OutlierDetector>()> make;
+  };
+  const Variant variants[] = {
+      {"level-shift", [] { return make_level_shift(); }},
+      {"z-score", [] { return make_zscore(); }},
+      {"ewma", [] { return make_ewma(); }},
+  };
+
+  for (const auto& v : variants) {
+    // Aggregate over seeds for stability.
+    Outcome total;
+    double delay_sum = 0;
+    int delay_n = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto d = v.make();
+      const auto o = evaluate(*d, seed);
+      total.false_alarms += o.false_alarms;
+      total.alarms_during_shift += o.alarms_during_shift;
+      total.alarms_on_recovery += o.alarms_on_recovery;
+      if (o.detect_delay >= 0) {
+        delay_sum += o.detect_delay;
+        ++delay_n;
+      }
+    }
+    char delay[32];
+    if (delay_n) {
+      std::snprintf(delay, sizeof delay, "%.1f", delay_sum / delay_n);
+    } else {
+      std::snprintf(delay, sizeof delay, "missed");
+    }
+    std::printf("%-14s %-14.1f %-14s %-16.1f %-14.1f\n", v.name,
+                total.false_alarms / 10.0, delay,
+                total.alarms_during_shift / 10.0,
+                total.alarms_on_recovery / 10.0);
+  }
+
+  std::printf(
+      "\nthe LS property the paper relies on (§7.3): one alarm per shift, "
+      "then adaptation; z-score keeps alarming through the shift (it never "
+      "adapts), which is why GRETEL uses tsoutliers' LS mode\n");
+  return 0;
+}

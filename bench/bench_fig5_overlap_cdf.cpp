@@ -1,0 +1,58 @@
+// Reproduces Fig. 5: CDF of fingerprint overlap for 70 representative
+// Compute operations against all other categories.
+//
+// Overlap of a Compute fingerprint = fraction of its unique APIs that also
+// appear in any other category's fingerprints.  The paper observes ~90% of
+// representative Compute operations have <15% overlap.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "bench/harness.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace gretel;
+
+  bench::print_header("Fig. 5: CDF of Compute fingerprint overlap");
+  auto env = bench::BenchEnv::make();
+
+  // Union of APIs used by every non-Compute fingerprint.
+  std::set<wire::ApiId> other_apis;
+  for (const auto& fp : env.training.db.all()) {
+    const auto cat =
+        env.catalog.operation(fp.op.value()).category;
+    if (cat == stack::Category::Compute) continue;
+    other_apis.insert(fp.sequence.begin(), fp.sequence.end());
+  }
+
+  // 70 representative Compute operations (random, seeded).
+  const auto& compute_ops = env.catalog.category_ops(stack::Category::Compute);
+  util::Rng rng(1605);
+  auto picks = rng.sample_indices(compute_ops.size(), 70);
+
+  std::vector<double> overlaps;
+  for (auto pick : picks) {
+    const auto& fp =
+        env.training.db.get(static_cast<std::uint32_t>(compute_ops[pick]));
+    std::set<wire::ApiId> uniq(fp.sequence.begin(), fp.sequence.end());
+    std::size_t shared = 0;
+    for (auto api : uniq) shared += other_apis.count(api);
+    overlaps.push_back(100.0 * static_cast<double>(shared) /
+                       static_cast<double>(uniq.size()));
+  }
+
+  util::EmpiricalCdf cdf(overlaps);
+  std::printf("%-14s %s\n", "overlap (%)", "CDF");
+  for (double x : {0.0, 2.0, 5.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0, 50.0,
+                   100.0}) {
+    std::printf("%-14.0f %.3f\n", x, cdf.evaluate(x));
+  }
+
+  const double below15 = cdf.evaluate(15.0);
+  std::printf("\nfraction of representative Compute ops with <15%% overlap: "
+              "%.1f%% (paper: ~90%%)\n",
+              100.0 * below15);
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Reproduces Fig. 7a: GRETEL's precision θ with {100..400} parallel tests
+// and {1, 4, 8, 16} injected operational faults.
+//
+// Non-faulty tests are drawn proportional to the suite distribution; faulty
+// operations come from Compute and Network only (§7.3).  Every fault's
+// operation detection runs against all 1200 fingerprints.  The paper
+// reports >98% precision in all scenarios.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace gretel;
+
+  bench::print_header("Fig. 7a: precision vs parallel tests and faults");
+  auto env = bench::BenchEnv::make();
+
+  std::printf("%-10s %-8s %-12s %-12s %-10s %-12s\n", "parallel", "faults",
+              "theta (avg)", "identified", "detected", "avg matched");
+  for (int tests : {100, 200, 300, 400}) {
+    for (int faults : {1, 4, 8, 16}) {
+      tempest::WorkloadSpec spec;
+      spec.concurrent_tests = tests;
+      spec.faults = faults;
+      spec.window = util::SimDuration::seconds(60);
+      spec.seed = static_cast<std::uint64_t>(tests * 1000 + faults);
+      const auto workload = make_parallel_workload(env.catalog, spec);
+
+      bench::RunConfig config;
+      config.executor_seed = spec.seed ^ 0xABCDull;
+      const auto run = bench::run_precision(env, workload, config);
+
+      std::printf("%-10d %-8d %-12.4f %-12.2f %-10.2f %-12.2f\n", tests,
+                  faults, run.avg_theta(), run.identification_rate(),
+                  run.detection_rate(), run.avg_matched());
+    }
+  }
+  std::printf("\npaper: precision >98%% (theta > 0.98) in all scenarios, "
+              "increasing marginally with load\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Fig. 7b: operations matched at {100..400} concurrent tests
+// with 8 injected faults — "with API error" (candidates matched on the
+// offending API alone, no snapshot) vs the full context-buffer match.
+//
+// The paper's point: the snapshot + context buffer collapse dozens of
+// API-level candidates to (nearly) one operation, improving marginally as
+// parallelism grows the context buffer.
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace gretel;
+
+  bench::print_header(
+      "Fig. 7b: operations matched, API-error-only vs context buffer");
+  auto env = bench::BenchEnv::make();
+
+  std::printf("%-10s %-18s %-18s %-12s\n", "parallel", "w/ API error only",
+              "w/ context buffer", "beta final");
+  for (int tests : {100, 200, 300, 400}) {
+    tempest::WorkloadSpec spec;
+    spec.concurrent_tests = tests;
+    spec.faults = 8;
+    spec.window = util::SimDuration::seconds(60);
+    spec.seed = static_cast<std::uint64_t>(7000 + tests);
+    const auto workload = make_parallel_workload(env.catalog, spec);
+
+    bench::RunConfig config;
+    config.executor_seed = spec.seed ^ 0x7Bull;
+    const auto run = bench::run_precision(env, workload, config);
+
+    double beta = 0;
+    std::size_t n = 0;
+    for (const auto& f : run.faults) {
+      if (f.detected) {
+        beta += static_cast<double>(f.beta_final);
+        ++n;
+      }
+    }
+    std::printf("%-10d %-18.1f %-18.2f %-12.1f\n", tests,
+                run.avg_candidates(), run.avg_matched(),
+                n ? beta / static_cast<double>(n) : 0.0);
+  }
+  std::printf("\npaper: matching on the error API alone leaves many "
+              "operations; the snapshot narrows to ~1, improving with "
+              "concurrency\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Reproduces Fig. 8b / §7.3 item 4: performance faults for Glance's image
+// metadata GET under injected latency.
+//
+// 200 Tempest operations run concurrently for ~20 minutes; tc-style latency
+// of 50 ms is injected on all communication to/from the Glance server for
+// 10 minutes starting at the 5-minute mark.  The paper observes 18 LS
+// alarms confined to the injection window, with the detector adapting
+// rather than alarming continuously.
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "stack/workflow.h"
+
+int main() {
+  using namespace gretel;
+  using util::SimDuration;
+  using util::SimTime;
+
+  bench::print_header("Fig. 8b: performance faults under injected latency");
+  auto env = bench::BenchEnv::make();
+
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 200;
+  spec.faults = 0;
+  spec.window = SimDuration::minutes(20);
+  spec.seed = 800;
+  auto workload = make_parallel_workload(env.catalog, spec);
+
+  const auto inject_start = SimTime::epoch() + SimDuration::minutes(5);
+  const auto inject_end = inject_start + SimDuration::minutes(10);
+  env.deployment.inject_link_latency(wire::ServiceKind::Glance,
+                                     inject_start, inject_end,
+                                     SimDuration::millis(50));
+
+  stack::WorkflowExecutor executor(&env.deployment, &env.catalog.apis(),
+                                   &env.catalog.infra(), 81);
+  const auto records = executor.execute(workload.launches);
+
+  auto options = env.analyzer_options(
+      static_cast<double>(records.size()) /
+      (records.back().ts - records.front().ts).to_seconds());
+  core::Analyzer analyzer(&env.training.db, &env.catalog.apis(),
+                          &env.deployment, options);
+  for (const auto& r : records) analyzer.on_wire(r);
+  analyzer.finish();
+
+  int alarms_in_window = 0;
+  int alarms_outside = 0;
+  int glance_alarms = 0;
+  for (const auto& d : analyzer.diagnoses()) {
+    if (d.fault.kind != core::FaultKind::Performance) continue;
+    const auto t = d.fault.latency ? d.fault.latency->when
+                                   : d.fault.detected_at;
+    const bool inside = t >= inject_start && t < inject_end;
+    inside ? ++alarms_in_window : ++alarms_outside;
+    const auto& desc = env.catalog.apis().get(d.fault.offending_api);
+    if (desc.service == wire::ServiceKind::Glance) {
+      ++glance_alarms;
+      if (d.fault.latency) {
+        std::printf("alarm: %-40s t=%7.1fs  %6.1f -> %6.1f ms  (%s)\n",
+                    desc.display_name().c_str(),
+                    d.fault.latency->alarm.t_seconds,
+                    d.fault.latency->alarm.baseline,
+                    d.fault.latency->alarm.baseline +
+                        (d.fault.latency->alarm.direction ==
+                                 detect::ShiftDirection::Up
+                             ? d.fault.latency->alarm.magnitude
+                             : -d.fault.latency->alarm.magnitude),
+                    inside ? "inside injection window" : "OUTSIDE");
+      }
+    }
+  }
+
+  std::printf("\nperformance alarms inside the injection window: %d\n",
+              alarms_in_window);
+  std::printf("performance alarms outside the window: %d\n", alarms_outside);
+  std::printf("alarms on Glance APIs: %d\n", glance_alarms);
+  std::printf("\npaper: 18 alarms during the 10-minute injection, "
+              "corroborated by level shifts; LS adapts and stays quiet on "
+              "smaller variation\n");
+  return 0;
+}

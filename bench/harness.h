@@ -1,0 +1,73 @@
+// Shared infrastructure for the reproduction benches: one trained
+// environment (full-scale Tempest catalog + deployment + fingerprint DB)
+// and the per-fault evaluation used by the §7.3 precision experiments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gretel/analyzer.h"
+#include "gretel/training.h"
+#include "tempest/workload.h"
+
+namespace gretel::bench {
+
+struct BenchEnv {
+  tempest::TempestCatalog catalog;
+  stack::Deployment deployment;
+  core::TrainingReport training;
+
+  // Builds the environment and learns fingerprints (the offline phase).
+  static BenchEnv make(double fraction = 1.0,
+                       std::uint64_t seed = 0xC0DE2016ull);
+
+  core::Analyzer::Options analyzer_options(double p_rate) const;
+};
+
+// Outcome of one injected fault, reconstructed from the analyzer's
+// diagnoses via ground-truth instance labels on the error events.
+struct FaultOutcome {
+  bool detected = false;
+  bool identified = false;      // true operation among the matches
+  std::size_t matched = 0;      // n — operations matched
+  std::size_t candidates = 0;   // matched on the error API alone (no snapshot)
+  double theta = 0.0;
+  std::size_t beta_final = 0;
+};
+
+struct PrecisionRun {
+  std::vector<FaultOutcome> faults;
+  std::uint64_t events = 0;
+  std::uint64_t wire_bytes = 0;
+  double p_rate = 0.0;  // observed packets per second of the capture
+  double wall_seconds = 0.0;
+
+  double detection_rate() const;
+  double identification_rate() const;
+  double avg_theta() const;
+  double avg_matched() const;
+  double avg_candidates() const;
+};
+
+// Executes the workload against a fresh analyzer (root cause off) and
+// evaluates every injected fault.  `match_rpc`/`backend` override the
+// analyzer configuration for the Fig. 7c and ablation variants.
+struct RunConfig {
+  bool match_rpc = false;
+  core::MatchBackend backend = core::MatchBackend::SymbolSubsequence;
+  std::uint64_t executor_seed = 0xE1ull;
+  // Deployment emits OpenStack correlation ids (the §5.3.1 enhancement).
+  bool correlation_ids = false;
+};
+
+PrecisionRun run_precision(BenchEnv& env,
+                           const tempest::GeneratedWorkload& workload,
+                           const RunConfig& config = RunConfig{});
+
+// Prints a separator / header in the textual reports.
+void print_header(const std::string& title);
+
+}  // namespace gretel::bench

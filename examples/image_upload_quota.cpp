@@ -1,0 +1,45 @@
+// Scenario §7.2.1 — failed image uploads.
+//
+// Uploading new VM images fails with "Unable to create new image" on the
+// dashboard and *empty Glance logs*.  On the wire there is a REST 413
+// "Request Entity Too Large" from Glance's PUT /v2/images/<ID>/file.
+// GRETEL narrows the fault to the image-upload operation and its root-cause
+// engine finds the true culprit: the Glance server has run out of disk.
+#include "examples/scenario_common.h"
+#include "stack/faults.h"
+
+int main() {
+  using namespace gretel;
+  auto scenario = examples::Scenario::prepare();
+
+  const auto& image_upload =
+      scenario.catalog.operation(scenario.catalog.canonical().image_upload);
+
+  // Fill the Glance server's disk (leave well under the 1 GB floor).
+  scenario.deployment.inject_disk_exhaustion(
+      wire::ServiceKind::Glance, util::SimTime::epoch(),
+      util::SimTime::epoch() + util::SimDuration::minutes(10), 199'600.0);
+  std::printf("[inject] Glance server disk nearly full\n");
+
+  std::vector<stack::Launch> launches;
+  for (int i = 0; i < 6; ++i) {
+    launches.push_back({&image_upload,
+                        util::SimTime::epoch() +
+                            util::SimDuration::seconds(3 * i),
+                        std::nullopt});
+  }
+  // The upload that hits the full disk.
+  launches.push_back(
+      {&image_upload,
+       util::SimTime::epoch() + util::SimDuration::seconds(8),
+       stack::entity_too_large_fault(scenario.step_of(
+           image_upload,
+           scenario.catalog.well_known().glance_put_image_file))});
+
+  const auto analyzer = scenario.run(launches);
+  scenario.print_diagnoses(*analyzer);
+
+  std::printf("\nAfter clearing disk space and restarting Glance, uploads "
+              "succeed again — exactly the paper's resolution.\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Scenario §7.2.4 — NTP failure behind a Keystone 401.
+//
+// `cinder list` fails with "Unable to establish connection to Keystone";
+// Keystone logs show nothing and Cinder logs only a cryptic "Timeout is too
+// large".  The real cause: the NTP agent on the Cinder host stopped, its
+// clock drifted, and Keystone now rejects the tokens as expired (401
+// Unauthorized).  GRETEL sees the 401, finds the error-endpoint nodes
+// healthy resource-wise, and its dependency watchers surface the stopped
+// ntpd.
+#include "examples/scenario_common.h"
+#include "stack/faults.h"
+
+int main() {
+  using namespace gretel;
+  auto scenario = examples::Scenario::prepare();
+
+  const auto& cinder_list =
+      scenario.catalog.operation(scenario.catalog.canonical().cinder_list);
+  const auto storage_node =
+      scenario.deployment.primary_node_for(wire::ServiceKind::Cinder);
+
+  scenario.deployment.node(storage_node)
+      .inject_outage({"ntpd", util::SimTime::epoch(),
+                      util::SimTime::epoch() +
+                          util::SimDuration::minutes(10)});
+  std::printf("[inject] ntpd stopped on the storage node (%s)\n",
+              scenario.deployment.node(storage_node).hostname().c_str());
+
+  std::vector<stack::Launch> launches;
+  launches.push_back(
+      {&cinder_list, util::SimTime::epoch() + util::SimDuration::seconds(5),
+       stack::unauthorized_fault(scenario.step_of(
+           cinder_list, scenario.catalog.well_known().cinder_get_volumes))});
+
+  const auto analyzer = scenario.run(launches);
+  scenario.print_diagnoses(*analyzer);
+
+  std::printf("\nRestarting the NTP agent on the host brings the cinder "
+              "client back — the paper's fix.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Shared plumbing for the example scenarios: build the catalog and
+// deployment, learn fingerprints, run launches through the analyzer, and
+// pretty-print GRETEL's diagnosis the way an operator would read it.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "gretel/analyzer.h"
+#include "gretel/training.h"
+#include "monitor/metrics.h"
+#include "stack/workflow.h"
+#include "tempest/catalog.h"
+
+namespace gretel::examples {
+
+struct Scenario {
+  tempest::TempestCatalog catalog;
+  stack::Deployment deployment;
+  core::TrainingReport training;
+
+  // `fraction` of the full Tempest suite keeps examples snappy while still
+  // matching against hundreds of fingerprints.
+  static Scenario prepare(double fraction = 0.25, std::uint64_t seed = 7) {
+    std::printf("[setup] building catalog and learning fingerprints...\n");
+    Scenario s{tempest::TempestCatalog::build(seed, fraction),
+               stack::Deployment::standard(3), {}};
+    s.training = core::learn_fingerprints(s.catalog, s.deployment);
+    std::printf("[setup] %zu operations fingerprinted (FPmax = %zu)\n\n",
+                s.training.db.size(), s.training.fp_max);
+    return s;
+  }
+
+  // Executes the launches, feeds the analyzer (with collectd-style metrics
+  // for root-cause analysis) and returns it.
+  std::unique_ptr<core::Analyzer> run(
+      const std::vector<stack::Launch>& launches, std::uint64_t seed = 99) {
+    core::Analyzer::Options options;
+    options.config.fp_max = training.fp_max;
+    options.config.p_rate = 150.0;
+    auto analyzer = std::make_unique<core::Analyzer>(
+        &training.db, &catalog.apis(), &deployment, options);
+
+    stack::WorkflowExecutor executor(&deployment, &catalog.apis(),
+                                     &catalog.infra(), seed);
+    const auto records = executor.execute(launches);
+    std::printf("[run] %zu launches -> %zu wire records\n", launches.size(),
+                records.size());
+
+    monitor::ResourceMonitor mon(&deployment, util::SimDuration::seconds(1),
+                                 seed);
+    mon.sample_range(util::SimTime::epoch(),
+                     records.back().ts + util::SimDuration::seconds(3),
+                     analyzer->metrics());
+
+    for (const auto& r : records) analyzer->on_wire(r);
+    analyzer->finish();
+    return analyzer;
+  }
+
+  // Index of a template step using the given API (first occurrence).
+  std::size_t step_of(const stack::OperationTemplate& op,
+                      wire::ApiId api) const {
+    for (std::size_t i = 0; i < op.steps.size(); ++i) {
+      if (op.steps[i].api == api) return i;
+    }
+    return 0;
+  }
+
+  void print_diagnoses(const core::Analyzer& analyzer) const {
+    if (analyzer.diagnoses().empty()) {
+      std::printf("\nGRETEL raised no fault reports.\n");
+      return;
+    }
+    for (const auto& d : analyzer.diagnoses()) {
+      std::printf("\n--- GRETEL fault report ---------------------------\n");
+      std::printf("kind:        %s\n",
+                  d.fault.kind == core::FaultKind::Operational
+                      ? "operational"
+                      : "performance");
+      std::printf("offending:   %s\n",
+                  catalog.apis().get(d.fault.offending_api)
+                      .display_name().c_str());
+      if (d.fault.latency) {
+        std::printf("latency:     level %.1f ms -> %.1f ms\n",
+                    d.fault.latency->alarm.baseline,
+                    d.fault.latency->alarm.baseline +
+                        d.fault.latency->alarm.magnitude);
+      }
+      std::printf("operations matched (theta = %.4f, beta = %zu, "
+                  "%zu candidates on the API alone):\n",
+                  d.fault.theta, d.fault.beta_final, d.fault.candidates);
+      for (auto idx : d.fault.matched_fingerprints) {
+        std::printf("  * %s\n", training.db.get(idx).name.c_str());
+      }
+      if (d.root_cause.causes.empty()) {
+        std::printf("root cause:  no anomalous state found%s\n",
+                    d.root_cause.expanded_search
+                        ? " (searched all operation nodes)"
+                        : "");
+      } else {
+        std::printf("root cause (%s):\n",
+                    d.root_cause.expanded_search
+                        ? "found upstream, beyond the error endpoints"
+                        : "on the error-endpoint nodes");
+        for (const auto& c : d.root_cause.causes) {
+          std::printf("  * node %u (%s): %s %s\n", c.node.value(),
+                      deployment.node(c.node).hostname().c_str(),
+                      c.kind == core::CauseKind::SoftwareFailure
+                          ? "software dependency down:"
+                          : "resource anomaly:",
+                      c.detail.c_str());
+        }
+      }
+    }
+    std::printf("---------------------------------------------------\n");
+  }
+};
+
+}  // namespace gretel::examples

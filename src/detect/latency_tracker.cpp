@@ -1,0 +1,61 @@
+#include "detect/latency_tracker.h"
+
+#include "detect/level_shift.h"
+
+namespace gretel::detect {
+
+LatencyTracker::LatencyTracker(Factory factory)
+    : factory_(std::move(factory)) {}
+
+LatencyTracker::LatencyTracker()
+    : LatencyTracker([] { return make_level_shift(); }) {}
+
+LatencyTracker::PerApi& LatencyTracker::per_api(wire::ApiId api) {
+  auto it = state_.find(api);
+  if (it == state_.end()) {
+    it = state_.emplace(api, PerApi{{}, factory_()}).first;
+  }
+  return it->second;
+}
+
+std::optional<LatencyAlarm> LatencyTracker::observe(const wire::Event& event) {
+  if (event.is_request()) {
+    if (event.kind == wire::ApiKind::Rest) {
+      pending_rest_[event.conn_id] = event.ts;
+    } else {
+      pending_rpc_[event.msg_id] = event.ts;
+    }
+    return std::nullopt;
+  }
+
+  // Response: close out the pending request, if any.
+  util::SimTime req_ts;
+  if (event.kind == wire::ApiKind::Rest) {
+    const auto it = pending_rest_.find(event.conn_id);
+    if (it == pending_rest_.end()) return std::nullopt;
+    req_ts = it->second;
+    pending_rest_.erase(it);
+  } else {
+    const auto it = pending_rpc_.find(event.msg_id);
+    if (it == pending_rpc_.end()) return std::nullopt;
+    req_ts = it->second;
+    pending_rpc_.erase(it);
+  }
+
+  const double latency_ms = (event.ts - req_ts).to_millis();
+  const double t_s = event.ts.to_seconds();
+  auto& pa = per_api(event.api);
+  pa.series.add(t_s, latency_ms);
+  ++samples_;
+
+  const auto alarm = pa.detector->observe(t_s, latency_ms);
+  if (!alarm) return std::nullopt;
+  return LatencyAlarm{event.api, *alarm, event.ts};
+}
+
+const util::TimeSeries* LatencyTracker::series(wire::ApiId api) const {
+  const auto it = state_.find(api);
+  return it == state_.end() ? nullptr : &it->second.series;
+}
+
+}  // namespace gretel::detect

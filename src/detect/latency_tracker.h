@@ -1,0 +1,64 @@
+// Request/response pairing and per-API latency anomaly detection (§5.3).
+//
+// "REST latencies are computed by pairing request and response messages
+// based on TCP connection metadata, like IP and port, while RPC latencies
+// are computed using IP and message identifier that is unique to each pair."
+// LatencyTracker does exactly that, maintains a latency time series per API,
+// and feeds each series to its own pluggable outlier detector.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/outlier.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "wire/message.h"
+
+namespace gretel::detect {
+
+struct LatencyAlarm {
+  wire::ApiId api;
+  Alarm alarm;          // alarm.value is the latency in milliseconds
+  util::SimTime when;   // response timestamp
+};
+
+class LatencyTracker {
+ public:
+  using Factory = std::function<std::unique_ptr<OutlierDetector>()>;
+
+  explicit LatencyTracker(Factory factory);
+  LatencyTracker();  // defaults to the level-shift detector
+
+  // Feeds one captured event.  Responses that close a pending request
+  // produce a latency sample; a confirmed anomaly returns a LatencyAlarm.
+  std::optional<LatencyAlarm> observe(const wire::Event& event);
+
+  // Latency series recorded so far for an API (milliseconds).
+  const util::TimeSeries* series(wire::ApiId api) const;
+
+  // Requests that never saw a response (diagnostic).
+  std::size_t pending() const {
+    return pending_rest_.size() + pending_rpc_.size();
+  }
+  std::uint64_t samples() const { return samples_; }
+
+ private:
+  struct PerApi {
+    util::TimeSeries series;
+    std::unique_ptr<OutlierDetector> detector;
+  };
+
+  PerApi& per_api(wire::ApiId api);
+
+  Factory factory_;
+  std::unordered_map<std::uint32_t, util::SimTime> pending_rest_;  // conn_id
+  std::unordered_map<std::uint64_t, util::SimTime> pending_rpc_;   // msg_id
+  std::unordered_map<wire::ApiId, PerApi> state_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace gretel::detect

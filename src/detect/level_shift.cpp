@@ -1,0 +1,87 @@
+#include "detect/level_shift.h"
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace gretel::detect {
+
+void LevelShiftDetector::refresh_baseline() {
+  std::vector<double> v(window_.begin(), window_.end());
+  cached_median_ = util::median(v);
+  cached_sigma_ = std::max(util::mad_sigma(v), params_.sigma_floor);
+  stale_ = 0;
+}
+
+double LevelShiftDetector::level() {
+  if (window_.empty()) return 0.0;
+  refresh_baseline();
+  return cached_median_;
+}
+
+std::optional<Alarm> LevelShiftDetector::observe(double t_seconds,
+                                                 double value) {
+  if (!armed()) {
+    window_.push_back(value);
+    if (armed()) refresh_baseline();
+    return std::nullopt;
+  }
+
+  const double dev = value - cached_median_;
+  const int sign = dev > 0 ? 1 : -1;
+
+  if (std::fabs(dev) <= params_.k_sigma * cached_sigma_) {
+    // In-band: absorb into the baseline, clear any pending run.  The robust
+    // baseline is refreshed periodically, not per sample.
+    pending_.clear();
+    pending_sign_ = 0;
+    window_.push_back(value);
+    while (window_.size() > params_.baseline_window) window_.pop_front();
+    if (++stale_ >= 8) refresh_baseline();
+    return std::nullopt;
+  }
+
+  // Out-of-band: extend (or restart) the consecutive run.
+  if (sign != pending_sign_) {
+    pending_.clear();
+    pending_sign_ = sign;
+  }
+  pending_.push_back(value);
+  if (pending_.size() < params_.confirm) return std::nullopt;
+
+  // Confirmed level shift: re-baseline onto the new level.
+  const double new_level = util::median(pending_);
+  Alarm alarm;
+  alarm.t_seconds = t_seconds;
+  alarm.value = value;
+  alarm.baseline = cached_median_;
+  alarm.magnitude = std::fabs(new_level - cached_median_);
+  alarm.direction = sign > 0 ? ShiftDirection::Up : ShiftDirection::Down;
+
+  window_.assign(pending_.begin(), pending_.end());
+  pending_.clear();
+  pending_sign_ = 0;
+  refresh_baseline();
+
+  const bool in_cooldown =
+      (t_seconds - last_alarm_t_) < params_.cooldown_seconds;
+  last_alarm_t_ = t_seconds;
+  if (in_cooldown) return std::nullopt;
+  return alarm;
+}
+
+void LevelShiftDetector::reset() {
+  window_.clear();
+  pending_.clear();
+  pending_sign_ = 0;
+  last_alarm_t_ = -1e300;
+  cached_median_ = 0.0;
+  cached_sigma_ = 0.0;
+  stale_ = 0;
+}
+
+std::unique_ptr<OutlierDetector> make_level_shift() {
+  return std::make_unique<LevelShiftDetector>();
+}
+
+}  // namespace gretel::detect

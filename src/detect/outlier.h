@@ -1,0 +1,43 @@
+// Pluggable online outlier detection (§6: "outlier detection in GRETEL is
+// pluggable and administrators can leverage any sophisticated detection
+// mechanism").
+//
+// Detectors consume one (timestamp, value) sample at a time and optionally
+// emit an Alarm.  The production configuration is the level-shift detector
+// (the R tsoutliers "LS" analog the paper uses); a windowed z-score detector
+// is provided as an alternative and for ablations.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+namespace gretel::detect {
+
+enum class ShiftDirection { Up, Down };
+
+struct Alarm {
+  double t_seconds = 0.0;   // time of the confirming sample
+  double value = 0.0;       // the confirming sample
+  double baseline = 0.0;    // level before the shift
+  double magnitude = 0.0;   // |new level - old level| estimate
+  ShiftDirection direction = ShiftDirection::Up;
+};
+
+class OutlierDetector {
+ public:
+  virtual ~OutlierDetector() = default;
+
+  // Feeds one sample; returns an alarm when an anomaly is confirmed.
+  virtual std::optional<Alarm> observe(double t_seconds, double value) = 0;
+
+  virtual std::string_view name() const = 0;
+
+  // Forgets all state (fresh series).
+  virtual void reset() = 0;
+};
+
+// Factory signature so per-API / per-resource trackers can mint detectors.
+using DetectorFactory = std::unique_ptr<OutlierDetector> (*)();
+
+}  // namespace gretel::detect

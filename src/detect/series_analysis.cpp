@@ -1,0 +1,53 @@
+#include "detect/series_analysis.h"
+
+#include <cmath>
+#include <vector>
+
+namespace gretel::detect {
+
+WindowVerdict analyze_window(const util::TimeSeries& series,
+                             double window_start_s, double window_end_s,
+                             double k_sigma, double min_abs) {
+  std::vector<double> inside;
+  std::vector<double> outside;
+  for (const auto& p : series.points()) {
+    if (p.t_seconds >= window_start_s && p.t_seconds < window_end_s) {
+      inside.push_back(p.value);
+    } else {
+      outside.push_back(p.value);
+    }
+  }
+
+  WindowVerdict v;
+  if (inside.empty()) return v;
+  // The window level is meaningful on its own (absolute health rules read
+  // it); the relative anomaly judgment additionally needs enough baseline.
+  v.window_level = util::median(inside);
+  if (outside.size() < 4) return v;
+  v.baseline_level = util::median(outside);
+  v.sigma = std::max(util::mad_sigma(outside), 1e-9);
+  const double dev = std::fabs(v.window_level - v.baseline_level);
+  v.anomalous = dev > k_sigma * v.sigma && dev > min_abs;
+  return v;
+}
+
+std::optional<const char*> absolute_rule_violation(net::ResourceKind kind,
+                                                   double value) {
+  switch (kind) {
+    case net::ResourceKind::CpuPct:
+      if (value > 90.0) return "CPU pegged above 90%";
+      break;
+    case net::ResourceKind::DiskFreeMb:
+      if (value < 1024.0) return "free disk space below 1 GB";
+      break;
+    case net::ResourceKind::MemUsedMb:
+      if (value > 100.0 * 1024.0) return "memory consumption above 100 GB";
+      break;
+    case net::ResourceKind::NetMbps:
+    case net::ResourceKind::DiskIoOps:
+      break;
+  }
+  return std::nullopt;
+}
+
+}  // namespace gretel::detect

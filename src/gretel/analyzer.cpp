@@ -1,0 +1,35 @@
+#include "gretel/analyzer.h"
+
+namespace gretel::core {
+
+Analyzer::Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+                   const stack::Deployment* deployment, Options options)
+    : tap_(catalog, deployment->service_by_port()),
+      watcher_(deployment),
+      rca_(db, catalog, deployment, &metrics_, &watcher_),
+      detector_(db, catalog, options.config,
+                [this](const FaultReport& fault) {
+                  Diagnosis d;
+                  d.fault = fault;
+                  if (run_root_cause_) d.root_cause = rca_.analyze(fault);
+                  diagnoses_.push_back(std::move(d));
+                }),
+      run_root_cause_(options.run_root_cause) {}
+
+void Analyzer::on_wire(const net::WireRecord& record) {
+  if (auto event = tap_.decode(record)) detector_.on_event(*event);
+}
+
+void Analyzer::on_event(const wire::Event& event) {
+  detector_.on_event(event);
+}
+
+void Analyzer::on_metric(wire::NodeId node, net::ResourceKind kind,
+                         double t_seconds, double value) {
+  metrics_.record(node, kind, t_seconds, value);
+  resource_stream_.observe(node, kind, t_seconds, value);
+}
+
+void Analyzer::finish() { detector_.flush(); }
+
+}  // namespace gretel::core

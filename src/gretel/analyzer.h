@@ -1,0 +1,81 @@
+// The GRETEL analyzer service (Fig. 3): the public facade tying the whole
+// pipeline together.
+//
+//   wire bytes ──CaptureTap──▶ events ──AnomalyDetector──▶ FaultReports
+//                                             │
+//   collectd metrics ─┐                       ▼
+//   dependency watch ─┴─────────────▶ RootCauseEngine ──▶ Diagnoses
+//
+// The analyzer is single-threaded and deterministic: on_wire()/on_event()
+// are called in capture order, faults are reported synchronously once their
+// future context arrives, and finish() flushes triggers still waiting at
+// end of stream.  Metrics must be populated (ResourceMonitor::sample_range)
+// before diagnoses that depend on them are read.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gretel/anomaly_detector.h"
+#include "gretel/root_cause.h"
+#include "monitor/resource_stream.h"
+#include "net/capture.h"
+
+namespace gretel::core {
+
+class Analyzer {
+ public:
+  struct Options {
+    GretelConfig config;
+    bool run_root_cause = true;
+  };
+
+  Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+           const stack::Deployment* deployment, Options options);
+
+  // Wire-level entry point: decodes the captured bytes (HTTP / AMQP) and
+  // feeds the event pipeline.  Undecodable records are counted and dropped.
+  void on_wire(const net::WireRecord& record);
+
+  // Pre-decoded entry point (replay of event captures).
+  void on_event(const wire::Event& event);
+
+  // Flushes pending snapshots at end of stream.
+  void finish();
+
+  const std::vector<Diagnosis>& diagnoses() const { return diagnoses_; }
+  const AnomalyDetector::Stats& detector_stats() const {
+    return detector_.stats();
+  }
+  const net::TapStats& tap_stats() const { return tap_.stats(); }
+
+  // Monitoring-side stores feeding the root-cause engine.
+  monitor::MetricsStore& metrics() { return metrics_; }
+  const monitor::MetricsStore& metrics() const { return metrics_; }
+
+  // Streaming metric entry point (§6): records the sample for root-cause
+  // window analysis *and* runs the online level-shift detector over the
+  // resource stream; confirmed shifts accumulate in resource_alarms().
+  void on_metric(wire::NodeId node, net::ResourceKind kind,
+                 double t_seconds, double value);
+  const std::vector<monitor::ResourceAlarm>& resource_alarms() const {
+    return resource_stream_.alarms();
+  }
+
+  const GretelConfig& config() const { return detector_.config(); }
+  detect::LatencyTracker& latency_tracker() {
+    return detector_.latency_tracker();
+  }
+
+ private:
+  net::CaptureTap tap_;
+  monitor::MetricsStore metrics_;
+  monitor::ResourceAnomalyStream resource_stream_;
+  monitor::DependencyWatcher watcher_;
+  RootCauseEngine rca_;
+  AnomalyDetector detector_;
+  bool run_root_cause_;
+  std::vector<Diagnosis> diagnoses_;
+};
+
+}  // namespace gretel::core

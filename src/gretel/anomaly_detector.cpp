@@ -1,0 +1,136 @@
+#include "gretel/anomaly_detector.h"
+
+#include <algorithm>
+
+namespace gretel::core {
+
+AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
+                                 const wire::ApiCatalog* catalog,
+                                 GretelConfig config, FaultCallback callback)
+    : catalog_(catalog),
+      config_(config),
+      callback_(std::move(callback)),
+      detector_(db, catalog, config),
+      buffer_(config.alpha()) {}
+
+void AnomalyDetector::on_event(wire::Event event) {
+  const auto seq = buffer_.end_seq();
+  event.seq = seq;
+  ++stats_.events;
+
+  if (event.is_error()) {
+    if (event.kind == wire::ApiKind::Rest) {
+      ++stats_.rest_errors;
+      maybe_trigger_operational(event);
+    } else {
+      ++stats_.rpc_errors;  // surfaces via the REST relay; no snapshot
+    }
+  }
+
+  // Performance faults: per-API latency level shifts.
+  if (const auto alarm = latency_.observe(event)) {
+    PendingSnapshot p;
+    p.center = seq;
+    p.api = alarm->api;
+    p.kind = FaultKind::Performance;
+    p.triggered_at = event.ts;
+    p.alarm = alarm;
+    pending_.push_back(std::move(p));
+  }
+
+  buffer_.push(event);
+  run_ready(/*force=*/false);
+}
+
+void AnomalyDetector::maybe_trigger_operational(const wire::Event& event) {
+  const auto seq = event.seq;
+  if (const auto it = last_trigger_.find(event.api);
+      it != last_trigger_.end() &&
+      seq - it->second < config_.suppress_events) {
+    ++stats_.suppressed_triggers;
+    return;
+  }
+  last_trigger_[event.api] = seq;
+
+  PendingSnapshot p;
+  p.center = seq;
+  p.api = event.api;
+  p.kind = FaultKind::Operational;
+  p.triggered_at = event.ts;
+  pending_.push_back(std::move(p));
+}
+
+void AnomalyDetector::run_ready(bool force) {
+  auto it = pending_.begin();
+  while (it != pending_.end()) {
+    if (force || buffer_.future_ready(it->center)) {
+      run_snapshot(*it);
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
+  std::size_t center_index = 0;
+  const auto window = buffer_.freeze(pending.center, &center_index);
+  if (window.empty()) return;
+  center_index = std::min(center_index, window.size() - 1);
+
+  // Re-anchor operational faults on the true failing API: "all REST and RPC
+  // errors present in the snapshot are together analyzed" (§5.3.1).  An RPC
+  // failure is relayed to the dashboard by a generic status GET; the error
+  // message immediately preceding the trigger is the real fault.
+  wire::ApiId anchor = pending.api;
+  std::size_t anchor_index = center_index;
+  if (pending.kind == FaultKind::Operational) {
+    for (std::size_t i = center_index; i-- > 0;) {
+      if (center_index - i > config_.suppress_events) break;
+      if (window[i].is_error()) {
+        anchor = window[i].api;
+        anchor_index = i;
+        break;
+      }
+    }
+    // The relay and the original error resolve to the same anchor; report
+    // each fault once.
+    if (const auto it = last_report_.find(anchor);
+        it != last_report_.end() &&
+        pending.center - it->second < config_.suppress_events) {
+      ++stats_.suppressed_triggers;
+      return;
+    }
+    last_report_[anchor] = pending.center;
+  }
+
+  const auto detection =
+      detector_.detect(window, anchor_index, anchor,
+                       pending.kind == FaultKind::Operational);
+
+  FaultReport report;
+  report.kind = pending.kind;
+  report.offending_api = anchor;
+  report.detected_at = window.back().ts;
+  report.matched_fingerprints = detection.matched;
+  report.theta = detection.theta;
+  report.beta_final = detection.beta_final;
+  report.candidates = detection.candidates;
+  report.window_start = window.front().ts;
+  report.window_end = window.back().ts;
+  report.latency = pending.alarm;
+  for (const auto& ev : window) {
+    if (ev.is_error()) report.error_events.push_back(ev);
+  }
+
+  if (pending.kind == FaultKind::Operational) {
+    ++stats_.operational_reports;
+  } else {
+    ++stats_.performance_reports;
+  }
+  if (callback_) callback_(report);
+}
+
+void AnomalyDetector::flush() { run_ready(/*force=*/true); }
+
+}  // namespace gretel::core

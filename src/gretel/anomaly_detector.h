@@ -1,0 +1,81 @@
+// The anomaly detector (§5.3): the online front half of the analyzer.
+//
+// Consumes decoded events at line rate, maintaining the dual-buffer sliding
+// window.  Operational faults: REST error statuses trigger snapshots (RPC
+// errors are counted but do not trigger — they surface in REST relays,
+// §5.3.1 "Improving precision").  Performance faults: the latency tracker's
+// level-shift alarms trigger snapshots without fingerprint truncation.
+// After a trigger, the detector waits for the future α/2 messages, freezes
+// the window between the dual buffer's two pointers, runs Algorithm 2, and
+// emits a FaultReport through the callback.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/latency_tracker.h"
+#include "gretel/config.h"
+#include "gretel/op_detector.h"
+#include "gretel/report.h"
+#include "gretel/window.h"
+
+namespace gretel::core {
+
+class AnomalyDetector {
+ public:
+  using FaultCallback = std::function<void(const FaultReport&)>;
+
+  AnomalyDetector(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+                  GretelConfig config, FaultCallback callback);
+
+  // Feeds one decoded event; may synchronously emit fault reports for
+  // earlier triggers whose future context just completed.
+  void on_event(wire::Event event);
+
+  // Runs any triggers still waiting for future context (end of stream).
+  void flush();
+
+  struct Stats {
+    std::uint64_t events = 0;
+    std::uint64_t rest_errors = 0;
+    std::uint64_t rpc_errors = 0;
+    std::uint64_t operational_reports = 0;
+    std::uint64_t performance_reports = 0;
+    std::uint64_t suppressed_triggers = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const GretelConfig& config() const { return config_; }
+  detect::LatencyTracker& latency_tracker() { return latency_; }
+
+ private:
+  struct PendingSnapshot {
+    std::uint64_t center = 0;   // seq of the triggering message
+    wire::ApiId api;
+    FaultKind kind = FaultKind::Operational;
+    util::SimTime triggered_at;
+    std::optional<detect::LatencyAlarm> alarm;
+  };
+
+  void maybe_trigger_operational(const wire::Event& event);
+  void run_ready(bool force);
+  void run_snapshot(const PendingSnapshot& pending);
+
+  const wire::ApiCatalog* catalog_;
+  GretelConfig config_;
+  FaultCallback callback_;
+  OperationDetector detector_;
+  DualBuffer buffer_;
+  detect::LatencyTracker latency_;
+  std::vector<PendingSnapshot> pending_;
+  // Last trigger sequence per API, for duplicate-relay suppression.
+  std::unordered_map<wire::ApiId, std::uint64_t> last_trigger_;
+  // Last report sequence per *anchor* API: the relay and the original error
+  // resolve to the same anchor and must yield one report.
+  std::unordered_map<wire::ApiId, std::uint64_t> last_report_;
+  Stats stats_;
+};
+
+}  // namespace gretel::core

@@ -1,0 +1,69 @@
+// Analyzer configuration (§5.3.1 and §7 "Empirical determination of
+// thresholds").
+//
+//   α = 2 · max(FPmax, Prate · t)      sliding window size (messages)
+//   β = c1 · α                          initial context buffer
+//   δ = c2 · α                          context growth per iteration
+//
+// The paper's deployment: FPmax = 384, Prate ≈ 150 pps at 400 concurrent
+// operations, t = 1 s, c1 = 0.1, c2 = 0.04 → α = 768, β₀ = 80 (they round
+// c1·α up), δ = 30.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gretel/matcher.h"
+
+namespace gretel::core {
+
+struct GretelConfig {
+  std::size_t fp_max = 384;   // largest fingerprint in the database
+  double p_rate = 150.0;      // observed message rate (packets per second)
+  double t_seconds = 1.0;     // window time horizon
+  double c1 = 0.1;            // initial context buffer fraction
+  double c2 = 0.04;           // context growth fraction
+  bool match_rpc = false;     // §6: prune RPC symbols from match literals
+  // Exploit OpenStack correlation ids when the deployment emits them
+  // (§5.3.1): the snapshot is reduced to the packets sharing the faulty
+  // message's correlation id before fingerprints are matched.
+  bool use_correlation_ids = true;
+  MatchBackend backend = MatchBackend::SymbolSubsequence;
+  // Minimum trailing literals that must be evidenced before the fault when
+  // the snapshot cannot reach back to the operation's start (the Fig. 4
+  // relaxation); candidates with fewer literals must show them all.
+  std::size_t min_literal_suffix = 4;
+  // The faulty operation is executing *at* the fault, so its most recent
+  // state-change literal must have occurred within this many seconds before
+  // the fault; coincidental matches scattered across the window fail this
+  // anchoring requirement.
+  double anchor_proximity_seconds = 2.0;
+  // Operational matching keeps the candidates whose anchored backward
+  // evidence (consumed literals) is within this fraction of the best
+  // candidate's: the faulty operation accumulates evidence as the context
+  // buffer grows while coincidental matches stay shallow.
+  double evidence_ratio = 0.5;
+  // Growth of the context buffer stops early once the matched set and the
+  // deepest evidence have been stable for this many consecutive growths
+  // (further context could only admit coincidental matches and drop θ).
+  int stable_growths_stop = 5;
+  // Two operational triggers for the same API closer than this many events
+  // are treated as one fault (duplicate REST error relays).
+  std::size_t suppress_events = 96;
+
+  std::size_t alpha() const {
+    const auto rate_window =
+        static_cast<std::size_t>(p_rate * t_seconds);
+    return 2 * std::max(fp_max, rate_window);
+  }
+  std::size_t beta0() const {
+    return std::max<std::size_t>(1,
+                                 static_cast<std::size_t>(c1 * alpha()));
+  }
+  std::size_t delta() const {
+    return std::max<std::size_t>(1,
+                                 static_cast<std::size_t>(c2 * alpha()));
+  }
+};
+
+}  // namespace gretel::core

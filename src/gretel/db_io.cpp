@@ -1,0 +1,144 @@
+#include "gretel/db_io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace gretel::core {
+
+namespace {
+
+constexpr std::string_view kMagic = "GRTFDB01";
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>(v & 0xFF);
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+}
+bool get_u16(std::string_view& in, std::uint16_t& v) {
+  if (in.size() < 2) return false;
+  v = static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(in[0]) << 8) |
+      static_cast<std::uint8_t>(in[1]));
+  in.remove_prefix(2);
+  return true;
+}
+bool get_u32(std::string_view& in, std::uint32_t& v) {
+  std::uint16_t hi = 0;
+  std::uint16_t lo = 0;
+  if (!get_u16(in, hi) || !get_u16(in, lo)) return false;
+  v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+  return true;
+}
+bool get_u64(std::string_view& in, std::uint64_t& v) {
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  if (!get_u32(in, hi) || !get_u32(in, lo)) return false;
+  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t catalog_hash(const wire::ApiCatalog& catalog) {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a 64
+  for (const auto& api : catalog.all()) {
+    for (char c : api.display_name()) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0x1F;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string encode_fingerprint_db(const FingerprintDb& db,
+                                  const wire::ApiCatalog& catalog) {
+  std::string out;
+  out += kMagic;
+  put_u64(out, catalog_hash(catalog));
+  put_u32(out, static_cast<std::uint32_t>(db.size()));
+  for (const auto& fp : db.all()) {
+    put_u32(out, fp.op.value());
+    put_u16(out, static_cast<std::uint16_t>(fp.name.size()));
+    out += fp.name.substr(0, 0xFFFF);
+    put_u32(out, static_cast<std::uint32_t>(fp.sequence.size()));
+    for (auto api : fp.sequence) put_u16(out, api.value());
+  }
+  return out;
+}
+
+std::optional<FingerprintDb> decode_fingerprint_db(
+    std::string_view data, const wire::ApiCatalog& catalog) {
+  if (!data.starts_with(kMagic)) return std::nullopt;
+  data.remove_prefix(kMagic.size());
+
+  std::uint64_t hash = 0;
+  if (!get_u64(data, hash) || hash != catalog_hash(catalog))
+    return std::nullopt;
+
+  std::uint32_t count = 0;
+  if (!get_u32(data, count)) return std::nullopt;
+
+  FingerprintDb db;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Fingerprint fp;
+    std::uint32_t op = 0;
+    std::uint16_t name_len = 0;
+    std::uint32_t seq_len = 0;
+    if (!get_u32(data, op) || !get_u16(data, name_len) ||
+        data.size() < name_len) {
+      return std::nullopt;
+    }
+    fp.op = wire::OpTemplateId(op);
+    fp.name = std::string(data.substr(0, name_len));
+    data.remove_prefix(name_len);
+    if (!get_u32(data, seq_len)) return std::nullopt;
+    fp.sequence.reserve(seq_len);
+    for (std::uint32_t k = 0; k < seq_len; ++k) {
+      std::uint16_t api = 0;
+      if (!get_u16(data, api)) return std::nullopt;
+      if (api >= catalog.size()) return std::nullopt;  // foreign catalog
+      fp.sequence.emplace_back(api);
+    }
+    // State sequences are derived data; recompute against the catalog.
+    for (auto api : fp.sequence) {
+      if (catalog.get(api).state_change()) fp.state_sequence.push_back(api);
+    }
+    db.add(std::move(fp));
+  }
+  if (!data.empty()) return std::nullopt;
+  return db;
+}
+
+bool save_fingerprint_db(const std::string& path, const FingerprintDb& db,
+                         const wire::ApiCatalog& catalog) {
+  const auto data = encode_fingerprint_db(db, catalog);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
+}
+
+std::optional<FingerprintDb> load_fingerprint_db(
+    const std::string& path, const wire::ApiCatalog& catalog) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return std::nullopt;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.append(buf, n);
+  }
+  return decode_fingerprint_db(data, catalog);
+}
+
+}  // namespace gretel::core

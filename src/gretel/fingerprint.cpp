@@ -1,0 +1,133 @@
+#include "gretel/fingerprint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "gretel/lcs.h"
+
+namespace gretel::core {
+
+std::size_t Fingerprint::size_without_rpc(
+    const wire::ApiCatalog& catalog) const {
+  std::size_t n = 0;
+  for (auto api : sequence)
+    n += catalog.get(api).kind == wire::ApiKind::Rest ? 1 : 0;
+  return n;
+}
+
+bool Fingerprint::contains(wire::ApiId api) const {
+  return std::find(sequence.begin(), sequence.end(), api) != sequence.end();
+}
+
+std::u32string Fingerprint::regex_string(const SymbolTable& symbols,
+                                         const wire::ApiCatalog& catalog,
+                                         bool include_rpc) const {
+  std::u32string out;
+  out.reserve(sequence.size() * 2);
+  for (auto api : sequence) {
+    const auto& desc = catalog.get(api);
+    if (!include_rpc && desc.kind == wire::ApiKind::Rpc) continue;
+    out += symbols.symbol(api);
+    if (!desc.state_change()) out += U'*';
+  }
+  return out;
+}
+
+FingerprintGenerator::FingerprintGenerator(const wire::ApiCatalog* catalog,
+                                           const NoiseFilter* filter)
+    : catalog_(catalog), filter_(filter) {
+  assert(catalog_ && filter_);
+}
+
+Fingerprint FingerprintGenerator::from_traces(
+    wire::OpTemplateId op, std::string name,
+    std::vector<std::vector<wire::ApiId>> traces) const {
+  Fingerprint fp;
+  fp.op = op;
+  fp.name = std::move(name);
+  if (traces.empty()) return fp;
+
+  // SORT_BY_TRACE_LENGTH: fold starting from the shortest trace so the
+  // running intersection only shrinks.
+  std::sort(traces.begin(), traces.end(),
+            [](const auto& a, const auto& b) { return a.size() < b.size(); });
+
+  std::vector<wire::ApiId> common = filter_->filter(traces.front());
+  for (std::size_t i = 1; i < traces.size(); ++i) {
+    const auto filtered = filter_->filter(traces[i]);
+    common = longest_common_subsequence(common, filtered);
+  }
+  fp.sequence = std::move(common);
+
+  for (auto api : fp.sequence) {
+    if (catalog_->get(api).state_change()) fp.state_sequence.push_back(api);
+  }
+  return fp;
+}
+
+std::vector<Fingerprint> FingerprintGenerator::from_traces_branched(
+    wire::OpTemplateId op, const std::string& name,
+    std::vector<std::vector<wire::ApiId>> traces,
+    double similarity_threshold) const {
+  // Cluster the *filtered* traces greedily against each cluster's first
+  // member (the representative).
+  struct Cluster {
+    std::vector<wire::ApiId> representative;
+    std::vector<std::vector<wire::ApiId>> members;
+  };
+  std::vector<Cluster> clusters;
+  for (auto& raw : traces) {
+    auto filtered = filter_->filter(raw);
+    bool placed = false;
+    for (auto& cluster : clusters) {
+      const auto common =
+          longest_common_subsequence(cluster.representative, filtered);
+      const auto longer =
+          std::max(cluster.representative.size(), filtered.size());
+      const double similarity =
+          longer ? static_cast<double>(common.size()) /
+                       static_cast<double>(longer)
+                 : 1.0;
+      if (similarity >= similarity_threshold) {
+        cluster.members.push_back(std::move(filtered));
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      clusters.push_back({filtered, {std::move(filtered)}});
+    }
+  }
+
+  std::vector<Fingerprint> out;
+  out.reserve(clusters.size());
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    // Fold the cluster with the plain Algorithm-1 intersection.  The
+    // members are already noise-filtered; filtering is idempotent.
+    auto fp = from_traces(op,
+                          clusters.size() > 1
+                              ? name + "#" + std::to_string(c)
+                              : name,
+                          std::move(clusters[c].members));
+    out.push_back(std::move(fp));
+  }
+  return out;
+}
+
+Fingerprint FingerprintGenerator::from_event_traces(
+    wire::OpTemplateId op, std::string name,
+    const std::vector<std::vector<wire::Event>>& traces) const {
+  std::vector<std::vector<wire::ApiId>> api_traces;
+  api_traces.reserve(traces.size());
+  for (const auto& events : traces) {
+    std::vector<wire::ApiId> trace;
+    trace.reserve(events.size() / 2);
+    for (const auto& ev : events) {
+      if (ev.is_request()) trace.push_back(ev.api);
+    }
+    api_traces.push_back(std::move(trace));
+  }
+  return from_traces(op, std::move(name), std::move(api_traces));
+}
+
+}  // namespace gretel::core

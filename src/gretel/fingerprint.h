@@ -1,0 +1,76 @@
+// Operational fingerprints (§4, §5, Algorithm 1).
+//
+// A fingerprint is the most precise API sequence identifying one high-level
+// administrative operation, derived from repeated isolated executions:
+// noise-filter each trace, intersect them with LCS, and express the result
+// as a regular expression over API symbols where state-change APIs
+// (POST/PUT/DELETE REST and RPCs) are required literals and read-only APIs
+// are optional ("X*").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gretel/noise_filter.h"
+#include "gretel/symbols.h"
+#include "wire/api.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+struct Fingerprint {
+  wire::OpTemplateId op;
+  std::string name;
+  // The filtered, LCS-pruned API sequence.
+  std::vector<wire::ApiId> sequence;
+  // The state-change subsequence — the literals anchoring relaxed matching
+  // (§5.3.1); read-only APIs are optional in the regex form.
+  std::vector<wire::ApiId> state_sequence;
+
+  std::size_t size() const { return sequence.size(); }
+  std::size_t size_without_rpc(const wire::ApiCatalog& catalog) const;
+  bool contains(wire::ApiId api) const;
+
+  // The Algorithm-1 regular-expression form, e.g. "AB*CD*E" with one symbol
+  // per API; when include_rpc is false, RPC symbols are pruned (§6's
+  // optimization evaluated in Fig. 7c).
+  std::u32string regex_string(const SymbolTable& symbols,
+                              const wire::ApiCatalog& catalog,
+                              bool include_rpc) const;
+};
+
+class FingerprintGenerator {
+ public:
+  FingerprintGenerator(const wire::ApiCatalog* catalog,
+                       const NoiseFilter* filter);
+
+  // Algorithm 1: traces are API invocation sequences of repeated isolated
+  // executions of one operation.  The shortest trace seeds the LCS fold
+  // (SORT_BY_TRACE_LENGTH).
+  Fingerprint from_traces(wire::OpTemplateId op, std::string name,
+                          std::vector<std::vector<wire::ApiId>> traces) const;
+
+  // Convenience over captured event traces (requests extracted per trace).
+  Fingerprint from_event_traces(
+      wire::OpTemplateId op, std::string name,
+      const std::vector<std::vector<wire::Event>>& traces) const;
+
+  // Extension for the paper's limitation (6): operations with asynchronous
+  // branches yield trace families whose plain LCS collapses to the common
+  // core, losing the branch-specific APIs.  This variant greedily clusters
+  // the filtered traces by LCS similarity (|LCS| / max(|a|, |b|) against
+  // each cluster's representative) and emits one fingerprint per cluster —
+  // all carrying the same operation id, so the database treats them as
+  // alternatives.  A similarity threshold of 1.0 degenerates to one cluster
+  // per distinct trace; 0.0 to plain from_traces.
+  std::vector<Fingerprint> from_traces_branched(
+      wire::OpTemplateId op, const std::string& name,
+      std::vector<std::vector<wire::ApiId>> traces,
+      double similarity_threshold = 0.85) const;
+
+ private:
+  const wire::ApiCatalog* catalog_;
+  const NoiseFilter* filter_;
+};
+
+}  // namespace gretel::core

@@ -1,0 +1,28 @@
+#include "gretel/fingerprint_db.h"
+
+#include <algorithm>
+
+namespace gretel::core {
+
+FingerprintDb::Index FingerprintDb::add(Fingerprint fp) {
+  const auto index = static_cast<Index>(fingerprints_.size());
+  max_size_ = std::max(max_size_, fp.sequence.size());
+
+  // Deduplicated inverted index (a fingerprint may repeat an API).
+  std::vector<wire::ApiId> seen;
+  for (auto api : fp.sequence) {
+    if (std::find(seen.begin(), seen.end(), api) != seen.end()) continue;
+    seen.push_back(api);
+    by_api_[api].push_back(index);
+  }
+  fingerprints_.push_back(std::move(fp));
+  return index;
+}
+
+const std::vector<FingerprintDb::Index>& FingerprintDb::containing(
+    wire::ApiId api) const {
+  const auto it = by_api_.find(api);
+  return it == by_api_.end() ? empty_ : it->second;
+}
+
+}  // namespace gretel::core

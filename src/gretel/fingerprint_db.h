@@ -1,0 +1,40 @@
+// The fingerprint database the analyzer matches against.
+//
+// Holds one fingerprint per characterized operation (1200 at full Tempest
+// scale), with an inverted index from ApiId to the fingerprints containing
+// it — GET_POSSIBLE_OFFENDING_OPERATIONS of Algorithm 2 is a single lookup.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "gretel/fingerprint.h"
+
+namespace gretel::core {
+
+class FingerprintDb {
+ public:
+  using Index = std::uint32_t;
+
+  Index add(Fingerprint fp);
+
+  std::size_t size() const { return fingerprints_.size(); }
+  const Fingerprint& get(Index i) const { return fingerprints_[i]; }
+  const std::vector<Fingerprint>& all() const { return fingerprints_; }
+
+  // Fingerprints whose sequence contains `api`.
+  const std::vector<Index>& containing(wire::ApiId api) const;
+
+  // FPmax: the largest fingerprint size across all operations (the α input,
+  // §5.3.1 / §7 "Empirical determination of thresholds").
+  std::size_t max_fingerprint_size() const { return max_size_; }
+
+ private:
+  std::vector<Fingerprint> fingerprints_;
+  std::unordered_map<wire::ApiId, std::vector<Index>> by_api_;
+  std::vector<Index> empty_;
+  std::size_t max_size_ = 0;
+};
+
+}  // namespace gretel::core

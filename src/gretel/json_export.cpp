@@ -1,0 +1,122 @@
+#include "gretel/json_export.h"
+
+#include <cstdio>
+
+namespace gretel::core {
+
+namespace {
+
+void append_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const Diagnosis& d, const wire::ApiCatalog& catalog,
+                    const FingerprintDb& db) {
+  std::string out;
+  out += "{\"kind\": \"";
+  out += d.fault.kind == FaultKind::Operational ? "operational"
+                                                : "performance";
+  out += "\", \"offending_api\": \"";
+  out += json_escape(catalog.get(d.fault.offending_api).display_name());
+  out += "\", \"detected_at_s\": ";
+  append_number(out, d.fault.detected_at.to_seconds());
+  out += ", \"theta\": ";
+  append_number(out, d.fault.theta);
+  out += ", \"beta_final\": ";
+  out += std::to_string(d.fault.beta_final);
+  out += ", \"candidates\": ";
+  out += std::to_string(d.fault.candidates);
+
+  out += ", \"matched_operations\": [";
+  for (std::size_t i = 0; i < d.fault.matched_fingerprints.size(); ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += json_escape(db.get(d.fault.matched_fingerprints[i]).name);
+    out += '"';
+  }
+  out += ']';
+
+  if (d.fault.latency) {
+    out += ", \"latency\": {\"baseline_ms\": ";
+    append_number(out, d.fault.latency->alarm.baseline);
+    out += ", \"magnitude_ms\": ";
+    append_number(out, d.fault.latency->alarm.magnitude);
+    out += ", \"direction\": \"";
+    out += d.fault.latency->alarm.direction == detect::ShiftDirection::Up
+               ? "up"
+               : "down";
+    out += "\"}";
+  }
+
+  out += ", \"error_events\": ";
+  out += std::to_string(d.fault.error_events.size());
+
+  out += ", \"root_cause\": {\"expanded_search\": ";
+  out += d.root_cause.expanded_search ? "true" : "false";
+  out += ", \"causes\": [";
+  for (std::size_t i = 0; i < d.root_cause.causes.size(); ++i) {
+    const auto& c = d.root_cause.causes[i];
+    if (i) out += ", ";
+    out += "{\"node\": ";
+    out += std::to_string(c.node.value());
+    out += ", \"kind\": \"";
+    out += c.kind == CauseKind::SoftwareFailure ? "software" : "resource";
+    out += "\", \"detail\": \"";
+    out += json_escape(c.detail);
+    out += "\"}";
+  }
+  out += "]}}";
+  return out;
+}
+
+std::string to_json(std::span<const Diagnosis> diagnoses,
+                    const wire::ApiCatalog& catalog,
+                    const FingerprintDb& db) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < diagnoses.size(); ++i) {
+    if (i) out += ",\n ";
+    out += to_json(diagnoses[i], catalog, db);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gretel::core

@@ -1,0 +1,29 @@
+// JSON export of GRETEL diagnoses, for dashboards and downstream tooling.
+//
+// Deliberately dependency-free: GRETEL itself never parses JSON on the hot
+// path (§5.3), and emitting it is a cold-path reporting concern.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "gretel/fingerprint_db.h"
+#include "gretel/report.h"
+
+namespace gretel::core {
+
+// Escapes a string for inclusion inside a JSON string literal.
+std::string json_escape(std::string_view s);
+
+// One diagnosis as a JSON object.
+std::string to_json(const Diagnosis& diagnosis,
+                    const wire::ApiCatalog& catalog,
+                    const FingerprintDb& db);
+
+// A full run's diagnoses as a JSON array.
+std::string to_json(std::span<const Diagnosis> diagnoses,
+                    const wire::ApiCatalog& catalog,
+                    const FingerprintDb& db);
+
+}  // namespace gretel::core

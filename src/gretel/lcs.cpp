@@ -1,0 +1,48 @@
+#include "gretel/lcs.h"
+
+#include <algorithm>
+
+namespace gretel::core {
+
+std::vector<wire::ApiId> longest_common_subsequence(
+    std::span<const wire::ApiId> a, std::span<const wire::ApiId> b) {
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  if (n == 0 || m == 0) return {};
+
+  // dp is (n+1) x (m+1), row-major.
+  std::vector<std::uint32_t> dp((n + 1) * (m + 1), 0);
+  const auto at = [m](std::size_t i, std::size_t j) {
+    return i * (m + 1) + j;
+  };
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        dp[at(i, j)] = dp[at(i - 1, j - 1)] + 1;
+      } else {
+        dp[at(i, j)] = std::max(dp[at(i - 1, j)], dp[at(i, j - 1)]);
+      }
+    }
+  }
+
+  std::vector<wire::ApiId> out;
+  out.reserve(dp[at(n, m)]);
+  std::size_t i = n;
+  std::size_t j = m;
+  while (i > 0 && j > 0) {
+    if (a[i - 1] == b[j - 1]) {
+      out.push_back(a[i - 1]);
+      --i;
+      --j;
+    } else if (dp[at(i - 1, j)] >= dp[at(i, j - 1)]) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gretel::core

@@ -1,0 +1,20 @@
+// Longest common subsequence over API traces (Algorithm 1's
+// GET_LONGEST_COMMON_SUBSEQUENCE).  Re-executing an operation several times
+// and intersecting the traces removes transient invocations; LCS is the
+// order-preserving intersection.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "wire/api.h"
+
+namespace gretel::core {
+
+// Classic O(n*m) dynamic program; traces are a few hundred APIs long, so
+// this stays comfortably cheap — and it runs offline (§7.1: fingerprint
+// generation is an offline process).
+std::vector<wire::ApiId> longest_common_subsequence(
+    std::span<const wire::ApiId> a, std::span<const wire::ApiId> b);
+
+}  // namespace gretel::core

@@ -1,0 +1,117 @@
+#include "gretel/matcher.h"
+
+#include <algorithm>
+#include <cassert>
+#include <regex>
+
+namespace gretel::core {
+
+Matcher::Matcher(const wire::ApiCatalog* catalog, Options options)
+    : catalog_(catalog), options_(options) {
+  assert(catalog_);
+}
+
+std::vector<wire::ApiId> Matcher::truncate_at_last(
+    std::span<const wire::ApiId> seq, wire::ApiId api) {
+  std::size_t last = seq.size();
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == api) last = i + 1;
+  }
+  return {seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(last)};
+}
+
+std::vector<wire::ApiId> Matcher::truncate_at_first(
+    std::span<const wire::ApiId> seq, wire::ApiId api) {
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    if (seq[i] == api) {
+      return {seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(i + 1)};
+    }
+  }
+  return {seq.begin(), seq.end()};
+}
+
+std::vector<wire::ApiId> Matcher::required_literals(
+    std::span<const wire::ApiId> seq) const {
+  std::vector<wire::ApiId> out;
+  out.reserve(seq.size());
+  for (auto api : seq) {
+    const auto& desc = catalog_->get(api);
+    if (!desc.state_change()) continue;
+    if (!options_.include_rpc && desc.kind == wire::ApiKind::Rpc) continue;
+    out.push_back(api);
+  }
+  return out;
+}
+
+bool Matcher::matches(std::span<const wire::ApiId> literals,
+                      std::span<const wire::ApiId> snapshot) const {
+  if (literals.empty()) return false;  // nothing to anchor on
+  switch (options_.backend) {
+    case MatchBackend::SymbolSubsequence:
+      return subsequence_match(literals, snapshot);
+    case MatchBackend::StdRegex:
+      return regex_match(literals, snapshot);
+  }
+  return false;
+}
+
+Matcher::Tier Matcher::match_tier(std::span<const wire::ApiId> literals,
+                                  std::span<const wire::ApiId> snapshot,
+                                  std::size_t fault_index,
+                                  std::size_t min_suffix) const {
+  if (literals.empty() || snapshot.empty()) return Tier::None;
+  if (matches(literals, snapshot)) return Tier::Strong;
+
+  // Greedy backward suffix consumption from the fault position: rightmost
+  // alignment maximizes the consumed suffix length.
+  std::size_t i = literals.size();
+  for (std::size_t pos = std::min(fault_index, snapshot.size() - 1) + 1;
+       pos-- > 0 && i > 0;) {
+    if (snapshot[pos] == literals[i - 1]) --i;
+  }
+  const std::size_t consumed = literals.size() - i;
+  return consumed >= std::min(min_suffix, literals.size()) ? Tier::Weak
+                                                           : Tier::None;
+}
+
+bool Matcher::subsequence_match(std::span<const wire::ApiId> literals,
+                                std::span<const wire::ApiId> snapshot) {
+  std::size_t need = 0;
+  for (auto api : snapshot) {
+    if (api == literals[need]) {
+      if (++need == literals.size()) return true;
+    }
+  }
+  return false;
+}
+
+void Matcher::encode_api(wire::ApiId api, std::string& out) {
+  static constexpr char kAlphabet[] =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789@#";
+  const auto v = api.value();
+  out += kAlphabet[(v >> 6) & 63];
+  out += kAlphabet[v & 63];
+}
+
+bool Matcher::regex_match(std::span<const wire::ApiId> literals,
+                          std::span<const wire::ApiId> snapshot) {
+  // Snapshot as text, two regex-safe characters per API.
+  std::string text;
+  text.reserve(snapshot.size() * 2);
+  for (auto api : snapshot) encode_api(api, text);
+
+  // Pattern: literals joined by (..)*? so skipped symbols stay pair-aligned;
+  // anchoring at the start keeps the alignment absolute (a match beginning
+  // at an odd text offset would straddle two encoded symbols).
+  std::string pattern;
+  pattern.reserve(literals.size() * 8 + 8);
+  pattern += "^(..)*?";
+  for (std::size_t i = 0; i < literals.size(); ++i) {
+    if (i) pattern += "(..)*?";
+    encode_api(literals[i], pattern);
+  }
+  const std::regex re(pattern);
+  return std::regex_search(text, re);
+}
+
+}  // namespace gretel::core

@@ -1,0 +1,98 @@
+// Fingerprint matching (Algorithm 2 and §5.3.1's relaxation).
+//
+// Production path: fingerprints are truncated at the last occurrence of the
+// offending API, and a truncated fingerprint matches a snapshot when its
+// *state-change* literals appear in order inside the snapshot (read-only
+// APIs are optional, interleaved foreign symbols are skipped) — a
+// subsequence check over symbols.  An equivalent std::regex backend (each
+// literal joined by ".*", the paper offloaded this to Perl) is kept behind
+// the same interface for the matcher ablation bench.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "wire/api.h"
+
+namespace gretel::core {
+
+enum class MatchBackend {
+  SymbolSubsequence,  // production: two-pointer subsequence over ApiIds
+  StdRegex,           // ablation: textual regex over an encoded alphabet
+};
+
+class Matcher {
+ public:
+  struct Options {
+    // When false (the paper's §6 optimization), RPC symbols are pruned from
+    // the required literals, leaving REST state changes as anchors.
+    bool include_rpc = false;
+    MatchBackend backend = MatchBackend::SymbolSubsequence;
+  };
+
+  Matcher(const wire::ApiCatalog* catalog, Options options);
+
+  // TRUNCATE_OPERATION_FINGERPRINTS: prefix of `seq` through the last
+  // occurrence of `api` (the whole sequence if absent — performance faults
+  // use the untruncated form).
+  static std::vector<wire::ApiId> truncate_at_last(
+      std::span<const wire::ApiId> seq, wire::ApiId api);
+
+  // Prefix through the *first* occurrence.  When an API repeats inside a
+  // fingerprint, the detector cannot know which occurrence failed; a
+  // candidate matches some occurrence's truncated prefix iff it matches the
+  // first occurrence's (shorter prefixes demand a subset of the literals),
+  // so aborted operations are matched through this form.  Algorithm 2's
+  // FIND_LAST_OCCURENCE coincides with it when fingerprints don't repeat
+  // the offending API.
+  static std::vector<wire::ApiId> truncate_at_first(
+      std::span<const wire::ApiId> seq, wire::ApiId api);
+
+  // Required literals of a (possibly truncated) fingerprint sequence:
+  // state-change APIs, with RPCs pruned unless include_rpc.
+  std::vector<wire::ApiId> required_literals(
+      std::span<const wire::ApiId> seq) const;
+
+  // True when `literals` appear in order within `snapshot`.
+  bool matches(std::span<const wire::ApiId> literals,
+               std::span<const wire::ApiId> snapshot) const;
+
+  // The §5.3.1 window-tolerant form used by operation detection.
+  //  Strong — the literals appear in order in the snapshot: complete
+  //           evidence of the (truncated) operation.
+  //  Weak   — scanning backward from the fault position, at least
+  //           min(min_suffix, |literals|) trailing literals appear in
+  //           reverse order; older literals are excused because the
+  //           snapshot's reach is finite (Fig. 4: "even though symbol A is
+  //           missing from the context buffer, the truncated regular
+  //           expression still matches").
+  enum class Tier { None, Weak, Strong };
+  Tier match_tier(std::span<const wire::ApiId> literals,
+                  std::span<const wire::ApiId> snapshot,
+                  std::size_t fault_index, std::size_t min_suffix) const;
+
+  // Convenience: Tier != None.
+  bool matches_near_fault(std::span<const wire::ApiId> literals,
+                          std::span<const wire::ApiId> snapshot,
+                          std::size_t fault_index,
+                          std::size_t min_suffix) const {
+    return match_tier(literals, snapshot, fault_index, min_suffix) !=
+           Tier::None;
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  static bool subsequence_match(std::span<const wire::ApiId> literals,
+                                std::span<const wire::ApiId> snapshot);
+  static bool regex_match(std::span<const wire::ApiId> literals,
+                          std::span<const wire::ApiId> snapshot);
+  // Two-character encoding of an ApiId over a regex-safe alphabet.
+  static void encode_api(wire::ApiId api, std::string& out);
+
+  const wire::ApiCatalog* catalog_;
+  Options options_;
+};
+
+}  // namespace gretel::core

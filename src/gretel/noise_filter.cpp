@@ -1,0 +1,51 @@
+#include "gretel/noise_filter.h"
+
+#include <algorithm>
+
+namespace gretel::core {
+
+NoiseFilter::NoiseFilter(const wire::ApiCatalog* catalog)
+    : catalog_(catalog),
+      heartbeat_rpcs_{"report_state", "update_service_capabilities"} {}
+
+void NoiseFilter::add_heartbeat_rpc(std::string method_name) {
+  heartbeat_rpcs_.push_back(std::move(method_name));
+}
+
+bool NoiseFilter::is_noise_api(wire::ApiId api) const {
+  const auto& desc = catalog_->get(api);
+  if (desc.service == wire::ServiceKind::Keystone) return true;
+  if (desc.kind == wire::ApiKind::Rpc) {
+    return std::find(heartbeat_rpcs_.begin(), heartbeat_rpcs_.end(),
+                     desc.rpc_method) != heartbeat_rpcs_.end();
+  }
+  return false;
+}
+
+std::vector<wire::ApiId> NoiseFilter::filter(
+    const std::vector<wire::ApiId>& trace) const {
+  std::vector<wire::ApiId> out;
+  out.reserve(trace.size());
+  for (auto api : trace) {
+    if (is_noise_api(api)) continue;
+    // Collapse repeat occurrences of idempotent REST actions on one URI.
+    if (!out.empty() && out.back() == api &&
+        !catalog_->get(api).state_change()) {
+      continue;
+    }
+    out.push_back(api);
+  }
+  return out;
+}
+
+std::vector<wire::ApiId> NoiseFilter::filter_events(
+    const std::vector<wire::Event>& events) const {
+  std::vector<wire::ApiId> trace;
+  trace.reserve(events.size() / 2);
+  for (const auto& ev : events) {
+    if (ev.is_request()) trace.push_back(ev.api);
+  }
+  return filter(trace);
+}
+
+}  // namespace gretel::core

@@ -1,0 +1,47 @@
+// FILTER_NOISE of Algorithm 1.
+//
+// "Routine OpenStack operations typically involve several messages, both
+// REST and RPC, that do not contribute in any meaningful way to segregate
+// user-level operations at run time.  These messages include heartbeat and
+// status update RPCs, common REST invocations involving Keystone, and
+// repeat occurrences of idempotent REST actions for a specific URI."
+//
+// The filter works purely from the API catalog — Keystone-service REST
+// endpoints, a configurable set of heartbeat RPC method names, and
+// consecutive duplicates of non-state-change APIs — never from ground-truth
+// labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wire/api.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+class NoiseFilter {
+ public:
+  explicit NoiseFilter(const wire::ApiCatalog* catalog);
+
+  // Additional RPC method names treated as periodic chatter.  Defaults to
+  // the oslo heartbeat family (report_state, update_service_capabilities).
+  void add_heartbeat_rpc(std::string method_name);
+
+  bool is_noise_api(wire::ApiId api) const;
+
+  // Filters an API invocation trace: drops noise APIs and collapses
+  // consecutive repeats of the same idempotent (non-state-change) API.
+  std::vector<wire::ApiId> filter(const std::vector<wire::ApiId>& trace) const;
+
+  // Convenience: extracts the request-side API trace from captured events
+  // and filters it.
+  std::vector<wire::ApiId> filter_events(
+      const std::vector<wire::Event>& events) const;
+
+ private:
+  const wire::ApiCatalog* catalog_;
+  std::vector<std::string> heartbeat_rpcs_;
+};
+
+}  // namespace gretel::core

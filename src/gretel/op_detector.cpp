@@ -1,0 +1,249 @@
+#include "gretel/op_detector.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace gretel::core {
+
+OperationDetector::OperationDetector(const FingerprintDb* db,
+                                     const wire::ApiCatalog* catalog,
+                                     const GretelConfig& config)
+    : db_(db),
+      catalog_(catalog),
+      config_(config),
+      matcher_(catalog, {config.match_rpc, config.backend}) {
+  assert(db_ && catalog_);
+}
+
+double OperationDetector::theta(std::size_t n) const {
+  const auto N = db_->size();
+  if (N <= 1) return n <= 1 ? 1.0 : 0.0;
+  if (n == 0) return 0.0;  // nothing matched: no information
+  return static_cast<double>(N - n) / static_cast<double>(N - 1);
+}
+
+namespace {
+
+// Backward evidence for operational faults.  The faulty operation aborted
+// at the fault, so all its evidence lies before it: consume the literal
+// list right-to-left starting at the fault position.  Returns the number
+// of consumed literals, or 0 when
+//  * the literal closest to the fault is farther than `proximity_s` seconds
+//    from it (the failed operation was executing right there, coincidental
+//    matches are scattered), or
+//  * fewer than min(min_suffix, |literals|) literals are evidenced —
+//    literals older than the window are excused (Fig. 4), a near-empty
+//    match is not.
+std::size_t backward_evidence(std::span<const wire::ApiId> literals,
+                              std::span<const wire::ApiId> snapshot,
+                              std::span<const double> snapshot_ts,
+                              std::size_t fault_pos, double fault_ts,
+                              std::size_t min_suffix, double proximity_s) {
+  if (literals.empty() || snapshot.empty()) return 0;
+  std::size_t i = literals.size();
+  for (std::size_t pos = std::min(fault_pos, snapshot.size() - 1) + 1;
+       pos-- > 0 && i > 0;) {
+    if (snapshot[pos] != literals[i - 1]) continue;
+    if (i == literals.size() &&
+        fault_ts - snapshot_ts[pos] > proximity_s) {
+      return 0;  // not anchored at the fault
+    }
+    --i;
+  }
+  const std::size_t consumed = literals.size() - i;
+  if (consumed < std::min(min_suffix, literals.size())) return 0;
+  return consumed;
+}
+
+}  // namespace
+
+DetectionResult OperationDetector::detect(
+    std::span<const wire::Event> window, std::size_t fault_index,
+    wire::ApiId offending, bool truncate) const {
+  DetectionResult result;
+
+  // Candidate fingerprints containing the offending API (inverted index).
+  const auto& candidate_idx = db_->containing(offending);
+  result.candidates = candidate_idx.size();
+  if (candidate_idx.empty()) return result;
+
+  // The offending API may occur several times inside a fingerprint and the
+  // detector cannot know which occurrence failed, so each occurrence's
+  // truncated prefix is a separate literal variant to try (they are
+  // prefixes of one another; only distinct lengths are kept).
+  struct Candidate {
+    FingerprintDb::Index index;
+    std::vector<std::vector<wire::ApiId>> variants;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(candidate_idx.size());
+  for (auto idx : candidate_idx) {
+    const auto& fp = db_->get(idx);
+    Candidate c{idx, {}};
+    if (!truncate) {
+      // Performance faults: the operation runs to completion and the whole
+      // fingerprint is matched against the entire context buffer (§5.3.1).
+      c.variants.push_back(matcher_.required_literals(fp.sequence));
+    } else {
+      std::size_t prev_len = static_cast<std::size_t>(-1);
+      for (std::size_t pos = fp.sequence.size(); pos-- > 0;) {
+        if (fp.sequence[pos] != offending) continue;
+        auto literals = matcher_.required_literals(
+            std::span<const wire::ApiId>(fp.sequence.data(), pos + 1));
+        if (literals.size() != prev_len) {
+          prev_len = literals.size();
+          c.variants.push_back(std::move(literals));
+        }
+      }
+    }
+    // Drop empty variants; if nothing anchors (e.g. the offending API is
+    // the leading read-only call), fall back to the offending API itself.
+    std::erase_if(c.variants,
+                  [](const std::vector<wire::ApiId>& v) { return v.empty(); });
+    if (c.variants.empty()) c.variants.push_back({offending});
+    candidates.push_back(std::move(c));
+  }
+
+  // When the deployment emits correlation ids and the faulty message
+  // carries one, the snapshot reduces to the packets of that operation
+  // alone — "reducing the number of packets against which a fingerprint is
+  // matched" (§5.3.1).
+  const std::uint32_t fault_corr =
+      config_.use_correlation_ids
+          ? window[std::min(fault_index, window.size() - 1)].correlation_id
+          : 0;
+
+  // Request-side API sequence of the window with timestamps, plus the
+  // original event index so β (measured in messages) maps onto it.
+  std::vector<wire::ApiId> apis;
+  std::vector<double> api_ts;
+  std::vector<std::size_t> event_index;
+  apis.reserve(window.size() / 2);
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (!window[i].is_request()) continue;
+    if (fault_corr != 0 && window[i].correlation_id != fault_corr) continue;
+    apis.push_back(window[i].api);
+    api_ts.push_back(window[i].ts.to_seconds());
+    event_index.push_back(i);
+  }
+  if (apis.empty()) return result;
+
+  // The fault's position in request coordinates: the last request at or
+  // before the faulty message (typically the offending request itself).
+  const auto fault_req_it = std::upper_bound(event_index.begin(),
+                                             event_index.end(), fault_index);
+  const std::size_t fault_req_pos =
+      fault_req_it == event_index.begin()
+          ? 0
+          : static_cast<std::size_t>(fault_req_it - event_index.begin()) - 1;
+  const double fault_ts =
+      window[std::min(fault_index, window.size() - 1)].ts.to_seconds();
+
+  const std::size_t alpha = config_.alpha();
+  std::size_t beta = config_.beta0();
+  const std::size_t delta = config_.delta();
+
+  std::vector<FingerprintDb::Index> prev_matched;
+  std::size_t prev_best = 0;
+  int stable_iterations = 0;
+
+  while (true) {
+    // Slice of the window within β messages around the fault.  Operational
+    // faults look backward only — the aborted operation produced nothing
+    // after the error; performance faults use both sides of the buffer.
+    const std::size_t lo_ev = fault_index > beta ? fault_index - beta : 0;
+    const std::size_t hi_ev =
+        truncate ? std::min(fault_index + 1, window.size())
+                 : std::min(fault_index + beta + 1, window.size());
+    const auto lo_it = std::lower_bound(event_index.begin(),
+                                        event_index.end(), lo_ev);
+    const auto hi_it = std::lower_bound(event_index.begin(),
+                                        event_index.end(), hi_ev);
+    const auto lo = static_cast<std::size_t>(lo_it - event_index.begin());
+    const auto hi = static_cast<std::size_t>(hi_it - event_index.begin());
+    const std::span<const wire::ApiId> snapshot(apis.data() + lo, hi - lo);
+    const std::span<const double> snapshot_ts(api_ts.data() + lo, hi - lo);
+    const std::size_t fault_in_slice =
+        fault_req_pos > lo ? fault_req_pos - lo : 0;
+
+    // Evidence per candidate; the matched set keeps those whose evidence is
+    // within evidence_ratio of the deepest candidate's, plus every
+    // candidate with a *complete* variant — the entire truncated prefix in
+    // the window is conclusive no matter how short it is (an early-step
+    // fault has little history by definition).
+    std::vector<FingerprintDb::Index> matched;
+    std::size_t best = 0;
+    if (truncate && config_.backend != MatchBackend::StdRegex) {
+      std::vector<std::size_t> evidence(candidates.size(), 0);
+      std::vector<bool> complete(candidates.size(), false);
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        for (const auto& literals : candidates[ci].variants) {
+          const auto consumed = backward_evidence(
+              literals, snapshot, snapshot_ts, fault_in_slice, fault_ts,
+              config_.min_literal_suffix,
+              config_.anchor_proximity_seconds);
+          evidence[ci] = std::max(evidence[ci], consumed);
+          // Completeness is only conclusive with enough literals behind it;
+          // trivially-short prefixes must clear the depth cutoff instead.
+          if (consumed >= config_.min_literal_suffix &&
+              consumed == literals.size()) {
+            complete[ci] = true;
+          }
+        }
+        best = std::max(best, evidence[ci]);
+      }
+      const auto cutoff = static_cast<std::size_t>(
+          std::ceil(config_.evidence_ratio * static_cast<double>(best)));
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (complete[ci] || (evidence[ci] > 0 && evidence[ci] >= cutoff))
+          matched.push_back(candidates[ci].index);
+      }
+    } else {
+      // Performance faults and the regex ablation backend: forward match
+      // over the slice.
+      for (const auto& c : candidates) {
+        for (const auto& literals : c.variants) {
+          if (matcher_.matches(literals, snapshot)) {
+            matched.push_back(c.index);
+            break;
+          }
+        }
+      }
+      best = matched.size();
+    }
+
+    // Stop growing once the context stops adding information: the matched
+    // set and the deepest evidence unchanged across two growths.  Growing
+    // further can only admit coincidental matches and drop precision —
+    // this is where §5.3.1's "stop as soon as θ drops" lands under
+    // evidence-ranked matching (θ would only fall from here).
+    if (!matched.empty() && matched == prev_matched && best == prev_best) {
+      if (++stable_iterations >= config_.stable_growths_stop) {
+        result.matched = std::move(matched);
+        result.beta_final = beta;
+        result.theta = theta(result.matched.size());
+        return result;
+      }
+    } else {
+      stable_iterations = 0;
+    }
+
+    const bool window_covered =
+        (lo_ev == 0 || fault_index - lo_ev >= alpha / 2) &&
+        (truncate || hi_ev == window.size() ||
+         hi_ev - fault_index > alpha / 2);
+    if (window_covered) {
+      result.matched = std::move(matched);
+      result.beta_final = beta;
+      result.theta = theta(result.matched.size());
+      return result;
+    }
+
+    prev_matched = std::move(matched);
+    prev_best = best;
+    beta += delta;
+  }
+}
+
+}  // namespace gretel::core

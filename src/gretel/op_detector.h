@@ -1,0 +1,57 @@
+// Operation detection (Algorithm 2 + the context-buffer iteration of
+// §5.3.1).
+//
+// Given the frozen sliding window and the offending API, the detector:
+//  1. pulls the candidate fingerprints containing that API (inverted index),
+//  2. truncates each at the API's last occurrence (operational faults only —
+//     performance faults match the full fingerprint since the operation
+//     runs to completion),
+//  3. grows a context buffer β around the fault by δ per iteration, matching
+//     candidates' state-change literals against the snapshot, and stops as
+//     soon as precision θ = (N−n)/(N−1) would drop (with subsequence
+//     matching, n grows monotonically in β, so the first increase after a
+//     non-empty match is the stopping point).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "gretel/config.h"
+#include "gretel/fingerprint_db.h"
+#include "gretel/matcher.h"
+#include "gretel/report.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+struct DetectionResult {
+  std::vector<FingerprintDb::Index> matched;
+  double theta = 0.0;
+  std::size_t beta_final = 0;
+  std::size_t candidates = 0;
+};
+
+class OperationDetector {
+ public:
+  OperationDetector(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+                    const GretelConfig& config);
+
+  // `window` is the frozen snapshot; `fault_index` locates the faulty
+  // message inside it; `truncate` selects the operational-fault behaviour.
+  DetectionResult detect(std::span<const wire::Event> window,
+                         std::size_t fault_index, wire::ApiId offending,
+                         bool truncate) const;
+
+  // θ for a given matched-count n against this database's N.
+  double theta(std::size_t n) const;
+
+  const Matcher& matcher() const { return matcher_; }
+
+ private:
+  const FingerprintDb* db_;
+  const wire::ApiCatalog* catalog_;
+  GretelConfig config_;
+  Matcher matcher_;
+};
+
+}  // namespace gretel::core

@@ -1,0 +1,62 @@
+// Diagnosis artifacts the analyzer hands to operators: fault reports from
+// the anomaly detector (§5.3) and root-cause findings (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "detect/latency_tracker.h"
+#include "util/time.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+enum class FaultKind : std::uint8_t { Operational, Performance };
+
+struct FaultReport {
+  FaultKind kind = FaultKind::Operational;
+  wire::ApiId offending_api;
+  util::SimTime detected_at;
+
+  // Operation detection outcome (Algorithm 2).
+  std::vector<std::uint32_t> matched_fingerprints;  // FingerprintDb indices
+  double theta = 0.0;           // precision θ = (N - n) / (N - 1)
+  std::size_t beta_final = 0;   // context buffer size at convergence
+  std::size_t candidates = 0;   // fingerprints containing the offending API
+
+  // Error messages found inside the snapshot (REST and RPC), with their
+  // endpoint nodes — Algorithm 3 starts its search from these.
+  std::vector<wire::Event> error_events;
+
+  // Context-buffer time span, which bounds the root-cause analysis window.
+  util::SimTime window_start;
+  util::SimTime window_end;
+
+  // Performance faults carry the triggering latency alarm.
+  std::optional<detect::LatencyAlarm> latency;
+};
+
+enum class CauseKind : std::uint8_t { ResourceAnomaly, SoftwareFailure };
+
+struct Cause {
+  CauseKind kind = CauseKind::ResourceAnomaly;
+  wire::NodeId node;
+  std::string detail;   // e.g. "cpu level 93.1 vs baseline 8.2" or daemon
+  double score = 0.0;   // deviation in baseline sigmas (resources)
+};
+
+struct RootCauseReport {
+  std::vector<Cause> causes;
+  // True when the error-endpoint nodes were clean and the search expanded
+  // to the remaining nodes of the operation (upstream root cause).
+  bool expanded_search = false;
+};
+
+struct Diagnosis {
+  FaultReport fault;
+  RootCauseReport root_cause;
+};
+
+}  // namespace gretel::core

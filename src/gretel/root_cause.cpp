@@ -1,0 +1,140 @@
+#include "gretel/root_cause.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+#include "detect/series_analysis.h"
+
+namespace gretel::core {
+
+RootCauseEngine::RootCauseEngine(const FingerprintDb* db,
+                                 const wire::ApiCatalog* catalog,
+                                 const stack::Deployment* deployment,
+                                 const monitor::MetricsStore* metrics,
+                                 const monitor::DependencyWatcher* watcher,
+                                 Options options)
+    : db_(db),
+      catalog_(catalog),
+      deployment_(deployment),
+      metrics_(metrics),
+      watcher_(watcher),
+      options_(options) {
+  assert(db_ && catalog_ && deployment_ && metrics_ && watcher_);
+}
+
+RootCauseEngine::RootCauseEngine(const FingerprintDb* db,
+                                 const wire::ApiCatalog* catalog,
+                                 const stack::Deployment* deployment,
+                                 const monitor::MetricsStore* metrics,
+                                 const monitor::DependencyWatcher* watcher)
+    : RootCauseEngine(db, catalog, deployment, metrics, watcher, Options{}) {}
+
+std::vector<wire::NodeId> RootCauseEngine::nodes_for_operations(
+    const std::vector<FingerprintDb::Index>& fingerprints) const {
+  std::vector<wire::NodeId> out;
+  auto add = [&out](wire::NodeId id) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) out.push_back(id);
+  };
+  for (auto idx : fingerprints) {
+    const auto& fp = db_->get(idx);
+    for (auto api : fp.sequence) {
+      for (auto node : deployment_->nodes_for(catalog_->get(api).service))
+        add(node);
+    }
+  }
+  return out;
+}
+
+std::vector<Cause> RootCauseEngine::find_causes(
+    const std::vector<wire::NodeId>& nodes, util::SimTime from,
+    util::SimTime to) const {
+  std::vector<Cause> causes;
+
+  for (auto node : nodes) {
+    // Resource anomalies: the fault window vs the node's own history.
+    for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
+      const auto kind = static_cast<net::ResourceKind>(k);
+      const auto* series = metrics_->series(node, kind);
+      if (!series) continue;
+      const auto verdict = detect::analyze_window(
+          *series, from.to_seconds(), to.to_seconds(), options_.k_sigma);
+
+      const char* absolute = nullptr;
+      if (const auto rule =
+              detect::absolute_rule_violation(kind, verdict.window_level);
+          rule && verdict.window_level != 0.0) {
+        absolute = *rule;
+      }
+      if (!verdict.anomalous && !absolute) continue;
+
+      std::ostringstream detail;
+      detail << to_string(kind) << " level " << verdict.window_level;
+      if (verdict.anomalous) {
+        detail << " vs baseline " << verdict.baseline_level;
+      }
+      if (absolute) detail << " (" << absolute << ")";
+      Cause c;
+      c.kind = CauseKind::ResourceAnomaly;
+      c.node = node;
+      c.detail = detail.str();
+      c.score = verdict.sigma > 0
+                    ? std::abs(verdict.window_level - verdict.baseline_level) /
+                          verdict.sigma
+                    : 0.0;
+      causes.push_back(std::move(c));
+    }
+  }
+
+  // Software dependency failures observed in the window.
+  for (const auto& failure : watcher_->failures_in(from, to)) {
+    if (std::find(nodes.begin(), nodes.end(), failure.node) == nodes.end())
+      continue;
+    Cause c;
+    c.kind = CauseKind::SoftwareFailure;
+    c.node = failure.node;
+    c.detail = failure.dependency;
+    c.score = 1e9;  // a dead dependency outranks any resource deviation
+    causes.push_back(std::move(c));
+  }
+
+  std::sort(causes.begin(), causes.end(),
+            [](const Cause& a, const Cause& b) { return a.score > b.score; });
+  return causes;
+}
+
+RootCauseReport RootCauseEngine::analyze(const FaultReport& fault) const {
+  RootCauseReport report;
+  const auto from = fault.window_start - options_.window_pad;
+  const auto to = fault.window_end + options_.window_pad;
+
+  // Error-endpoint nodes first (GET_ERROR_NODES).
+  std::vector<wire::NodeId> error_nodes;
+  auto add = [&error_nodes](wire::NodeId id) {
+    if (std::find(error_nodes.begin(), error_nodes.end(), id) ==
+        error_nodes.end())
+      error_nodes.push_back(id);
+  };
+  for (const auto& ev : fault.error_events) {
+    add(ev.src_node);
+    add(ev.dst_node);
+  }
+
+  report.causes = find_causes(error_nodes, from, to);
+  if (!report.causes.empty()) return report;
+
+  // Clean endpoints: expand to the remaining nodes of the operation — the
+  // root cause may be upstream (§5.4, demonstrated in §7.2.3/§7.2.4).
+  auto all_nodes = nodes_for_operations(fault.matched_fingerprints);
+  std::vector<wire::NodeId> remaining;
+  for (auto node : all_nodes) {
+    if (std::find(error_nodes.begin(), error_nodes.end(), node) ==
+        error_nodes.end())
+      remaining.push_back(node);
+  }
+  report.causes = find_causes(remaining, from, to);
+  report.expanded_search = true;
+  return report;
+}
+
+}  // namespace gretel::core

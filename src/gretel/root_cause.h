@@ -1,0 +1,63 @@
+// Root cause analysis (§5.4, Algorithm 3).
+//
+// Combines (a) the error metadata forwarded by the anomaly detector and
+// (b) distributed state collected by the monitoring agents within the
+// context-buffer window.  The engine derives the operation's node set from
+// the matched fingerprints, inspects the error-endpoint nodes first for
+// anomalous resources (Is_Anomalous over the collectd series) and failed
+// software dependencies (watchers), and — when those come back clean —
+// expands to the remaining nodes of the operation, since the root cause may
+// be upstream of where the fault surfaced.
+#pragma once
+
+#include <vector>
+
+#include "gretel/fingerprint_db.h"
+#include "gretel/report.h"
+#include "monitor/metrics.h"
+#include "monitor/watcher.h"
+#include "stack/deployment.h"
+
+namespace gretel::core {
+
+class RootCauseEngine {
+ public:
+  struct Options {
+    // Metric context added around the fault window on both sides.
+    util::SimDuration window_pad = util::SimDuration::seconds(3);
+    double k_sigma = 5.0;  // Is_Anomalous threshold
+  };
+
+  RootCauseEngine(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+                  const stack::Deployment* deployment,
+                  const monitor::MetricsStore* metrics,
+                  const monitor::DependencyWatcher* watcher,
+                  Options options);
+  // Default-options overload (GCC rejects a brace default argument for a
+  // nested aggregate inside its own class).
+  RootCauseEngine(const FingerprintDb* db, const wire::ApiCatalog* catalog,
+                  const stack::Deployment* deployment,
+                  const monitor::MetricsStore* metrics,
+                  const monitor::DependencyWatcher* watcher);
+
+  RootCauseReport analyze(const FaultReport& fault) const;
+
+  // All nodes participating in the given operations (via their
+  // fingerprints' services) — GET_LIST_OF_NODES_FOR_OPERATION.
+  std::vector<wire::NodeId> nodes_for_operations(
+      const std::vector<FingerprintDb::Index>& fingerprints) const;
+
+ private:
+  // FIND_ROOT_CAUSE over one node set.
+  std::vector<Cause> find_causes(const std::vector<wire::NodeId>& nodes,
+                                 util::SimTime from, util::SimTime to) const;
+
+  const FingerprintDb* db_;
+  const wire::ApiCatalog* catalog_;
+  const stack::Deployment* deployment_;
+  const monitor::MetricsStore* metrics_;
+  const monitor::DependencyWatcher* watcher_;
+  Options options_;
+};
+
+}  // namespace gretel::core

@@ -1,0 +1,22 @@
+#include "gretel/symbols.h"
+
+namespace gretel::core {
+
+SymbolTable::SymbolTable(const wire::ApiCatalog& catalog)
+    : size_(catalog.size()) {}
+
+wire::ApiId SymbolTable::api(char32_t symbol) const {
+  if (symbol < kFirstSymbol || symbol >= kFirstSymbol + size_)
+    return wire::ApiId::invalid();
+  return wire::ApiId(static_cast<std::uint16_t>(symbol - kFirstSymbol));
+}
+
+std::u32string SymbolTable::encode(
+    const std::vector<wire::ApiId>& apis) const {
+  std::u32string out;
+  out.reserve(apis.size());
+  for (auto id : apis) out += symbol(id);
+  return out;
+}
+
+}  // namespace gretel::core

@@ -1,0 +1,40 @@
+// Symbol table: the paper's "Unicode encoding" of APIs (§6).
+//
+// "Since the number of unique OpenStack APIs is 643, we use Unicode encoding
+// to assign a symbol to each API."  Every ApiId maps to one char32_t code
+// point; fingerprints and snapshots become u32 strings, and matching runs on
+// symbols rather than text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "wire/api.h"
+
+namespace gretel::core {
+
+class SymbolTable {
+ public:
+  // Symbols are assigned densely from kFirstSymbol in ApiId order.
+  explicit SymbolTable(const wire::ApiCatalog& catalog);
+
+  char32_t symbol(wire::ApiId api) const {
+    return kFirstSymbol + api.value();
+  }
+  // Inverse mapping; returns invalid id for out-of-range symbols.
+  wire::ApiId api(char32_t symbol) const;
+
+  std::u32string encode(const std::vector<wire::ApiId>& apis) const;
+
+  std::size_t size() const { return size_; }
+
+  // The CJK Unified Ideographs block: printable, contiguous, and large
+  // enough for every OpenStack API — mirroring the paper's choice of
+  // Unicode symbols.
+  static constexpr char32_t kFirstSymbol = 0x4E00;
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace gretel::core

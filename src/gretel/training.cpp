@@ -1,0 +1,92 @@
+#include "gretel/training.h"
+
+#include "gretel/fingerprint.h"
+#include "gretel/noise_filter.h"
+#include "net/capture.h"
+#include "stack/workflow.h"
+#include "tempest/workload.h"
+
+namespace gretel::core {
+
+TrainingReport learn_fingerprints(const tempest::TempestCatalog& catalog,
+                                  stack::Deployment& deployment,
+                                  TrainingOptions options) {
+  TrainingReport report;
+  const auto& apis = catalog.apis();
+
+  NoiseFilter filter(&apis);
+  FingerprintGenerator generator(&apis, &filter);
+  net::CaptureTap tap(&apis, deployment.service_by_port());
+
+  for (std::size_t op_idx = 0; op_idx < catalog.operations().size();
+       ++op_idx) {
+    const auto& op = catalog.operation(op_idx);
+    const auto ci = static_cast<std::size_t>(op.category);
+    auto& stats = report.per_category[ci];
+
+    // Isolated, non-overlapping executions of this one operation.
+    const auto launches =
+        tempest::make_isolated_runs(catalog, op_idx, options.repeats,
+                                    options.run_gap);
+    stack::WorkflowExecutor executor(&deployment, &apis, &catalog.infra(),
+                                     options.seed ^ (op_idx * 0x9E37ull));
+    const auto records = executor.execute(launches);
+
+    // Split decoded events into one trace per run by time window.
+    std::vector<std::vector<wire::Event>> traces(
+        static_cast<std::size_t>(options.repeats));
+    std::uint64_t rest_events = 0;
+    std::uint64_t rpc_events = 0;
+    for (const auto& rec : records) {
+      const auto event = tap.decode(rec);
+      if (!event) continue;
+      if (event->kind == wire::ApiKind::Rest) {
+        ++rest_events;
+        stats.unique_rest.insert(event->api);
+      } else {
+        ++rpc_events;
+        stats.unique_rpc.insert(event->api);
+      }
+      const auto run = static_cast<std::size_t>(
+          (rec.ts - launches.front().start).count() /
+          options.run_gap.count());
+      if (run < traces.size()) traces[run].push_back(*event);
+    }
+
+    if (options.branch_similarity > 0.0) {
+      // Branched learning: one fingerprint per trace cluster (all carrying
+      // this operation's id); the stats count the first branch so the
+      // Table-1 characterization stays comparable.
+      std::vector<std::vector<wire::ApiId>> api_traces;
+      for (const auto& events : traces) {
+        std::vector<wire::ApiId> trace;
+        for (const auto& ev : events) {
+          if (ev.is_request()) trace.push_back(ev.api);
+        }
+        api_traces.push_back(std::move(trace));
+      }
+      auto branches = generator.from_traces_branched(
+          op.id, op.name, std::move(api_traces), options.branch_similarity);
+      stats.fingerprint_size_sum +=
+          static_cast<double>(branches.front().size());
+      stats.fingerprint_size_norpc_sum +=
+          static_cast<double>(branches.front().size_without_rpc(apis));
+      for (auto& fp : branches) report.db.add(std::move(fp));
+    } else {
+      auto fp = generator.from_event_traces(op.id, op.name, traces);
+      stats.fingerprint_size_sum += static_cast<double>(fp.size());
+      stats.fingerprint_size_norpc_sum +=
+          static_cast<double>(fp.size_without_rpc(apis));
+      report.db.add(std::move(fp));
+    }
+    stats.rest_events +=
+        static_cast<double>(rest_events) / options.repeats;
+    stats.rpc_events += static_cast<double>(rpc_events) / options.repeats;
+    ++stats.tests;
+  }
+
+  report.fp_max = report.db.max_fingerprint_size();
+  return report;
+}
+
+}  // namespace gretel::core

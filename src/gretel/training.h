@@ -1,0 +1,60 @@
+// Offline fingerprint learning (§5 "Fingerprinting operations", §7.1).
+//
+// "GRETEL executes OpenStack in a controlled setting": each catalog
+// operation runs several times in isolation against the simulated
+// deployment; the captured wire traffic is decoded, split into per-run
+// traces by time window (runs are spaced so they never overlap), and folded
+// through Algorithm 1 into one fingerprint per operation.  The report also
+// aggregates the per-category statistics of Table 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+#include "gretel/fingerprint_db.h"
+#include "stack/deployment.h"
+#include "tempest/catalog.h"
+
+namespace gretel::core {
+
+struct CategoryTrainingStats {
+  int tests = 0;
+  std::set<wire::ApiId> unique_rest;
+  std::set<wire::ApiId> unique_rpc;
+  // Decoded network events per single execution (averaged over repeats),
+  // including the periodic chatter GRETEL later prunes.
+  double rest_events = 0;
+  double rpc_events = 0;
+  double fingerprint_size_sum = 0;          // with RPCs
+  double fingerprint_size_norpc_sum = 0;    // without RPCs
+
+  double avg_fingerprint() const {
+    return tests ? fingerprint_size_sum / tests : 0.0;
+  }
+  double avg_fingerprint_norpc() const {
+    return tests ? fingerprint_size_norpc_sum / tests : 0.0;
+  }
+};
+
+struct TrainingReport {
+  FingerprintDb db;
+  std::array<CategoryTrainingStats, stack::kCategories> per_category;
+  std::size_t fp_max = 0;
+};
+
+struct TrainingOptions {
+  int repeats = 3;  // §5: re-execute each operation several times
+  std::uint64_t seed = 0x7EA71E55ull;
+  util::SimDuration run_gap = util::SimDuration::seconds(30);
+  // Branched-fingerprint extension (the paper's limitation 6): cluster the
+  // repeat traces by LCS similarity and keep one fingerprint per cluster
+  // instead of intersecting branches away.  0 disables (paper behaviour).
+  double branch_similarity = 0.0;
+};
+
+TrainingReport learn_fingerprints(const tempest::TempestCatalog& catalog,
+                                  stack::Deployment& deployment,
+                                  TrainingOptions options = TrainingOptions{});
+
+}  // namespace gretel::core

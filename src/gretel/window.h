@@ -1,0 +1,63 @@
+// The dual-buffer event receiver (§5.2, §6 "Optimizations").
+//
+// "GRETEL leverages a dual buffer to receive and process the incoming REST
+// and RPC messages.  It speeds up the snapshotting process using a
+// combination of two pointers in the dual buffer separated by α messages ...
+// Whenever an error is encountered in the message stream, GRETEL freezes
+// the messages between these two pointers to create a snapshot."
+//
+// DualBuffer keeps the most recent 2α events so that, after sliding the
+// window ahead by α/2 on a fault (§5.3.1), both the past α/2 and the future
+// α/2 of the faulty message are available when the snapshot freezes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/ring_buffer.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+class DualBuffer {
+ public:
+  explicit DualBuffer(std::size_t alpha)
+      : alpha_(alpha), ring_(2 * alpha) {}
+
+  // Appends an event; returns its global sequence number.
+  std::uint64_t push(const wire::Event& event) { return ring_.push(event); }
+
+  std::size_t alpha() const { return alpha_; }
+  std::uint64_t end_seq() const { return ring_.end_seq(); }
+
+  // True once the future half of the window around `center` has arrived.
+  bool future_ready(std::uint64_t center) const {
+    return ring_.end_seq() > center + alpha_ / 2;
+  }
+  // True while the past half of the window is still buffered.
+  bool past_available(std::uint64_t center) const {
+    const auto lo = center > alpha_ / 2 ? center - alpha_ / 2 : 0;
+    return ring_.first_seq() <= lo;
+  }
+
+  // Freezes the α messages centred on `center`: [center-α/2, center+α/2).
+  // Also reports where `center` landed inside the snapshot.
+  std::vector<wire::Event> freeze(std::uint64_t center,
+                                  std::size_t* center_index) const {
+    const auto lo = center > alpha_ / 2 ? center - alpha_ / 2 : 0;
+    const auto hi = center + alpha_ / 2;
+    auto snap = ring_.snapshot(lo, hi);
+    if (center_index) {
+      // The snapshot may have been clamped at the front.
+      const auto first = std::max(lo, ring_.first_seq());
+      *center_index = static_cast<std::size_t>(center - first);
+    }
+    return snap;
+  }
+
+ private:
+  std::size_t alpha_;
+  util::RingBuffer<wire::Event> ring_;
+};
+
+}  // namespace gretel::core

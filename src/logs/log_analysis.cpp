@@ -1,0 +1,44 @@
+#include "logs/log_analysis.h"
+
+#include <algorithm>
+
+namespace gretel::logs {
+
+LogAnalyzer::LogAnalyzer() : LogAnalyzer(Options{}) {}
+
+LogAnalyzer::LogAnalyzer(Options options) : options_(options) {}
+
+void LogAnalyzer::ingest(const stack::LogLine& line) {
+  lines_.push_back(line);
+}
+
+void LogAnalyzer::ingest(const std::vector<stack::LogLine>& lines) {
+  lines_.insert(lines_.end(), lines.begin(), lines.end());
+}
+
+util::SimTime LogAnalyzer::collation_boundary_after(util::SimTime t) const {
+  const auto period = options_.collation_period.count();
+  if (period <= 0) return t;
+  const auto since_epoch = t.nanos();
+  const auto batches = since_epoch / period + 1;
+  return util::SimTime(batches * period);
+}
+
+std::vector<LogAnalyzer::Finding> LogAnalyzer::grep(
+    stack::LogLevel min_level, std::string_view pattern) const {
+  std::vector<Finding> out;
+  for (const auto& line : lines_) {
+    if (line.level < min_level) continue;
+    if (!pattern.empty() &&
+        line.message.find(pattern) == std::string::npos) {
+      continue;
+    }
+    out.push_back({line, collation_boundary_after(line.ts)});
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return a.line.ts < b.line.ts;
+  });
+  return out;
+}
+
+}  // namespace gretel::logs

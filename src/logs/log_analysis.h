@@ -1,0 +1,61 @@
+// Log-analysis baseline — the comparator GRETEL beats in every §3.1
+// scenario.
+//
+// Models how operators actually debug with logs: lines are shipped from the
+// nodes in periodic collation batches (so a finding is only *available*
+// at the batch boundary after it was written), and diagnosis is grep over
+// a level threshold and an optional pattern.  The baseline's structural
+// limits are the paper's: findings depend entirely on what services chose
+// to log and at which level, they never name the high-level operation, and
+// they arrive with collation latency.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stack/logging.h"
+#include "util/time.h"
+
+namespace gretel::logs {
+
+class LogAnalyzer {
+ public:
+  struct Options {
+    // Nodes ship their logs in batches on this period; a line written at t
+    // becomes searchable at the next batch boundary after t.
+    util::SimDuration collation_period = util::SimDuration::seconds(60);
+  };
+
+  LogAnalyzer();
+  explicit LogAnalyzer(Options options);
+
+  void ingest(const stack::LogLine& line);
+  void ingest(const std::vector<stack::LogLine>& lines);
+
+  struct Finding {
+    stack::LogLine line;
+    util::SimTime available_at;  // collation boundary after line.ts
+  };
+
+  // Grep: lines at `min_level` or above whose message contains `pattern`
+  // (empty pattern matches everything), ordered by timestamp.
+  std::vector<Finding> grep(stack::LogLevel min_level,
+                            std::string_view pattern = {}) const;
+
+  // Convenience for the paper's comparisons: the first error-ish finding at
+  // the given level, or none — "log level set to ERROR reveals no errors".
+  std::vector<Finding> errors_at(stack::LogLevel min_level) const {
+    return grep(min_level);
+  }
+
+  std::size_t size() const { return lines_.size(); }
+
+ private:
+  util::SimTime collation_boundary_after(util::SimTime t) const;
+
+  Options options_;
+  std::vector<stack::LogLine> lines_;
+};
+
+}  // namespace gretel::logs

@@ -1,0 +1,48 @@
+#include "monitor/metrics.h"
+
+namespace gretel::monitor {
+
+void MetricsStore::record(wire::NodeId node, net::ResourceKind kind,
+                          double t_seconds, double value) {
+  series_[key(node, kind)].add(t_seconds, value);
+  ++total_samples_;
+}
+
+const util::TimeSeries* MetricsStore::series(wire::NodeId node,
+                                             net::ResourceKind kind) const {
+  const auto it = series_.find(key(node, kind));
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+void MetricsStore::clear() {
+  series_.clear();
+  total_samples_ = 0;
+}
+
+ResourceMonitor::ResourceMonitor(const stack::Deployment* deployment,
+                                 util::SimDuration period, std::uint64_t seed)
+    : deployment_(deployment), period_(period), rng_(seed) {}
+
+void ResourceMonitor::sample_range(util::SimTime from, util::SimTime to,
+                                   MetricsStore& store) {
+  sample_range(from, to,
+               [&store](wire::NodeId node, net::ResourceKind kind,
+                        double t_seconds, double value) {
+                 store.record(node, kind, t_seconds, value);
+               });
+}
+
+void ResourceMonitor::sample_range(util::SimTime from, util::SimTime to,
+                                   const Sink& sink) {
+  for (util::SimTime t = from; t < to; t += period_) {
+    for (auto node_id : deployment_->node_ids()) {
+      const auto& node = deployment_->node(node_id);
+      for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
+        const auto kind = static_cast<net::ResourceKind>(k);
+        sink(node_id, kind, t.to_seconds(), node.sample(kind, t, rng_));
+      }
+    }
+  }
+}
+
+}  // namespace gretel::monitor

@@ -1,0 +1,68 @@
+// Metrics storage and the collectd-analog resource monitor (§5.1, §6).
+//
+// "The resource monitoring agents periodically poll the host nodes for CPU,
+// memory, network throughput, storage, and disk read/write behavior."
+// ResourceMonitor samples every node's ground-truth NodeState on the
+// configured period (1 s in the paper's setup) into a MetricsStore, which
+// the root-cause engine later queries over the fault window.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/node.h"
+#include "stack/deployment.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "wire/endpoint.h"
+
+namespace gretel::monitor {
+
+class MetricsStore {
+ public:
+  void record(wire::NodeId node, net::ResourceKind kind, double t_seconds,
+              double value);
+
+  // Null when the (node, resource) pair was never sampled.
+  const util::TimeSeries* series(wire::NodeId node,
+                                 net::ResourceKind kind) const;
+
+  std::size_t total_samples() const { return total_samples_; }
+  void clear();
+
+ private:
+  static std::uint32_t key(wire::NodeId node, net::ResourceKind kind) {
+    return (std::uint32_t{node.value()} << 8) |
+           static_cast<std::uint32_t>(kind);
+  }
+
+  std::unordered_map<std::uint32_t, util::TimeSeries> series_;
+  std::size_t total_samples_ = 0;
+};
+
+class ResourceMonitor {
+ public:
+  ResourceMonitor(const stack::Deployment* deployment,
+                  util::SimDuration period, std::uint64_t seed);
+
+  // Polls all nodes at the configured period over [from, to) into `store`.
+  void sample_range(util::SimTime from, util::SimTime to,
+                    MetricsStore& store);
+
+  // Streaming variant: each sample goes to `sink` instead (e.g. the
+  // analyzer's on_metric entry point, which also runs online LS).
+  using Sink = std::function<void(wire::NodeId, net::ResourceKind,
+                                  double t_seconds, double value)>;
+  void sample_range(util::SimTime from, util::SimTime to, const Sink& sink);
+
+  util::SimDuration period() const { return period_; }
+
+ private:
+  const stack::Deployment* deployment_;
+  util::SimDuration period_;
+  util::Rng rng_;
+};
+
+}  // namespace gretel::monitor

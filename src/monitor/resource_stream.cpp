@@ -1,0 +1,38 @@
+#include "monitor/resource_stream.h"
+
+#include "detect/level_shift.h"
+
+namespace gretel::monitor {
+
+ResourceAnomalyStream::ResourceAnomalyStream(Factory factory)
+    : factory_(std::move(factory)) {}
+
+ResourceAnomalyStream::ResourceAnomalyStream()
+    : ResourceAnomalyStream([] { return detect::make_level_shift(); }) {}
+
+std::optional<ResourceAlarm> ResourceAnomalyStream::observe(
+    wire::NodeId node, net::ResourceKind kind, double t_seconds,
+    double value) {
+  auto& detector = detectors_[key(node, kind)];
+  if (!detector) detector = factory_();
+  ++samples_;
+  const auto alarm = detector->observe(t_seconds, value);
+  if (!alarm) return std::nullopt;
+  ResourceAlarm out{node, kind, *alarm};
+  alarms_.push_back(out);
+  return out;
+}
+
+std::vector<ResourceAlarm> ResourceAnomalyStream::alarms_for(
+    wire::NodeId node, double from_s, double to_s) const {
+  std::vector<ResourceAlarm> out;
+  for (const auto& a : alarms_) {
+    if (a.node == node && a.alarm.t_seconds >= from_s &&
+        a.alarm.t_seconds < to_s) {
+      out.push_back(a);
+    }
+  }
+  return out;
+}
+
+}  // namespace gretel::monitor

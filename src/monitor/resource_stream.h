@@ -1,0 +1,66 @@
+// Online anomaly detection over resource-utilization streams (§6: GRETEL
+// "uses the LS mode in the tsoutliers to detect the outliers in the
+// continuous stream of API latencies and resource utilization received at
+// the analyzer").
+//
+// Each (node, resource) pair gets its own pluggable detector; confirmed
+// level shifts become ResourceAlarms the analyzer attaches to its
+// diagnoses as corroborating evidence (the red level-shift marks on the
+// CPU pane of the paper's case studies).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "detect/outlier.h"
+#include "net/node.h"
+#include "wire/endpoint.h"
+
+namespace gretel::monitor {
+
+struct ResourceAlarm {
+  wire::NodeId node;
+  net::ResourceKind kind = net::ResourceKind::CpuPct;
+  detect::Alarm alarm;
+};
+
+class ResourceAnomalyStream {
+ public:
+  using Factory = std::function<std::unique_ptr<detect::OutlierDetector>()>;
+
+  explicit ResourceAnomalyStream(Factory factory);
+  ResourceAnomalyStream();  // level-shift default
+
+  // Feeds one sample; a confirmed shift returns an alarm (also retained in
+  // alarms()).
+  std::optional<ResourceAlarm> observe(wire::NodeId node,
+                                       net::ResourceKind kind,
+                                       double t_seconds, double value);
+
+  const std::vector<ResourceAlarm>& alarms() const { return alarms_; }
+
+  // Alarms for one node inside [from_s, to_s) — the root-cause engine's
+  // corroboration query.
+  std::vector<ResourceAlarm> alarms_for(wire::NodeId node, double from_s,
+                                        double to_s) const;
+
+  std::size_t samples() const { return samples_; }
+
+ private:
+  static std::uint32_t key(wire::NodeId node, net::ResourceKind kind) {
+    return (std::uint32_t{node.value()} << 8) |
+           static_cast<std::uint32_t>(kind);
+  }
+
+  Factory factory_;
+  std::unordered_map<std::uint32_t,
+                     std::unique_ptr<detect::OutlierDetector>>
+      detectors_;
+  std::vector<ResourceAlarm> alarms_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gretel::monitor

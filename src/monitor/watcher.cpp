@@ -1,0 +1,69 @@
+#include "monitor/watcher.h"
+
+#include <set>
+#include <utility>
+
+namespace gretel::monitor {
+
+namespace {
+const char* infra_daemon(wire::ServiceKind s) {
+  switch (s) {
+    case wire::ServiceKind::MySql:
+      return "mysqld";
+    case wire::ServiceKind::RabbitMq:
+      return "rabbitmq-server";
+    case wire::ServiceKind::Ntp:
+      return "ntpd";
+    default:
+      return nullptr;
+  }
+}
+}  // namespace
+
+DependencyWatcher::DependencyWatcher(const stack::Deployment* deployment)
+    : deployment_(deployment) {}
+
+std::vector<SoftwareFailure> DependencyWatcher::failures_at(
+    util::SimTime t) const {
+  std::vector<SoftwareFailure> out;
+  for (auto id : deployment_->node_ids()) {
+    const auto& node = deployment_->node(id);
+    for (auto& name : node.failed_software(t)) {
+      out.push_back({id, std::move(name), t});
+    }
+  }
+  // Reachability of shared infra from the rest of the deployment.
+  for (auto svc : {wire::ServiceKind::MySql, wire::ServiceKind::RabbitMq,
+                   wire::ServiceKind::Ntp}) {
+    if (!deployment_->nodes_for(svc).empty() && !infra_reachable(svc, t)) {
+      out.push_back({deployment_->primary_node_for(svc),
+                     "tcp:" + std::string(to_string(svc)), t});
+    }
+  }
+  return out;
+}
+
+std::vector<SoftwareFailure> DependencyWatcher::failures_in(
+    util::SimTime from, util::SimTime to, util::SimDuration period) const {
+  std::vector<SoftwareFailure> out;
+  std::set<std::pair<std::uint8_t, std::string>> seen;
+  for (util::SimTime t = from; t < to; t += period) {
+    for (auto& f : failures_at(t)) {
+      if (seen.emplace(f.node.value(), f.dependency).second)
+        out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+bool DependencyWatcher::infra_reachable(wire::ServiceKind service,
+                                        util::SimTime t) const {
+  const char* daemon = infra_daemon(service);
+  if (!daemon) return true;
+  for (auto id : deployment_->nodes_for(service)) {
+    if (deployment_->node(id).software_running(daemon, t)) return true;
+  }
+  return false;
+}
+
+}  // namespace gretel::monitor

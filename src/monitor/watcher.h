@@ -1,0 +1,46 @@
+// Software-dependency watchers (§5.1, §6 "System state monitoring").
+//
+// GRETEL "maintains watchers on third-party software dependencies" and
+// "has watchers to detect TCP-level reachability to MySQL, RabbitMQ and NTP
+// servers".  DependencyWatcher polls the deployment's ground-truth software
+// state: daemon liveness per node plus reachability of the shared
+// infrastructure services from every node.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stack/deployment.h"
+#include "util/time.h"
+#include "wire/endpoint.h"
+
+namespace gretel::monitor {
+
+struct SoftwareFailure {
+  wire::NodeId node;
+  std::string dependency;  // daemon name or "tcp:<service>" reachability
+  util::SimTime observed;
+};
+
+class DependencyWatcher {
+ public:
+  explicit DependencyWatcher(const stack::Deployment* deployment);
+
+  // Failures visible at one instant.
+  std::vector<SoftwareFailure> failures_at(util::SimTime t) const;
+
+  // Failures visible at any poll within [from, to) at the given period;
+  // deduplicated per (node, dependency) keeping the first observation.
+  std::vector<SoftwareFailure> failures_in(
+      util::SimTime from, util::SimTime to,
+      util::SimDuration period = util::SimDuration::seconds(1)) const;
+
+  // TCP-level reachability of a shared infrastructure service from anywhere
+  // in the deployment: unreachable when its serving daemon is down.
+  bool infra_reachable(wire::ServiceKind service, util::SimTime t) const;
+
+ private:
+  const stack::Deployment* deployment_;
+};
+
+}  // namespace gretel::monitor

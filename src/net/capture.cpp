@@ -1,0 +1,198 @@
+#include "net/capture.h"
+
+#include <cctype>
+
+#include "wire/amqp_codec.h"
+#include "wire/http_codec.h"
+
+namespace gretel::net {
+
+namespace {
+
+// Heuristic: a path segment is a concrete identifier if it is a UUID-like
+// hex/dash token of length >= 8 or a pure number.
+bool looks_like_identifier(std::string_view seg) {
+  if (seg.empty()) return false;
+  bool all_digits = true;
+  std::size_t hexish = 0;
+  for (char c : seg) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (!std::isdigit(uc)) all_digits = false;
+    if (std::isxdigit(uc) || c == '-') ++hexish;
+  }
+  if (all_digits) return true;
+  return seg.size() >= 8 && hexish == seg.size() &&
+         seg.find('-') != std::string_view::npos;
+}
+
+// Parses OpenStack's "X-Openstack-Request-Id: req-<n>" correlation header;
+// 0 when absent or malformed.
+std::uint32_t parse_correlation(const wire::HttpHeaders& headers) {
+  const auto value = headers.get("X-Openstack-Request-Id");
+  if (!value || !value->starts_with("req-")) return 0;
+  std::uint32_t id = 0;
+  for (char c : value->substr(4)) {
+    if (c < '0' || c > '9') return 0;
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string normalize_uri(std::string_view target) {
+  // Drop the query string.
+  if (const auto q = target.find('?'); q != std::string_view::npos)
+    target = target.substr(0, q);
+
+  std::string out;
+  out.reserve(target.size());
+  std::size_t pos = 0;
+  while (pos <= target.size()) {
+    const auto slash = target.find('/', pos);
+    std::string_view seg =
+        slash == std::string_view::npos
+            ? target.substr(pos)
+            : target.substr(pos, slash - pos);
+
+    // Split a trailing ".json" / ".xml" style extension off the segment so
+    // "/ports/<uuid>.json" normalizes to "/ports/<ID>.json".
+    std::string_view stem = seg;
+    std::string_view ext;
+    if (const auto dot = seg.rfind('.'); dot != std::string_view::npos &&
+                                         dot > 0 && seg.size() - dot <= 5) {
+      stem = seg.substr(0, dot);
+      ext = seg.substr(dot);
+    }
+    if (looks_like_identifier(stem)) {
+      out += "<ID>";
+      out += ext;
+    } else {
+      out += seg;
+    }
+
+    if (slash == std::string_view::npos) break;
+    out += '/';
+    pos = slash + 1;
+  }
+  return out;
+}
+
+CaptureTap::CaptureTap(
+    const wire::ApiCatalog* catalog,
+    std::unordered_map<std::uint16_t, wire::ServiceKind> service_by_port)
+    : catalog_(catalog), service_by_port_(std::move(service_by_port)) {}
+
+std::optional<wire::Event> CaptureTap::decode(const WireRecord& record) {
+  stats_.bytes_seen += record.bytes.size();
+  auto event = record.is_amqp ? decode_amqp(record) : decode_rest(record);
+  if (event) {
+    // Transport metadata and ground-truth labels common to both paths.
+    event->ts = record.ts;
+    event->src_node = record.src_node;
+    event->dst_node = record.dst_node;
+    event->src = record.src;
+    event->dst = record.dst;
+    event->wire_bytes = static_cast<std::uint32_t>(record.bytes.size());
+    event->truth_instance = record.truth_instance;
+    event->truth_template = record.truth_template;
+    event->truth_noise = record.truth_noise;
+    event->identifiers = record.identifiers;
+    ++stats_.decoded;
+  }
+  return event;
+}
+
+std::optional<wire::Event> CaptureTap::decode_rest(const WireRecord& record) {
+  wire::Event ev;
+  ev.kind = wire::ApiKind::Rest;
+  ev.conn_id = record.conn_id;
+
+  if (record.bytes.starts_with("HTTP/")) {
+    auto resp = wire::parse_http_response(record.bytes);
+    if (!resp) {
+      ++stats_.decode_failures;
+      return std::nullopt;
+    }
+    // Responses carry no URI; attribute to the request seen on this stream.
+    const auto it = conn_last_api_.find(record.conn_id);
+    if (it == conn_last_api_.end()) {
+      ++stats_.unknown_api;
+      return std::nullopt;
+    }
+    ev.dir = wire::Direction::Response;
+    ev.api = it->second;
+    ev.status = resp->status;
+    ev.correlation_id = parse_correlation(resp->headers);
+    if (wire::is_error_status(resp->status)) ev.error_text = resp->reason;
+    return ev;
+  }
+
+  auto req = wire::parse_http_request(record.bytes);
+  if (!req) {
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+  const auto svc_it = service_by_port_.find(record.dst.port);
+  if (svc_it == service_by_port_.end()) {
+    ++stats_.unknown_api;
+    return std::nullopt;
+  }
+  const auto api = catalog_->find_rest(svc_it->second, req->method,
+                                       normalize_uri(req->target));
+  if (!api) {
+    ++stats_.unknown_api;
+    return std::nullopt;
+  }
+  ev.dir = wire::Direction::Request;
+  ev.api = *api;
+  ev.correlation_id = parse_correlation(req->headers);
+  conn_last_api_[record.conn_id] = *api;
+  return ev;
+}
+
+std::optional<wire::Event> CaptureTap::decode_amqp(const WireRecord& record) {
+  auto frame = wire::parse_amqp_frame(record.bytes);
+  if (!frame) {
+    ++stats_.decode_failures;
+    return std::nullopt;
+  }
+  // Routing key format in the simulator: "<service>.<host>"; the service
+  // token identifies the catalog namespace for the RPC method.
+  std::string_view topic = frame->routing_key;
+  if (const auto dot = topic.find('.'); dot != std::string_view::npos)
+    topic = topic.substr(0, dot);
+
+  wire::ServiceKind service = wire::ServiceKind::Unknown;
+  for (int s = 0; s <= static_cast<int>(wire::ServiceKind::Unknown); ++s) {
+    if (wire::to_string(static_cast<wire::ServiceKind>(s)) == topic) {
+      service = static_cast<wire::ServiceKind>(s);
+      break;
+    }
+  }
+  const auto api = catalog_->find_rpc(service, frame->method_name);
+  if (!api) {
+    ++stats_.unknown_api;
+    return std::nullopt;
+  }
+
+  wire::Event ev;
+  ev.kind = wire::ApiKind::Rpc;
+  ev.api = *api;
+  ev.msg_id = frame->msg_id;
+  ev.correlation_id = frame->correlation_id;
+  if (frame->type == wire::AmqpFrameType::Publish) {
+    ev.dir = wire::Direction::Request;
+  } else {
+    ev.dir = wire::Direction::Response;
+    if (wire::rpc_payload_has_error(frame->payload)) {
+      ev.status = 500;
+      ev.error_text = frame->payload;
+    } else {
+      ev.status = wire::kStatusOk;
+    }
+  }
+  return ev;
+}
+
+}  // namespace gretel::net

@@ -1,0 +1,80 @@
+// Capture taps: the Bro-agent analog.
+//
+// The simulated services emit WireRecords — raw bytes plus the transport
+// metadata a packet capture sees (timestamps, addresses, TCP stream id).
+// CaptureTap decodes those bytes with the wire codecs, normalizes concrete
+// URIs back to catalog templates (UUIDs → <ID>), resolves the ApiId, and
+// produces the header-level Events the analyzer consumes.  Ground-truth
+// labels ride alongside the bytes for the evaluation harness only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "wire/api.h"
+#include "wire/message.h"
+
+namespace gretel::net {
+
+// What the wire sees for one message, before decoding.
+struct WireRecord {
+  util::SimTime ts;
+  wire::NodeId src_node;
+  wire::NodeId dst_node;
+  wire::Endpoint src;
+  wire::Endpoint dst;
+  std::uint32_t conn_id = 0;  // TCP stream id (REST); 0 for AMQP
+  bool is_amqp = false;
+  std::string bytes;
+
+  // Ground truth for evaluation (never read by the tap's decode path when
+  // resolving APIs — only copied through into the Event).
+  wire::OpInstanceId truth_instance;
+  wire::OpTemplateId truth_template;
+  bool truth_noise = false;
+  std::vector<std::uint32_t> identifiers;
+};
+
+// Replaces URI segments that look like concrete identifiers (UUIDs, hex
+// blobs, plain numbers) with the catalog placeholder "<ID>".  Query strings
+// are dropped.  Exposed for tests.
+std::string normalize_uri(std::string_view target);
+
+struct TapStats {
+  std::uint64_t decoded = 0;
+  std::uint64_t decode_failures = 0;
+  std::uint64_t unknown_api = 0;
+  std::uint64_t bytes_seen = 0;
+};
+
+class CaptureTap {
+ public:
+  // The tap needs the API catalog to resolve symbols and the node->service
+  // map to attribute a REST request to the service exposing the endpoint.
+  CaptureTap(const wire::ApiCatalog* catalog,
+             std::unordered_map<std::uint16_t, wire::ServiceKind>
+                 service_by_port);
+
+  // Decodes one captured message.  Returns nullopt for undecodable bytes or
+  // APIs missing from the catalog (counted in stats).
+  std::optional<wire::Event> decode(const WireRecord& record);
+
+  const TapStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = TapStats{}; }
+
+ private:
+  std::optional<wire::Event> decode_rest(const WireRecord& record);
+  std::optional<wire::Event> decode_amqp(const WireRecord& record);
+
+  const wire::ApiCatalog* catalog_;
+  std::unordered_map<std::uint16_t, wire::ServiceKind> service_by_port_;
+  // Per-TCP-stream last request API, so responses resolve to the same API
+  // (Bro pairs them the same way).
+  std::unordered_map<std::uint32_t, wire::ApiId> conn_last_api_;
+  TapStats stats_;
+};
+
+}  // namespace gretel::net

@@ -1,0 +1,171 @@
+#include "net/capture_file.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace gretel::net {
+
+namespace {
+
+constexpr std::string_view kMagic = "GRTCAP01";
+constexpr std::uint32_t kNoTruth = 0xFFFFFFFFu;
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>(v & 0xFF);
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+}
+
+bool get_u8(std::string_view& in, std::uint8_t& v) {
+  if (in.empty()) return false;
+  v = static_cast<std::uint8_t>(in.front());
+  in.remove_prefix(1);
+  return true;
+}
+bool get_u16(std::string_view& in, std::uint16_t& v) {
+  if (in.size() < 2) return false;
+  v = static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(in[0]) << 8) |
+      static_cast<std::uint8_t>(in[1]));
+  in.remove_prefix(2);
+  return true;
+}
+bool get_u32(std::string_view& in, std::uint32_t& v) {
+  std::uint16_t hi = 0;
+  std::uint16_t lo = 0;
+  if (!get_u16(in, hi) || !get_u16(in, lo)) return false;
+  v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+  return true;
+}
+bool get_u64(std::string_view& in, std::uint64_t& v) {
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  if (!get_u32(in, hi) || !get_u32(in, lo)) return false;
+  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_capture(std::span<const WireRecord> records) {
+  std::string out;
+  // Rough size estimate: header + ~48 bytes metadata per record.
+  std::size_t payload = 0;
+  for (const auto& r : records) payload += r.bytes.size();
+  out.reserve(16 + records.size() * 48 + payload);
+
+  out += kMagic;
+  put_u32(out, static_cast<std::uint32_t>(records.size()));
+  for (const auto& r : records) {
+    put_u64(out, static_cast<std::uint64_t>(r.ts.nanos()));
+    out += static_cast<char>(r.src_node.value());
+    out += static_cast<char>(r.dst_node.value());
+    put_u32(out, r.src.ip.value());
+    put_u16(out, r.src.port);
+    put_u32(out, r.dst.ip.value());
+    put_u16(out, r.dst.port);
+    put_u32(out, r.conn_id);
+    const std::uint8_t flags = (r.is_amqp ? 1 : 0) |
+                               (r.truth_noise ? 2 : 0);
+    out += static_cast<char>(flags);
+    put_u32(out, r.truth_instance.valid() ? r.truth_instance.value()
+                                          : kNoTruth);
+    put_u32(out, r.truth_template.valid() ? r.truth_template.value()
+                                          : kNoTruth);
+    put_u16(out, static_cast<std::uint16_t>(r.identifiers.size()));
+    for (auto id : r.identifiers) put_u32(out, id);
+    put_u32(out, static_cast<std::uint32_t>(r.bytes.size()));
+    out += r.bytes;
+  }
+  return out;
+}
+
+std::optional<std::vector<WireRecord>> decode_capture(std::string_view data) {
+  if (!data.starts_with(kMagic)) return std::nullopt;
+  data.remove_prefix(kMagic.size());
+
+  std::uint32_t count = 0;
+  if (!get_u32(data, count)) return std::nullopt;
+
+  std::vector<WireRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    WireRecord r;
+    std::uint64_t ts = 0;
+    std::uint8_t src_node = 0;
+    std::uint8_t dst_node = 0;
+    std::uint32_t src_ip = 0;
+    std::uint32_t dst_ip = 0;
+    std::uint8_t flags = 0;
+    std::uint32_t truth_instance = 0;
+    std::uint32_t truth_template = 0;
+    std::uint16_t ident_count = 0;
+    std::uint32_t byte_len = 0;
+
+    if (!get_u64(data, ts) || !get_u8(data, src_node) ||
+        !get_u8(data, dst_node) || !get_u32(data, src_ip) ||
+        !get_u16(data, r.src.port) || !get_u32(data, dst_ip) ||
+        !get_u16(data, r.dst.port) || !get_u32(data, r.conn_id) ||
+        !get_u8(data, flags) || !get_u32(data, truth_instance) ||
+        !get_u32(data, truth_template) || !get_u16(data, ident_count)) {
+      return std::nullopt;
+    }
+    r.ts = util::SimTime(static_cast<std::int64_t>(ts));
+    r.src_node = wire::NodeId(src_node);
+    r.dst_node = wire::NodeId(dst_node);
+    r.src.ip = wire::Ipv4(src_ip);
+    r.dst.ip = wire::Ipv4(dst_ip);
+    r.is_amqp = (flags & 1) != 0;
+    r.truth_noise = (flags & 2) != 0;
+    if (truth_instance != kNoTruth)
+      r.truth_instance = wire::OpInstanceId(truth_instance);
+    if (truth_template != kNoTruth)
+      r.truth_template = wire::OpTemplateId(truth_template);
+
+    r.identifiers.reserve(ident_count);
+    for (std::uint16_t k = 0; k < ident_count; ++k) {
+      std::uint32_t ident = 0;
+      if (!get_u32(data, ident)) return std::nullopt;
+      r.identifiers.push_back(ident);
+    }
+    if (!get_u32(data, byte_len) || data.size() < byte_len)
+      return std::nullopt;
+    r.bytes = std::string(data.substr(0, byte_len));
+    data.remove_prefix(byte_len);
+    out.push_back(std::move(r));
+  }
+  if (!data.empty()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+bool write_capture_file(const std::string& path,
+                        std::span<const WireRecord> records) {
+  const auto data = encode_capture(records);
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!f) return false;
+  return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
+}
+
+std::optional<std::vector<WireRecord>> read_capture_file(
+    const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!f) return std::nullopt;
+  std::string data;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
+    data.append(buf, n);
+  }
+  return decode_capture(data);
+}
+
+}  // namespace gretel::net

@@ -1,0 +1,44 @@
+// Capture persistence: a pcap-style on-disk format for WireRecords.
+//
+// Lets deployments record control-plane traffic once and replay it through
+// the analyzer later (the tcpreplay workflow of §7.4.1), and lets the CLI
+// tools pass captures between the capture, training, and analysis stages.
+//
+// Format (all integers big-endian):
+//   magic    "GRTCAP01"
+//   count    u32                       number of records
+//   records  count times:
+//     ts        i64   nanoseconds since sim epoch
+//     src_node  u8     dst_node  u8
+//     src_ip    u32    src_port  u16
+//     dst_ip    u32    dst_port  u16
+//     conn_id   u32
+//     flags     u8    bit0 = is_amqp, bit1 = truth_noise
+//     truth_instance u32 (0xFFFFFFFF = none)
+//     truth_template u32 (0xFFFFFFFF = none)
+//     idents    u16 count, then u32 each
+//     bytes     u32 length, then raw bytes
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/capture.h"
+
+namespace gretel::net {
+
+// In-memory encode/decode (the file functions wrap these; also used by
+// tests and any transport that isn't a file).
+std::string encode_capture(std::span<const WireRecord> records);
+// Strict: nullopt on bad magic, truncation, or trailing garbage.
+std::optional<std::vector<WireRecord>> decode_capture(std::string_view data);
+
+// File convenience wrappers; false / nullopt on I/O failure.
+bool write_capture_file(const std::string& path,
+                        std::span<const WireRecord> records);
+std::optional<std::vector<WireRecord>> read_capture_file(
+    const std::string& path);
+
+}  // namespace gretel::net

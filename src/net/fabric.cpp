@@ -1,0 +1,32 @@
+#include "net/fabric.h"
+
+#include <algorithm>
+
+namespace gretel::net {
+
+util::SimDuration LatencyInjector::extra_delay(wire::NodeId src,
+                                               wire::NodeId dst,
+                                               util::SimTime t) const {
+  util::SimDuration total;
+  for (const auto& r : rules_) {
+    if ((r.node == src || r.node == dst) && t >= r.start && t < r.end)
+      total += r.extra;
+  }
+  return total;
+}
+
+Fabric::Fabric(util::SimDuration base, util::SimDuration jitter_sigma)
+    : base_(base), jitter_sigma_(jitter_sigma) {}
+
+util::SimDuration Fabric::delivery_delay(wire::NodeId src, wire::NodeId dst,
+                                         util::SimTime t,
+                                         util::Rng& rng) const {
+  if (src == dst) return util::SimDuration::micros(5);  // loopback
+  const double jitter_ns = rng.next_gaussian(
+      0.0, static_cast<double>(jitter_sigma_.count()));
+  const auto jitter = util::SimDuration(
+      static_cast<std::int64_t>(std::max(jitter_ns, 0.0)));
+  return base_ + jitter + injector_.extra_delay(src, dst, t);
+}
+
+}  // namespace gretel::net

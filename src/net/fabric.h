@@ -1,0 +1,59 @@
+// Network fabric: inter-node delivery latency and tc-style injection.
+//
+// The paper's testbed connects 7 servers through a three-tier switch fabric
+// and uses `tc` to inject latency for the performance-fault experiments
+// (§7.3 item 4).  Fabric models per-pair base latency plus time-bounded
+// injected delay rules — the LatencyInjector is the tc analog.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "wire/endpoint.h"
+
+namespace gretel::net {
+
+// One tc rule: add `extra` to every message to or from `node` in [start,end).
+struct LatencyRule {
+  wire::NodeId node;
+  util::SimTime start;
+  util::SimTime end;
+  util::SimDuration extra;
+};
+
+class LatencyInjector {
+ public:
+  void add_rule(LatencyRule rule) { rules_.push_back(rule); }
+  void clear() { rules_.clear(); }
+
+  // Extra one-way latency applying to a message between src and dst at t.
+  util::SimDuration extra_delay(wire::NodeId src, wire::NodeId dst,
+                                util::SimTime t) const;
+
+ private:
+  std::vector<LatencyRule> rules_;
+};
+
+class Fabric {
+ public:
+  // base: one-way propagation + switching delay between two distinct nodes;
+  // jitter_sigma adds per-message gaussian noise.
+  explicit Fabric(util::SimDuration base = util::SimDuration::micros(200),
+                  util::SimDuration jitter_sigma = util::SimDuration::micros(40));
+
+  LatencyInjector& injector() { return injector_; }
+  const LatencyInjector& injector() const { return injector_; }
+
+  // One-way delivery delay for a message sent at time t.
+  util::SimDuration delivery_delay(wire::NodeId src, wire::NodeId dst,
+                                   util::SimTime t, util::Rng& rng) const;
+
+ private:
+  util::SimDuration base_;
+  util::SimDuration jitter_sigma_;
+  LatencyInjector injector_;
+};
+
+}  // namespace gretel::net

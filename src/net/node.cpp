@@ -1,0 +1,143 @@
+#include "net/node.h"
+
+#include <algorithm>
+
+namespace gretel::net {
+
+std::string_view to_string(ResourceKind k) {
+  switch (k) {
+    case ResourceKind::CpuPct:
+      return "cpu";
+    case ResourceKind::MemUsedMb:
+      return "memory";
+    case ResourceKind::DiskFreeMb:
+      return "disk-free";
+    case ResourceKind::NetMbps:
+      return "net-throughput";
+    case ResourceKind::DiskIoOps:
+      return "disk-io";
+  }
+  return "?";
+}
+
+NodeState::NodeState(wire::NodeId id, std::string hostname, wire::Ipv4 ip)
+    : id_(id), hostname_(std::move(hostname)), ip_(ip) {
+  // Sensible idle baselines; deployments override per node.
+  set_baseline(ResourceKind::CpuPct, 8.0, 1.5);
+  set_baseline(ResourceKind::MemUsedMb, 4096.0, 64.0);
+  set_baseline(ResourceKind::DiskFreeMb, 200000.0, 16.0);
+  set_baseline(ResourceKind::NetMbps, 20.0, 4.0);
+  set_baseline(ResourceKind::DiskIoOps, 120.0, 20.0);
+}
+
+bool NodeState::hosts(wire::ServiceKind s) const {
+  return std::find(services_.begin(), services_.end(), s) != services_.end();
+}
+
+void NodeState::install_software(std::string name) {
+  if (std::find(software_.begin(), software_.end(), name) == software_.end())
+    software_.push_back(std::move(name));
+}
+
+void NodeState::inject_outage(SoftwareOutage outage) {
+  outages_.push_back(std::move(outage));
+}
+
+bool NodeState::software_running(std::string_view name,
+                                 util::SimTime t) const {
+  for (const auto& o : outages_) {
+    if (o.name == name && t >= o.start && t < o.end) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> NodeState::failed_software(util::SimTime t) const {
+  std::vector<std::string> out;
+  for (const auto& s : software_) {
+    if (!software_running(s, t)) out.push_back(s);
+  }
+  return out;
+}
+
+void NodeState::set_baseline(ResourceKind kind, double value,
+                             double jitter_sigma) {
+  baseline_[static_cast<std::size_t>(kind)] = value;
+  jitter_[static_cast<std::size_t>(kind)] = jitter_sigma;
+}
+
+void NodeState::inject_perturbation(ResourcePerturbation p) {
+  perturbations_.push_back(p);
+}
+
+double NodeState::nominal(ResourceKind kind, util::SimTime t) const {
+  double v = baseline_[static_cast<std::size_t>(kind)];
+  for (const auto& p : perturbations_) {
+    if (p.kind == kind && t >= p.start && t < p.end) v += p.delta;
+  }
+  return clamp_resource(kind, v);
+}
+
+double NodeState::sample(ResourceKind kind, util::SimTime t,
+                         util::Rng& rng) const {
+  const double jitter =
+      rng.next_gaussian(0.0, jitter_[static_cast<std::size_t>(kind)]);
+  return clamp_resource(kind, nominal(kind, t) + jitter);
+}
+
+double NodeState::clamp_resource(ResourceKind kind, double v) const {
+  if (kind == ResourceKind::CpuPct) return std::clamp(v, 0.0, 100.0);
+  return std::max(v, 0.0);
+}
+
+std::vector<std::string> default_software_for(wire::ServiceKind s) {
+  using wire::ServiceKind;
+  std::vector<std::string> deps{"ntpd"};
+  switch (s) {
+    case ServiceKind::Horizon:
+      deps.push_back("apache2");
+      break;
+    case ServiceKind::Keystone:
+      deps.push_back("keystone");
+      break;
+    case ServiceKind::Nova:
+      deps.push_back("nova-api");
+      deps.push_back("nova-scheduler");
+      deps.push_back("nova-conductor");
+      break;
+    case ServiceKind::NovaCompute:
+      deps.push_back("nova-compute");
+      deps.push_back("neutron-plugin-linuxbridge-agent");
+      deps.push_back("libvirtd");
+      break;
+    case ServiceKind::Neutron:
+      deps.push_back("neutron-server");
+      deps.push_back("neutron-dhcp-agent");
+      break;
+    case ServiceKind::NeutronAgent:
+      deps.push_back("neutron-plugin-linuxbridge-agent");
+      break;
+    case ServiceKind::Glance:
+      deps.push_back("glance-api");
+      deps.push_back("glance-registry");
+      break;
+    case ServiceKind::Cinder:
+      deps.push_back("cinder-api");
+      deps.push_back("cinder-volume");
+      break;
+    case ServiceKind::Swift:
+      deps.push_back("swift-proxy");
+      break;
+    case ServiceKind::RabbitMq:
+      deps.push_back("rabbitmq-server");
+      break;
+    case ServiceKind::MySql:
+      deps.push_back("mysqld");
+      break;
+    case ServiceKind::Ntp:
+    case ServiceKind::Unknown:
+      break;
+  }
+  return deps;
+}
+
+}  // namespace gretel::net

@@ -1,0 +1,105 @@
+// Physical-node model: resources and software dependencies.
+//
+// GRETEL's closed-system model (§4) attributes every fault to external
+// factors: resource dependencies (CPU, memory, network, storage, disk I/O)
+// and software dependencies (daemons such as nova-compute or the
+// neutron linuxbridge agent, and reachability of MySQL / RabbitMQ / NTP).
+// NodeState is the ground-truth substrate those factors live on; the
+// monitoring agents sample it, fault injection perturbs it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/time.h"
+#include "wire/api.h"
+#include "wire/endpoint.h"
+
+namespace gretel::net {
+
+enum class ResourceKind : std::uint8_t {
+  CpuPct,      // utilization 0..100
+  MemUsedMb,   // resident memory
+  DiskFreeMb,  // free space on the service partition
+  NetMbps,     // NIC throughput
+  DiskIoOps,   // disk operations per second
+};
+inline constexpr std::size_t kResourceKinds = 5;
+
+std::string_view to_string(ResourceKind k);
+
+// A time-bounded additive perturbation of one resource, installed by the
+// fault-injection framework (e.g. a CPU surge on the Neutron server, §7.2.2,
+// or disk exhaustion on Glance, §7.2.1).
+struct ResourcePerturbation {
+  ResourceKind kind = ResourceKind::CpuPct;
+  util::SimTime start;
+  util::SimTime end;
+  double delta = 0.0;  // added to the baseline while active
+};
+
+// A time-bounded outage of one software dependency (daemon crash, stopped
+// NTP agent, unreachable MySQL...).
+struct SoftwareOutage {
+  std::string name;
+  util::SimTime start;
+  util::SimTime end;
+};
+
+class NodeState {
+ public:
+  NodeState(wire::NodeId id, std::string hostname, wire::Ipv4 ip);
+
+  wire::NodeId id() const { return id_; }
+  const std::string& hostname() const { return hostname_; }
+  wire::Ipv4 ip() const { return ip_; }
+
+  // --- services hosted on this node ---
+  void host_service(wire::ServiceKind s) { services_.push_back(s); }
+  const std::vector<wire::ServiceKind>& services() const { return services_; }
+  bool hosts(wire::ServiceKind s) const;
+
+  // --- software dependencies (daemons / agents) ---
+  void install_software(std::string name);
+  const std::vector<std::string>& software() const { return software_; }
+  void inject_outage(SoftwareOutage outage);
+  bool software_running(std::string_view name, util::SimTime t) const;
+  // Names of installed software currently down.
+  std::vector<std::string> failed_software(util::SimTime t) const;
+
+  // --- resources ---
+  void set_baseline(ResourceKind kind, double value, double jitter_sigma);
+  void inject_perturbation(ResourcePerturbation p);
+  // Instantaneous value = baseline + jitter + active perturbations, clamped
+  // to the physically meaningful range of the resource.
+  double sample(ResourceKind kind, util::SimTime t, util::Rng& rng) const;
+  // Deterministic value without jitter, for assertions in tests.
+  double nominal(ResourceKind kind, util::SimTime t) const;
+
+ private:
+  double clamp_resource(ResourceKind kind, double v) const;
+
+  wire::NodeId id_;
+  std::string hostname_;
+  wire::Ipv4 ip_;
+  std::vector<wire::ServiceKind> services_;
+  std::vector<std::string> software_;
+  std::vector<SoftwareOutage> outages_;
+  std::array<double, kResourceKinds> baseline_{};
+  std::array<double, kResourceKinds> jitter_{};
+  std::vector<ResourcePerturbation> perturbations_;
+};
+
+// Default software dependency set for a node hosting the given service,
+// mirroring §5/§6: every node runs NTP and needs MySQL + RabbitMQ
+// reachability; computes additionally run nova-compute and the neutron
+// linuxbridge agent.
+std::vector<std::string> default_software_for(wire::ServiceKind s);
+
+}  // namespace gretel::net

@@ -1,0 +1,27 @@
+#include "net/replay.h"
+
+namespace gretel::net {
+
+ReplayReport ReplayEngine::replay(std::span<const WireRecord> records,
+                                  const Sink& sink) {
+  return replay_looped(records, 1, sink);
+}
+
+ReplayReport ReplayEngine::replay_looped(std::span<const WireRecord> records,
+                                         int loops, const Sink& sink) {
+  ReplayReport report;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < loops; ++i) {
+    for (const auto& r : records) {
+      sink(r);
+      ++report.records;
+      report.wire_bytes += r.bytes.size();
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  return report;
+}
+
+}  // namespace gretel::net

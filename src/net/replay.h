@@ -1,0 +1,50 @@
+// Replay engine: the tcpreplay analog used by the throughput experiments.
+//
+// §7.4.1 of the paper drives GRETEL with tcpreplay-generated event streams
+// at up to 50K packets per second.  ReplayEngine feeds a recorded stream of
+// WireRecords to a sink as fast as the sink can take them, measuring wall
+// time, event rate and wire throughput (Mbps) — which is how Fig. 8c's
+// y-axis is produced.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/capture.h"
+
+namespace gretel::net {
+
+struct ReplayReport {
+  std::uint64_t records = 0;
+  std::uint64_t wire_bytes = 0;
+  double wall_seconds = 0.0;
+
+  double events_per_second() const {
+    return wall_seconds > 0 ? static_cast<double>(records) / wall_seconds
+                            : 0.0;
+  }
+  double mbps() const {
+    return wall_seconds > 0
+               ? static_cast<double>(wire_bytes) * 8.0 / 1e6 / wall_seconds
+               : 0.0;
+  }
+};
+
+class ReplayEngine {
+ public:
+  using Sink = std::function<void(const WireRecord&)>;
+
+  // Feeds every record to `sink` back-to-back and reports achieved rates.
+  static ReplayReport replay(std::span<const WireRecord> records,
+                             const Sink& sink);
+
+  // Feeds the records `loops` times (tcpreplay --loop), for longer
+  // steady-state measurements on small captures.
+  static ReplayReport replay_looped(std::span<const WireRecord> records,
+                                    int loops, const Sink& sink);
+};
+
+}  // namespace gretel::net

@@ -1,0 +1,142 @@
+#include "stack/deployment.h"
+
+#include <cassert>
+
+namespace gretel::stack {
+
+using wire::ServiceKind;
+
+std::uint16_t rest_port_for(ServiceKind s) {
+  switch (s) {
+    case ServiceKind::Horizon:
+      return wire::ports::kHorizon;
+    case ServiceKind::Keystone:
+      return wire::ports::kKeystone;
+    case ServiceKind::Nova:
+    case ServiceKind::NovaCompute:
+      return wire::ports::kNovaApi;
+    case ServiceKind::Neutron:
+    case ServiceKind::NeutronAgent:
+      return wire::ports::kNeutronApi;
+    case ServiceKind::Glance:
+      return wire::ports::kGlanceApi;
+    case ServiceKind::Cinder:
+      return wire::ports::kCinderApi;
+    case ServiceKind::Swift:
+      return wire::ports::kSwiftProxy;
+    case ServiceKind::RabbitMq:
+      return wire::ports::kRabbitMq;
+    case ServiceKind::MySql:
+      return wire::ports::kMySql;
+    case ServiceKind::Ntp:
+      return wire::ports::kNtp;
+    case ServiceKind::Unknown:
+      return 0;
+  }
+  return 0;
+}
+
+Deployment Deployment::standard(int compute_nodes) {
+  Deployment d;
+  d.add_node("controller", {ServiceKind::Horizon, ServiceKind::Keystone,
+                            ServiceKind::RabbitMq, ServiceKind::MySql,
+                            ServiceKind::Ntp});
+  d.add_node("nova-ctl", {ServiceKind::Nova});
+  d.add_node("neutron-ctl", {ServiceKind::Neutron});
+  d.add_node("storage", {ServiceKind::Glance, ServiceKind::Cinder,
+                         ServiceKind::Swift});
+  for (int i = 0; i < compute_nodes; ++i) {
+    d.add_node("compute-" + std::to_string(i + 1),
+               {ServiceKind::NovaCompute, ServiceKind::NeutronAgent});
+  }
+  return d;
+}
+
+net::NodeState& Deployment::add_node(std::string hostname,
+                                     std::vector<ServiceKind> services) {
+  const auto idx = static_cast<std::uint8_t>(nodes_.size());
+  const wire::Ipv4 ip(10, 0, 0, static_cast<std::uint8_t>(10 + idx));
+  auto node = std::make_unique<net::NodeState>(wire::NodeId(idx),
+                                               std::move(hostname), ip);
+  for (ServiceKind s : services) {
+    node->host_service(s);
+    for (auto& dep : net::default_software_for(s))
+      node->install_software(std::move(dep));
+  }
+  nodes_.push_back(std::move(node));
+  return *nodes_.back();
+}
+
+std::vector<wire::NodeId> Deployment::node_ids() const {
+  std::vector<wire::NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& n : nodes_) out.push_back(n->id());
+  return out;
+}
+
+std::vector<wire::NodeId> Deployment::nodes_for(ServiceKind s) const {
+  std::vector<wire::NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n->hosts(s)) out.push_back(n->id());
+  }
+  return out;
+}
+
+wire::NodeId Deployment::primary_node_for(ServiceKind s) const {
+  const auto nodes = nodes_for(s);
+  assert(!nodes.empty() && "service not deployed");
+  return nodes.front();
+}
+
+wire::Endpoint Deployment::endpoint_for(ServiceKind s) const {
+  const auto id = primary_node_for(s);
+  return {node(id).ip(), rest_port_for(s)};
+}
+
+std::unordered_map<std::uint16_t, ServiceKind> Deployment::service_by_port()
+    const {
+  std::unordered_map<std::uint16_t, ServiceKind> out;
+  for (int s = 0; s < static_cast<int>(ServiceKind::Unknown); ++s) {
+    const auto kind = static_cast<ServiceKind>(s);
+    // Agent services (nova-compute, linuxbridge agent) speak RPC only; the
+    // REST ports they'd share belong to their controller services.
+    if (kind == ServiceKind::NovaCompute || kind == ServiceKind::NeutronAgent)
+      continue;
+    if (!nodes_for(kind).empty()) out[rest_port_for(kind)] = kind;
+  }
+  return out;
+}
+
+void Deployment::inject_cpu_surge(ServiceKind s, util::SimTime start,
+                                  util::SimTime end, double delta_pct) {
+  for (auto id : nodes_for(s)) {
+    node(id).inject_perturbation(
+        {net::ResourceKind::CpuPct, start, end, delta_pct});
+  }
+}
+
+void Deployment::inject_disk_exhaustion(ServiceKind s, util::SimTime start,
+                                        util::SimTime end,
+                                        double free_mb_drop) {
+  for (auto id : nodes_for(s)) {
+    node(id).inject_perturbation(
+        {net::ResourceKind::DiskFreeMb, start, end, -free_mb_drop});
+  }
+}
+
+void Deployment::crash_software(ServiceKind s, std::string_view daemon,
+                                util::SimTime start, util::SimTime end) {
+  for (auto id : nodes_for(s)) {
+    node(id).inject_outage({std::string(daemon), start, end});
+  }
+}
+
+void Deployment::inject_link_latency(ServiceKind s, util::SimTime start,
+                                     util::SimTime end,
+                                     util::SimDuration extra) {
+  for (auto id : nodes_for(s)) {
+    fabric_.injector().add_rule({id, start, end, extra});
+  }
+}
+
+}  // namespace gretel::stack

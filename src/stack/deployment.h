@@ -1,0 +1,73 @@
+// The simulated physical deployment (§7 "Experimental setup").
+//
+// Mirrors the paper's testbed: 7 servers — a controller node (Horizon,
+// Keystone, RabbitMQ, MySQL), dedicated Nova / Neutron / storage+image
+// nodes, and 3 compute nodes — joined by a switched fabric.  The deployment
+// owns the ground-truth node states that fault injection perturbs and the
+// monitoring agents sample.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/node.h"
+#include "wire/api.h"
+#include "wire/endpoint.h"
+
+namespace gretel::stack {
+
+class Deployment {
+ public:
+  // Builds the default 7-node topology with `compute_nodes` computes (3 in
+  // the paper's testbed).
+  static Deployment standard(int compute_nodes = 3);
+
+  Deployment() = default;
+
+  net::NodeState& add_node(std::string hostname,
+                           std::vector<wire::ServiceKind> services);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  net::NodeState& node(wire::NodeId id) { return *nodes_[id.value()]; }
+  const net::NodeState& node(wire::NodeId id) const {
+    return *nodes_[id.value()];
+  }
+  std::vector<wire::NodeId> node_ids() const;
+
+  // Node hosting a service; for services on several nodes (nova-compute),
+  // returns them all / picks round-robin.
+  std::vector<wire::NodeId> nodes_for(wire::ServiceKind s) const;
+  wire::NodeId primary_node_for(wire::ServiceKind s) const;
+
+  // REST endpoint of a service (its node IP + well-known port).
+  wire::Endpoint endpoint_for(wire::ServiceKind s) const;
+  // Port → service map for the capture taps.
+  std::unordered_map<std::uint16_t, wire::ServiceKind> service_by_port() const;
+
+  net::Fabric& fabric() { return fabric_; }
+  const net::Fabric& fabric() const { return fabric_; }
+
+  // --- fault injection conveniences (used by scenarios and benches) ---
+  void inject_cpu_surge(wire::ServiceKind s, util::SimTime start,
+                        util::SimTime end, double delta_pct);
+  void inject_disk_exhaustion(wire::ServiceKind s, util::SimTime start,
+                              util::SimTime end, double free_mb_drop);
+  void crash_software(wire::ServiceKind s, std::string_view daemon,
+                      util::SimTime start, util::SimTime end);
+  void inject_link_latency(wire::ServiceKind s, util::SimTime start,
+                           util::SimTime end, util::SimDuration extra);
+
+ private:
+  std::vector<std::unique_ptr<net::NodeState>> nodes_;
+  net::Fabric fabric_;
+};
+
+// Well-known REST port for a service kind.
+std::uint16_t rest_port_for(wire::ServiceKind s);
+
+}  // namespace gretel::stack

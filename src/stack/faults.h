@@ -1,0 +1,55 @@
+// Fault specifications for operation launches.
+//
+// Two families, mirroring §3 of the paper:
+//  * operational faults — an API in the operation returns an error and the
+//    operation aborts; the error is relayed to the dashboard via a REST poll
+//    (RPC errors always surface in REST, §5.3.1).
+//  * environmental faults — CPU surges, disk exhaustion, daemon crashes,
+//    injected link latency.  These live on the Deployment (see
+//    Deployment::inject_*) and manifest as performance faults or as the
+//    root cause behind operational errors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "stack/logging.h"
+
+namespace gretel::stack {
+
+struct OperationalFault {
+  // Index of the step whose response fails.
+  std::size_t fail_step = 0;
+  // HTTP status for REST steps; RPC steps carry an oslo error payload and
+  // the relayed REST poll uses this status.
+  std::uint16_t status = 500;
+  std::string error_text = "Internal Server Error";
+  // When false the operation continues after the error (e.g. a retried,
+  // tolerated failure); fingerprint-relevant aborts keep the default.
+  bool abort = true;
+  // What (if anything) the failing service writes to its log — §3.1: most
+  // failures surface at WARNING, not ERROR, and some not at all.
+  bool logged = true;
+  LogLevel log_level = LogLevel::Warning;
+};
+
+// Convenience constructors for the error shapes seen in the paper's cases.
+inline OperationalFault no_valid_host_fault(std::size_t step) {
+  return {step, 500, "No valid host was found. "
+                     "There are not enough hosts available.", true};
+}
+inline OperationalFault entity_too_large_fault(std::size_t step) {
+  // §7.2.1: "Analysis of Glance logs revealed no entries."
+  return {step, 413, "Request Entity Too Large", true, /*logged=*/false,
+          LogLevel::Warning};
+}
+inline OperationalFault unauthorized_fault(std::size_t step) {
+  return {step, 401, "The request you have made requires authentication.",
+          true};
+}
+inline OperationalFault conflict_fault(std::size_t step) {
+  return {step, 409, "Conflict", true};
+}
+
+}  // namespace gretel::stack

@@ -1,0 +1,33 @@
+// Service logs emitted by the simulated OpenStack components.
+//
+// The paper's motivation (§3) hinges on what logs do and don't show: "No
+// valid host" appears only at WARNING, Glance logs nothing for failed
+// uploads, TRACE-level logging reveals nothing about performance faults.
+// The workflow executor emits per-node service logs so the log-analysis
+// baseline can be evaluated against GRETEL honestly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+#include "wire/api.h"
+#include "wire/endpoint.h"
+
+namespace gretel::stack {
+
+enum class LogLevel : std::uint8_t { Trace, Debug, Info, Warning, Error };
+
+std::string_view to_string(LogLevel level);
+
+struct LogLine {
+  util::SimTime ts;
+  wire::NodeId node;
+  wire::ServiceKind service = wire::ServiceKind::Unknown;
+  LogLevel level = LogLevel::Info;
+  std::string message;
+};
+
+}  // namespace gretel::stack

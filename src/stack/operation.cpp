@@ -1,0 +1,39 @@
+#include "stack/operation.h"
+
+#include "stack/logging.h"
+
+namespace gretel::stack {
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::Compute:
+      return "Compute";
+    case Category::Image:
+      return "Image";
+    case Category::Network:
+      return "Network";
+    case Category::Storage:
+      return "Storage";
+    case Category::Misc:
+      return "Misc";
+  }
+  return "?";
+}
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warning:
+      return "WARNING";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace gretel::stack

@@ -1,0 +1,56 @@
+// High-level administrative operations (§4 "composite operations").
+//
+// An OperationTemplate is the simulator-side ground truth for one OpenStack
+// administrative task: the ordered REST/RPC steps it performs, who calls
+// whom, and nominal service times.  GRETEL never sees these templates — it
+// reconstructs fingerprints for them from observed traces (Algorithm 1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.h"
+#include "wire/api.h"
+#include "wire/message.h"
+
+namespace gretel::stack {
+
+// Tempest-style operation categories (Table 1).
+enum class Category : std::uint8_t { Compute, Image, Network, Storage, Misc };
+inline constexpr std::size_t kCategories = 5;
+
+std::string_view to_string(Category c);
+
+struct ApiStep {
+  wire::ApiId api;
+  wire::ServiceKind caller = wire::ServiceKind::Horizon;
+  wire::ServiceKind callee = wire::ServiceKind::Nova;
+  // Nominal service time at the callee (before load scaling and jitter).
+  util::SimDuration base_latency = util::SimDuration::millis(8);
+  // Transient steps occur only in some executions; Algorithm 1's
+  // re-execution pruning must eliminate them from the fingerprint.
+  bool transient = false;
+  // Probability the step occurs when transient (ignored otherwise).
+  double transient_prob = 0.5;
+};
+
+struct OperationTemplate {
+  wire::OpTemplateId id;
+  std::string name;
+  Category category = Category::Compute;
+  std::vector<ApiStep> steps;
+  // REST GET API used by the dashboard/CLI to poll operation status; the
+  // executor relays aborts through it so RPC failures surface as REST errors
+  // (§5.3.1 "Improving precision").
+  wire::ApiId poll_api;
+
+  std::size_t count(wire::ApiKind kind, const wire::ApiCatalog& catalog) const {
+    std::size_t n = 0;
+    for (const auto& s : steps) n += catalog.get(s.api).kind == kind ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace gretel::stack

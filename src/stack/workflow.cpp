@@ -1,0 +1,365 @@
+#include "stack/workflow.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "wire/amqp_codec.h"
+#include "wire/http_codec.h"
+
+namespace gretel::stack {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::ApiKind;
+using wire::ServiceKind;
+
+InfraApis register_infra_apis(wire::ApiCatalog& catalog) {
+  InfraApis infra;
+  infra.keystone_auth =
+      catalog.add_rest(ServiceKind::Keystone, wire::HttpMethod::Post,
+                       "/v3/auth/tokens");
+  infra.keystone_validate =
+      catalog.add_rest(ServiceKind::Keystone, wire::HttpMethod::Get,
+                       "/v3/auth/tokens/<ID>");
+  infra.heartbeat = catalog.add_rpc(ServiceKind::Nova, "nova", "report_state");
+  infra.service_update =
+      catalog.add_rpc(ServiceKind::Nova, "nova", "update_service_capabilities");
+  return infra;
+}
+
+WorkflowExecutor::WorkflowExecutor(Deployment* deployment,
+                                   const wire::ApiCatalog* catalog,
+                                   const InfraApis* infra, std::uint64_t seed,
+                                   Options options)
+    : deployment_(deployment),
+      catalog_(catalog),
+      infra_(infra),
+      options_(options),
+      rng_(seed) {
+  assert(deployment_ && catalog_ && infra_);
+}
+
+WorkflowExecutor::WorkflowExecutor(Deployment* deployment,
+                                   const wire::ApiCatalog* catalog,
+                                   const InfraApis* infra, std::uint64_t seed)
+    : WorkflowExecutor(deployment, catalog, infra, seed, Options{}) {}
+
+std::vector<net::WireRecord> WorkflowExecutor::execute(
+    std::span<const Launch> launches) {
+  logs_.clear();
+  std::vector<net::WireRecord> out;
+  // Rough reservation: two records per step plus noise.
+  std::size_t steps = 0;
+  for (const auto& l : launches) steps += l.op->steps.size();
+  out.reserve(steps * 2 + launches.size() * 8);
+
+  SimTime first = launches.empty() ? SimTime::epoch() : launches[0].start;
+  for (const auto& l : launches) first = std::min(first, l.start);
+
+  for (const auto& l : launches) run_launch(l, out);
+
+  SimTime last = first;
+  for (const auto& r : out) last = std::max(last, r.ts);
+  if (options_.emit_heartbeats && !launches.empty())
+    emit_noise(first, last, out);
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const net::WireRecord& a, const net::WireRecord& b) {
+                     return a.ts < b.ts;
+                   });
+  std::stable_sort(logs_.begin(), logs_.end(),
+                   [](const LogLine& a, const LogLine& b) {
+                     return a.ts < b.ts;
+                   });
+  return out;
+}
+
+void WorkflowExecutor::run_launch(const Launch& launch,
+                                  std::vector<net::WireRecord>& out) {
+  const OperationTemplate& op = *launch.op;
+
+  InstanceContext ctx;
+  ctx.instance = wire::OpInstanceId(next_instance_++);
+  ctx.tmpl = op.id;
+  ctx.rng = rng_.fork();
+
+  const auto computes = deployment_->nodes_for(ServiceKind::NovaCompute);
+  ctx.compute_node = computes.empty()
+                         ? deployment_->primary_node_for(ServiceKind::Nova)
+                         : computes[compute_rr_++ % computes.size()];
+
+  // Tenant ids are shared across concurrent operations (40 tenants), which
+  // is precisely what makes identifier-based stitching (HANSEL) ambiguous.
+  ctx.identifiers.push_back(1000u + ctx.instance.value() % 40u);
+  for (int i = 0; i < 3; ++i) {
+    ctx.identifiers.push_back(
+        static_cast<std::uint32_t>(ctx.rng.next_u64() >> 32));
+  }
+
+  SimTime t = launch.start;
+
+  if (options_.emit_keystone_auth) {
+    ApiStep auth{infra_->keystone_auth, ServiceKind::Horizon,
+                 ServiceKind::Keystone, SimDuration::millis(4), false, 1.0};
+    t = emit_exchange(ctx, t, auth, wire::kStatusOk, {}, /*noise=*/true, out,
+                      ctx.rng);
+  }
+
+  for (std::size_t i = 0; i < op.steps.size(); ++i) {
+    const ApiStep& step = op.steps[i];
+    if (step.transient && !ctx.rng.chance(step.transient_prob)) continue;
+
+    const bool is_faulty_step =
+        launch.fault && launch.fault->fail_step == i;
+    const std::uint16_t status =
+        is_faulty_step ? launch.fault->status : wire::kStatusOk;
+    const std::string_view error_text =
+        is_faulty_step ? std::string_view(launch.fault->error_text)
+                       : std::string_view{};
+
+    const ErrorLogPolicy policy =
+        is_faulty_step
+            ? ErrorLogPolicy{launch.fault->logged, launch.fault->log_level}
+            : ErrorLogPolicy{};
+    t = emit_exchange(ctx, t, step, status, error_text, /*noise=*/false, out,
+                      ctx.rng, policy);
+
+    if (is_faulty_step && launch.fault->abort) {
+      // Relay the failure to the dashboard: Horizon polls the operation's
+      // status API and receives the error (how RPC faults surface as REST
+      // errors, §5.3.1).
+      const auto& poll_desc = catalog_->get(op.poll_api);
+      ApiStep poll{op.poll_api, ServiceKind::Horizon, poll_desc.service,
+                   SimDuration::millis(5), false, 1.0};
+      t = t + SimDuration::millis(
+                  static_cast<std::int64_t>(1 + ctx.rng.next_below(5)));
+      emit_exchange(ctx, t, poll, launch.fault->status,
+                    launch.fault->error_text, /*noise=*/false, out, ctx.rng,
+                    {launch.fault->logged, launch.fault->log_level});
+      return;
+    }
+
+    // Occasionally reissue an idempotent GET (client retry chatter).
+    const auto& desc = catalog_->get(step.api);
+    if (desc.kind == ApiKind::Rest && !desc.state_change() &&
+        ctx.rng.chance(options_.duplicate_get_prob)) {
+      t = emit_exchange(ctx, t, step, wire::kStatusOk, {}, /*noise=*/true,
+                        out, ctx.rng);
+    }
+
+    const double think_ms = ctx.rng.next_exponential(
+        options_.think_mean.to_millis());
+    t += SimDuration::nanos(static_cast<std::int64_t>(think_ms * 1e6));
+  }
+}
+
+void WorkflowExecutor::emit_noise(SimTime from, SimTime to,
+                                  std::vector<net::WireRecord>& out) {
+  InstanceContext ctx;
+  ctx.instance = wire::OpInstanceId::invalid();
+  ctx.tmpl = wire::OpTemplateId::invalid();
+  ctx.rng = rng_.fork();
+  ctx.identifiers = {1u};  // infrastructure tenant
+
+  const auto computes = deployment_->nodes_for(ServiceKind::NovaCompute);
+  for (auto compute : computes) {
+    ctx.compute_node = compute;
+    // Jittered periodic heartbeats from each compute to the Nova controller.
+    SimTime t = from + SimDuration::millis(static_cast<std::int64_t>(
+                           ctx.rng.next_below(static_cast<std::uint64_t>(
+                               options_.heartbeat_period.to_millis()))));
+    while (t < to) {
+      ApiStep hb{infra_->heartbeat, ServiceKind::NovaCompute,
+                 ServiceKind::Nova, SimDuration::millis(2), false, 1.0};
+      emit_exchange(ctx, t, hb, wire::kStatusOk, {}, /*noise=*/true, out,
+                    ctx.rng);
+      if (ctx.rng.chance(0.3)) {
+        ApiStep up{infra_->service_update, ServiceKind::NovaCompute,
+                   ServiceKind::Nova, SimDuration::millis(2), false, 1.0};
+        emit_exchange(ctx, t + SimDuration::millis(15), up, wire::kStatusOk,
+                      {}, /*noise=*/true, out, ctx.rng);
+      }
+      t += options_.heartbeat_period +
+           SimDuration::millis(
+               static_cast<std::int64_t>(ctx.rng.next_in(-500, 500)));
+    }
+  }
+}
+
+util::SimTime WorkflowExecutor::emit_exchange(
+    const InstanceContext& ctx, SimTime t, const ApiStep& step,
+    std::uint16_t status, std::string_view error_text, bool noise,
+    std::vector<net::WireRecord>& out, util::Rng& rng,
+    ErrorLogPolicy log_policy) {
+  const auto& desc = catalog_->get(step.api);
+  const wire::NodeId caller_node = node_for(step.caller, ctx);
+  const wire::NodeId callee_node = node_for(step.callee, ctx);
+
+  // Service time scaled by callee load (CPU surges lengthen latencies,
+  // the causal link behind the paper's §7.2.2 case).
+  const double jitter = 0.7 + 0.6 * rng.next_double();
+  const double svc_ms = step.base_latency.to_millis() *
+                        load_factor(callee_node, t) * jitter;
+  const SimDuration svc(static_cast<std::int64_t>(svc_ms * 1e6));
+
+  const SimDuration d1 =
+      deployment_->fabric().delivery_delay(caller_node, callee_node, t, rng);
+  const SimTime t_arrive = t + d1;
+  const SimDuration d2 = deployment_->fabric().delivery_delay(
+      callee_node, caller_node, t_arrive + svc, rng);
+  const SimTime t_resp = t_arrive + svc + d2;
+
+  const std::uint32_t corr =
+      options_.emit_correlation_ids && !noise && ctx.instance.valid()
+          ? ctx.instance.value()
+          : 0;
+
+  net::WireRecord req;
+  req.ts = t;
+  req.src_node = caller_node;
+  req.dst_node = callee_node;
+  req.truth_instance = ctx.instance;
+  req.truth_template = ctx.tmpl;
+  req.truth_noise = noise;
+  req.identifiers = ctx.identifiers;
+
+  net::WireRecord resp = req;
+  resp.ts = t_resp;
+  resp.src_node = callee_node;
+  resp.dst_node = caller_node;
+
+  // Bodies are representative JSON blobs padded to the configured size;
+  // GRETEL never parses them, but they set realistic wire sizes.
+  std::string body = "{\"tenant_id\": \"" +
+                     std::to_string(ctx.identifiers.empty()
+                                        ? 0
+                                        : ctx.identifiers.front()) +
+                     "\", \"request_id\": \"" + make_uuid(rng) + "\"";
+  if (body.size() + 1 < options_.body_bytes)
+    body += ", \"pad\": \"" +
+            std::string(options_.body_bytes - body.size() - 1, 'x') + "\"";
+  body += "}";
+
+  if (desc.kind == ApiKind::Rest) {
+    const std::uint32_t conn = next_conn_++;
+    req.conn_id = resp.conn_id = conn;
+
+    std::string target = desc.path;
+    for (auto pos = target.find("<ID>"); pos != std::string::npos;
+         pos = target.find("<ID>")) {
+      target.replace(pos, 4, make_uuid(rng));
+    }
+
+    const wire::Endpoint service_ep{deployment_->node(callee_node).ip(),
+                                    rest_port_for(desc.service)};
+    const wire::Endpoint client_ep{
+        deployment_->node(caller_node).ip(),
+        static_cast<std::uint16_t>(30000 + conn % 20000)};
+    req.src = client_ep;
+    req.dst = service_ep;
+    resp.src = service_ep;
+    resp.dst = client_ep;
+
+    wire::HttpRequest hreq;
+    hreq.method = desc.method;
+    hreq.target = target;
+    hreq.headers.set("Host", std::string(to_string(desc.service)));
+    hreq.headers.set("X-Service", std::string(to_string(step.caller)));
+    hreq.headers.set("X-Auth-Token", make_uuid(rng));
+    if (corr != 0)
+      hreq.headers.set("X-Openstack-Request-Id",
+                       "req-" + std::to_string(corr));
+    hreq.body = body;
+    req.bytes = wire::serialize(hreq);
+
+    wire::HttpResponse hresp;
+    hresp.status = status;
+    if (corr != 0)
+      hresp.headers.set("X-Openstack-Request-Id",
+                        "req-" + std::to_string(corr));
+    if (wire::is_error_status(status)) {
+      hresp.reason = std::string(error_text.empty()
+                                     ? wire::reason_phrase(status)
+                                     : error_text);
+      hresp.body = "{\"error\": \"" + hresp.reason + "\"}";
+    } else {
+      hresp.body = body;
+    }
+    resp.bytes = wire::serialize(hresp);
+  } else {
+    const std::uint64_t msg_id = next_msg_++;
+    req.is_amqp = resp.is_amqp = true;
+
+    const wire::Endpoint broker_ep{deployment_->node(callee_node).ip(),
+                                   wire::ports::kRabbitMq};
+    const wire::Endpoint client_ep{
+        deployment_->node(caller_node).ip(),
+        static_cast<std::uint16_t>(30000 + msg_id % 20000)};
+    req.src = client_ep;
+    req.dst = broker_ep;
+    resp.src = broker_ep;
+    resp.dst = client_ep;
+
+    wire::AmqpFrame publish;
+    publish.type = wire::AmqpFrameType::Publish;
+    publish.msg_id = msg_id;
+    publish.correlation_id = corr;
+    publish.routing_key = std::string(to_string(desc.service)) + "." +
+                          deployment_->node(callee_node).hostname();
+    publish.method_name = desc.rpc_method;
+    publish.payload = body.substr(0, body.size() * 3 / 4);
+    req.bytes = wire::serialize(publish);
+
+    wire::AmqpFrame deliver = publish;
+    deliver.type = wire::AmqpFrameType::Deliver;
+    deliver.payload =
+        wire::is_error_status(status)
+            ? wire::make_rpc_error_payload("RemoteError", error_text)
+            : body.substr(0, body.size() * 3 / 4);
+    resp.bytes = wire::serialize(deliver);
+  }
+
+  if (options_.emit_logs && !noise) {
+    logs_.push_back({t_arrive, callee_node, desc.service, LogLevel::Trace,
+                     "handling " + desc.display_name()});
+    if (wire::is_error_status(status) && log_policy.logged) {
+      logs_.push_back({t_resp, callee_node, desc.service, log_policy.level,
+                       std::string(error_text.empty()
+                                       ? std::string_view("request failed")
+                                       : error_text)});
+    }
+  }
+
+  out.push_back(std::move(req));
+  out.push_back(std::move(resp));
+  return t_resp;
+}
+
+wire::NodeId WorkflowExecutor::node_for(ServiceKind s,
+                                        const InstanceContext& ctx) const {
+  if (s == ServiceKind::NovaCompute || s == ServiceKind::NeutronAgent)
+    return ctx.compute_node;
+  return deployment_->primary_node_for(s);
+}
+
+double WorkflowExecutor::load_factor(wire::NodeId node, SimTime t) const {
+  const double cpu =
+      deployment_->node(node).nominal(net::ResourceKind::CpuPct, t);
+  const double over = std::max(0.0, (cpu - 60.0) / 40.0);
+  return 1.0 + over * over * 4.0;
+}
+
+std::string WorkflowExecutor::make_uuid(util::Rng& rng) const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(36);
+  const int groups[] = {8, 4, 4, 4, 12};
+  for (int g = 0; g < 5; ++g) {
+    if (g) out += '-';
+    for (int i = 0; i < groups[g]; ++i)
+      out += kHex[rng.next_below(16)];
+  }
+  return out;
+}
+
+}  // namespace gretel::stack

@@ -1,0 +1,135 @@
+// Workflow executor: runs operations against the simulated deployment and
+// produces the wire traffic GRETEL captures.
+//
+// This is the control-plane engine of the OpenStack simulator.  Each launch
+// walks its template's steps, serializing real HTTP / AMQP bytes for every
+// request and response, with service times scaled by the callee node's CPU
+// load and delivery times taken from the fabric (including tc-injected
+// latency).  Operational faults fail a chosen step and relay the error to
+// the dashboard through the template's status-poll REST API.  Background
+// noise — Keystone auth, heartbeat RPCs, repeated idempotent GETs — is woven
+// in so that Algorithm 1's noise filtering has something real to remove.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/capture.h"
+#include "stack/deployment.h"
+#include "stack/logging.h"
+#include "stack/faults.h"
+#include "stack/operation.h"
+#include "util/rng.h"
+
+namespace gretel::stack {
+
+// Infrastructure APIs every deployment exhibits regardless of operation:
+// Keystone authentication round-trips and nova-compute heartbeats.  These
+// are exactly the messages GRETEL's fingerprint generation filters out.
+struct InfraApis {
+  wire::ApiId keystone_auth;      // POST /v3/auth/tokens
+  wire::ApiId keystone_validate;  // GET /v3/auth/tokens/<ID>
+  wire::ApiId heartbeat;          // RPC report_state (compute -> nova)
+  wire::ApiId service_update;     // RPC update_service_capabilities
+};
+
+InfraApis register_infra_apis(wire::ApiCatalog& catalog);
+
+struct Launch {
+  const OperationTemplate* op = nullptr;
+  util::SimTime start;
+  std::optional<OperationalFault> fault;
+};
+
+// What the failing service writes to its log for an error exchange
+// (namespace scope: GCC rejects a brace default argument for a nested
+// aggregate inside its own class).
+struct ErrorLogPolicy {
+  bool logged = true;
+  LogLevel level = LogLevel::Warning;
+};
+
+class WorkflowExecutor {
+ public:
+  struct Options {
+    bool emit_keystone_auth = true;
+    bool emit_heartbeats = true;
+    util::SimDuration heartbeat_period = util::SimDuration::seconds(10);
+    // Mean think time between successive steps of one operation.
+    util::SimDuration think_mean = util::SimDuration::millis(3);
+    // Probability that an idempotent GET step is reissued immediately
+    // (retry chatter pruned by the noise filter).
+    double duplicate_get_prob = 0.06;
+    // Emit OpenStack-style correlation (request) ids on every message of an
+    // operation (§5.3.1: the enhancement GRETEL can exploit; off by default
+    // to model the Liberty-era deployments the paper measured).
+    bool emit_correlation_ids = false;
+    // Approximate REST body payload size (bytes); AMQP payloads are ~75%.
+    std::size_t body_bytes = 160;
+    // Collect per-node service logs (read back via logs()) so log-analysis
+    // baselines can be evaluated against the same run.
+    bool emit_logs = true;
+  };
+
+  WorkflowExecutor(Deployment* deployment, const wire::ApiCatalog* catalog,
+                   const InfraApis* infra, std::uint64_t seed,
+                   Options options);
+  // Convenience overload with default options (kept separate: GCC rejects a
+  // brace default argument for a nested aggregate inside its own class).
+  WorkflowExecutor(Deployment* deployment, const wire::ApiCatalog* catalog,
+                   const InfraApis* infra, std::uint64_t seed);
+
+  // Executes all launches; returns the merged, time-sorted wire traffic.
+  std::vector<net::WireRecord> execute(std::span<const Launch> launches);
+
+  // Next instance id that will be assigned (instance ids are sequential).
+  wire::OpInstanceId peek_next_instance() const {
+    return wire::OpInstanceId(next_instance_);
+  }
+
+  // Service logs written during the last execute() (time-sorted).
+  const std::vector<LogLine>& logs() const { return logs_; }
+
+ private:
+  struct InstanceContext {
+    wire::OpInstanceId instance;
+    wire::OpTemplateId tmpl;
+    wire::NodeId compute_node;  // sticky compute for this instance
+    std::vector<std::uint32_t> identifiers;
+    util::Rng rng;
+  };
+
+  void run_launch(const Launch& launch, std::vector<net::WireRecord>& out);
+  void emit_noise(util::SimTime from, util::SimTime to,
+                  std::vector<net::WireRecord>& out);
+
+  // Emits request + response records for one API exchange; returns the
+  // response timestamp.  `status` >= 400 marks an error response.
+  util::SimTime emit_exchange(const InstanceContext& ctx, util::SimTime t,
+                              const ApiStep& step, std::uint16_t status,
+                              std::string_view error_text, bool noise,
+                              std::vector<net::WireRecord>& out,
+                              util::Rng& rng,
+                              ErrorLogPolicy log_policy = {});
+
+  wire::NodeId node_for(wire::ServiceKind s,
+                        const InstanceContext& ctx) const;
+  double load_factor(wire::NodeId node, util::SimTime t) const;
+  std::string make_uuid(util::Rng& rng) const;
+
+  Deployment* deployment_;
+  const wire::ApiCatalog* catalog_;
+  const InfraApis* infra_;
+  Options options_;
+  util::Rng rng_;
+  std::uint32_t next_instance_ = 1;
+  std::uint32_t next_conn_ = 1;
+  std::uint64_t next_msg_ = 1;
+  std::size_t compute_rr_ = 0;  // round-robin cursor over compute nodes
+  std::vector<LogLine> logs_;
+};
+
+}  // namespace gretel::stack

@@ -1,0 +1,93 @@
+// Tempest-like operation catalog (§7.1 "OpenStack characterization").
+//
+// The paper fingerprints 1200 Tempest tests across five categories (Table 1)
+// over OpenStack's 643 public APIs.  With no OpenStack available, this
+// module synthesizes a catalog with the same *structure*: per-category test
+// counts, unique REST/RPC API counts, average fingerprint sizes (with and
+// without RPCs), a maximum fingerprint of 384, and Fig. 5's overlap profile
+// (high within a category through shared "basic operations", low across
+// categories through mostly disjoint API pools plus a small shared pool).
+// Well-known operations from the paper's examples (VM create with its
+// 7 REST + 3 RPC fingerprint, image upload, cinder list) are hand-built so
+// the case studies replay faithfully.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stack/operation.h"
+#include "stack/workflow.h"
+#include "wire/api.h"
+
+namespace gretel::tempest {
+
+// APIs named in the paper's scenarios, exposed for examples and tests.
+struct WellKnownApis {
+  wire::ApiId nova_post_servers;       // POST /v2.1/servers (step 1, Fig. 2)
+  wire::ApiId nova_get_server;         // GET /v2.1/servers/<ID>
+  wire::ApiId nova_post_os_interface;  // POST /v2.1/servers/<ID>/os-interface
+  wire::ApiId neutron_get_ports;       // GET /v2.0/ports.json (Fig. 6)
+  wire::ApiId neutron_post_ports;      // POST /v2.0/ports.json (symbol F, Fig. 4)
+  wire::ApiId neutron_get_networks;    // GET /v2.0/networks.json
+  wire::ApiId neutron_get_quotas;      // GET /v2.0/quotas/<ID>
+  wire::ApiId neutron_get_secgroups;   // GET /v2.0/security-groups.json
+  wire::ApiId glance_get_image;        // GET /v2/images/<ID> (Fig. 8b)
+  wire::ApiId glance_post_images;      // POST /v2/images
+  wire::ApiId glance_put_image_file;   // PUT /v2/images/<ID>/file (§7.2.1)
+  wire::ApiId cinder_get_volumes;      // GET /v2/<ID>/volumes (§7.2.4)
+  wire::ApiId cinder_post_volumes;     // POST /v2/<ID>/volumes
+  wire::ApiId rpc_build_instance;      // nova-compute build_and_run_instance
+  wire::ApiId rpc_allocate_network;    // nova-compute allocate_network
+  wire::ApiId rpc_plug_vif;            // neutron-agent plug_interface
+  wire::ApiId rpc_get_device_details;  // neutron get_devices_details_list (§3.1.2)
+  wire::ApiId rpc_sec_group_info;      // neutron security_group_info_for_devices
+};
+
+// Ids of the hand-built canonical operations inside the catalog.
+struct CanonicalOps {
+  std::size_t vm_create = 0;      // Fig. 2 / Fig. 4: 7 REST + 3 RPC
+  std::size_t vm_snapshot = 0;    // §4: subsumes volume create
+  std::size_t volume_create = 0;  // §4: S2 with S2 -> D S1 E structure
+  std::size_t image_upload = 0;   // §7.2.1
+  std::size_t cinder_list = 0;    // §7.2.4
+};
+
+class TempestCatalog {
+ public:
+  // `fraction` scales per-category test counts (1.0 = the paper's 1200
+  // tests; unit tests use ~0.05 for speed).  All sizes and pools stay
+  // deterministic in `seed`.
+  static TempestCatalog build(std::uint64_t seed = 0xC0DE2016ull,
+                              double fraction = 1.0);
+
+  const wire::ApiCatalog& apis() const { return apis_; }
+  const stack::InfraApis& infra() const { return infra_; }
+  const WellKnownApis& well_known() const { return well_known_; }
+  const CanonicalOps& canonical() const { return canonical_; }
+
+  const std::vector<stack::OperationTemplate>& operations() const {
+    return operations_;
+  }
+  const stack::OperationTemplate& operation(std::size_t i) const {
+    return operations_[i];
+  }
+  // Indices of the operations in one category.
+  const std::vector<std::size_t>& category_ops(stack::Category c) const {
+    return by_category_[static_cast<std::size_t>(c)];
+  }
+
+  // Largest step count across operations (the paper's FPmax input to α).
+  std::size_t max_operation_steps() const;
+
+ private:
+  wire::ApiCatalog apis_;
+  stack::InfraApis infra_;
+  WellKnownApis well_known_;
+  CanonicalOps canonical_;
+  std::vector<stack::OperationTemplate> operations_;
+  std::vector<std::vector<std::size_t>> by_category_ =
+      std::vector<std::vector<std::size_t>>(stack::kCategories);
+};
+
+}  // namespace gretel::tempest

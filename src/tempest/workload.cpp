@@ -1,0 +1,94 @@
+#include "tempest/workload.h"
+
+#include <array>
+
+#include "util/rng.h"
+
+namespace gretel::tempest {
+
+using stack::Category;
+using stack::Launch;
+using util::Rng;
+using util::SimDuration;
+using util::SimTime;
+
+GeneratedWorkload make_parallel_workload(const TempestCatalog& catalog,
+                                         const WorkloadSpec& spec) {
+  Rng rng(spec.seed);
+  GeneratedWorkload out;
+
+  // Category weights proportional to suite distribution.
+  std::array<double, stack::kCategories> weights{};
+  for (std::size_t c = 0; c < stack::kCategories; ++c) {
+    weights[c] =
+        static_cast<double>(catalog.category_ops(static_cast<Category>(c))
+                                .size());
+  }
+
+  auto random_start = [&] {
+    return SimTime::epoch() +
+           SimDuration::nanos(static_cast<std::int64_t>(
+               rng.next_double() *
+               static_cast<double>(spec.window.count())));
+  };
+
+  for (int i = 0; i < spec.concurrent_tests; ++i) {
+    const auto cat_idx = rng.pick_weighted(weights);
+    const auto& ops = catalog.category_ops(static_cast<Category>(cat_idx));
+    const auto op_idx = ops[rng.next_below(ops.size())];
+    out.launches.push_back(
+        {&catalog.operation(op_idx), random_start(), std::nullopt});
+  }
+
+  // Faulty operations: Compute and Network only (§7.3), failing at a
+  // state-change step so the abort relays a REST error to the dashboard.
+  static constexpr std::array<std::uint16_t, 4> kStatuses{500, 409, 404, 503};
+  for (int f = 0; f < spec.faults; ++f) {
+    std::size_t op_idx;
+    if (spec.identical_faulty_op) {
+      op_idx = *spec.identical_faulty_op;
+    } else {
+      const auto cat = rng.chance(0.67) ? Category::Compute
+                                        : Category::Network;
+      const auto& ops = catalog.category_ops(cat);
+      op_idx = ops[rng.next_below(ops.size())];
+    }
+    const auto& op = catalog.operation(op_idx);
+
+    // Pick a state-change step beyond the entry to fail at.
+    std::vector<std::size_t> candidates;
+    for (std::size_t s = 0; s < op.steps.size(); ++s) {
+      if (op.steps[s].transient) continue;
+      if (catalog.apis().get(op.steps[s].api).state_change())
+        candidates.push_back(s);
+    }
+    const std::size_t fail_step =
+        candidates.empty() ? 0
+                           : candidates[rng.next_below(candidates.size())];
+
+    stack::OperationalFault fault;
+    fault.fail_step = fail_step;
+    fault.status = kStatuses[rng.next_below(kStatuses.size())];
+    fault.error_text = "Simulated fault in " + op.name;
+
+    out.faulty_launch_idx.push_back(out.launches.size());
+    out.launches.push_back({&op, random_start(), fault});
+  }
+
+  return out;
+}
+
+std::vector<Launch> make_isolated_runs(const TempestCatalog& catalog,
+                                       std::size_t op_index, int repeats,
+                                       SimDuration gap) {
+  std::vector<Launch> out;
+  out.reserve(static_cast<std::size_t>(repeats));
+  SimTime t = SimTime::epoch();
+  for (int r = 0; r < repeats; ++r) {
+    out.push_back({&catalog.operation(op_index), t, std::nullopt});
+    t += gap;
+  }
+  return out;
+}
+
+}  // namespace gretel::tempest

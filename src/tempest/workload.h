@@ -1,0 +1,46 @@
+// Workload generation for the precision and throughput experiments (§7.3).
+//
+// "We randomly select non-faulty Tempest tests proportional to their
+// distribution in the test suite, and execute them concurrently with a
+// specified number of faulty test cases.  These faulty operations included
+// erroneous APIs only from the Compute and Network category."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "stack/faults.h"
+#include "stack/workflow.h"
+#include "tempest/catalog.h"
+#include "util/time.h"
+
+namespace gretel::tempest {
+
+struct WorkloadSpec {
+  int concurrent_tests = 100;  // non-faulty operations
+  int faults = 1;              // faulty operations (Compute/Network only)
+  // Launch times are uniform over this window, giving heavy interleaving.
+  util::SimDuration window = util::SimDuration::seconds(60);
+  std::uint64_t seed = 1;
+  // Fig. 8a: when set, all faulty launches use this one operation index.
+  std::optional<std::size_t> identical_faulty_op;
+};
+
+struct GeneratedWorkload {
+  std::vector<stack::Launch> launches;
+  // Positions of the faulty launches within `launches`.  A fresh
+  // WorkflowExecutor assigns instance id i+1 to launches[i].
+  std::vector<std::size_t> faulty_launch_idx;
+};
+
+GeneratedWorkload make_parallel_workload(const TempestCatalog& catalog,
+                                         const WorkloadSpec& spec);
+
+// Isolated repeated executions of one operation, spaced so runs never
+// overlap — the §5 controlled setting used to learn fingerprints.
+std::vector<stack::Launch> make_isolated_runs(
+    const TempestCatalog& catalog, std::size_t op_index, int repeats,
+    util::SimDuration gap = util::SimDuration::seconds(30));
+
+}  // namespace gretel::tempest

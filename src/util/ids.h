@@ -1,0 +1,41 @@
+// Strong identifier types.
+//
+// The simulator and the analyzer pass many small integer handles around
+// (APIs, nodes, operations, operation instances).  Tagged wrappers keep them
+// from being mixed up at compile time at zero runtime cost.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace gretel::util {
+
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  constexpr Rep value() const { return value_; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  static constexpr StrongId invalid() { return StrongId(static_cast<Rep>(-1)); }
+  constexpr bool valid() const { return value_ != static_cast<Rep>(-1); }
+
+ private:
+  Rep value_ = static_cast<Rep>(-1);
+};
+
+}  // namespace gretel::util
+
+// Hash support so strong ids can key unordered containers.
+template <typename Tag, typename Rep>
+struct std::hash<gretel::util::StrongId<Tag, Rep>> {
+  std::size_t operator()(
+      const gretel::util::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};

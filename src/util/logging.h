@@ -1,0 +1,47 @@
+// Minimal leveled logger.  The analyzer and monitors log through this so the
+// examples can show GRETEL's diagnosis narrative; benchmarks keep it at Warn.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace gretel::util {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+const char* to_string(LogLevel level);
+
+// Writes one formatted line to stderr if `level` is enabled.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+// Streaming helper: LogStream(LogLevel::Info, "analyzer") << "matched " << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() {
+    if (level_ >= log_level()) log_line(level_, component_, oss_.str());
+  }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (level_ >= log_level()) oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream oss_;
+};
+
+}  // namespace gretel::util
+
+#define GRETEL_LOG(level, component) \
+  ::gretel::util::LogStream(::gretel::util::LogLevel::level, component)

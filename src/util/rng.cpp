@@ -1,0 +1,25 @@
+#include "util/rng.h"
+
+#include <algorithm>
+
+namespace gretel::util {
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    return all;
+  }
+  // Floyd's algorithm: k distinct values without building the full range.
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = next_below(j + 1);
+    if (std::find(out.begin(), out.end(), t) != out.end()) t = j;
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace gretel::util

@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All randomness in the reproduction flows through Rng so that every
+// experiment is reproducible from a single seed.  The core generator is
+// xoshiro256** seeded via splitmix64, which is fast and has no measurable
+// bias for the sizes we draw.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+namespace gretel::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // splitmix64 expansion of the seed into the 256-bit state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  // Raw 64 random bits (xoshiro256**).
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound).  bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Debiased multiply-shift (Lemire).
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli draw.
+  bool chance(double p) { return next_double() < p; }
+
+  // Approximately normal draw via the sum of uniforms (Irwin–Hall); adequate
+  // for latency jitter where precise tails do not matter.
+  double next_gaussian(double mean, double stddev) {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += next_double();
+    return mean + (s - 6.0) * stddev;
+  }
+
+  // Exponential draw with the given mean (> 0).
+  double next_exponential(double mean) {
+    double u = next_double();
+    if (u <= 0.0) u = 1e-12;
+    return -mean * std::log(u);
+  }
+
+  // Picks an index according to non-negative weights.  An all-zero weight
+  // vector picks index 0.
+  std::size_t pick_weighted(std::span<const double> weights) {
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0) return 0;
+    double r = next_double() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r <= 0.0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  // Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = next_below(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) in increasing order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  // Derives an independent child generator; convenient for giving each
+  // operation instance its own stream.
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace gretel::util

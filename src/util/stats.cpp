@@ -1,0 +1,79 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gretel::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double mad_sigma(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median(xs);
+  std::vector<double> dev;
+  dev.reserve(xs.size());
+  for (double x : xs) dev.push_back(std::fabs(x - med));
+  return 1.4826 * median(dev);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> xs) : xs_(std::move(xs)) {
+  std::sort(xs_.begin(), xs_.end());
+}
+
+double EmpiricalCdf::evaluate(double x) const {
+  if (xs_.empty()) return 0.0;
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  return static_cast<double>(it - xs_.begin()) /
+         static_cast<double>(xs_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::points() const {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(xs_.size());
+  for (std::size_t i = 0; i < xs_.size(); ++i) {
+    out.emplace_back(xs_[i], static_cast<double>(i + 1) /
+                                 static_cast<double>(xs_.size()));
+  }
+  return out;
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.value);
+  return out;
+}
+
+}  // namespace gretel::util

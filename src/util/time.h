@@ -1,0 +1,119 @@
+// Simulated time for the GRETEL reproduction.
+//
+// Everything in the simulator and the analyzer is driven by a virtual clock
+// so that experiments are deterministic and can model a 20-minute Tempest run
+// in milliseconds of wall time.  SimTime is a strong nanosecond timestamp;
+// SimDuration is a signed nanosecond span.
+#pragma once
+
+#include <chrono>
+#include <compare>
+#include <cstdint>
+
+namespace gretel::util {
+
+// A signed span of simulated time, in nanoseconds.
+class SimDuration {
+ public:
+  constexpr SimDuration() = default;
+  constexpr explicit SimDuration(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimDuration nanos(std::int64_t n) { return SimDuration(n); }
+  static constexpr SimDuration micros(std::int64_t u) {
+    return SimDuration(u * 1'000);
+  }
+  static constexpr SimDuration millis(std::int64_t m) {
+    return SimDuration(m * 1'000'000);
+  }
+  static constexpr SimDuration seconds(std::int64_t s) {
+    return SimDuration(s * 1'000'000'000);
+  }
+  static constexpr SimDuration minutes(std::int64_t m) {
+    return seconds(m * 60);
+  }
+
+  constexpr std::int64_t count() const { return nanos_; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+  constexpr double to_millis() const {
+    return static_cast<double>(nanos_) / 1e6;
+  }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+
+  constexpr SimDuration operator+(SimDuration o) const {
+    return SimDuration(nanos_ + o.nanos_);
+  }
+  constexpr SimDuration operator-(SimDuration o) const {
+    return SimDuration(nanos_ - o.nanos_);
+  }
+  constexpr SimDuration operator*(std::int64_t k) const {
+    return SimDuration(nanos_ * k);
+  }
+  constexpr SimDuration operator/(std::int64_t k) const {
+    return SimDuration(nanos_ / k);
+  }
+  constexpr SimDuration operator-() const { return SimDuration(-nanos_); }
+  constexpr SimDuration& operator+=(SimDuration o) {
+    nanos_ += o.nanos_;
+    return *this;
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+// An absolute point on the simulated timeline (nanoseconds since sim epoch).
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(std::int64_t nanos) : nanos_(nanos) {}
+
+  static constexpr SimTime epoch() { return SimTime(0); }
+
+  constexpr std::int64_t nanos() const { return nanos_; }
+  constexpr double to_seconds() const {
+    return static_cast<double>(nanos_) / 1e9;
+  }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimDuration d) const {
+    return SimTime(nanos_ + d.count());
+  }
+  constexpr SimTime operator-(SimDuration d) const {
+    return SimTime(nanos_ - d.count());
+  }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration(nanos_ - o.nanos_);
+  }
+  constexpr SimTime& operator+=(SimDuration d) {
+    nanos_ += d.count();
+    return *this;
+  }
+
+ private:
+  std::int64_t nanos_ = 0;
+};
+
+// A manually advanced clock.  The workflow executor advances it as events are
+// scheduled; monitors and detectors read it.
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void advance(SimDuration d) { now_ += d; }
+
+  // Moves the clock forward to `t`; never goes backwards.
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void reset() { now_ = SimTime::epoch(); }
+
+ private:
+  SimTime now_ = SimTime::epoch();
+};
+
+}  // namespace gretel::util

@@ -1,0 +1,162 @@
+#include "wire/api.h"
+
+#include <cassert>
+
+namespace gretel::wire {
+
+std::string_view to_string(ServiceKind s) {
+  switch (s) {
+    case ServiceKind::Horizon:
+      return "horizon";
+    case ServiceKind::Keystone:
+      return "keystone";
+    case ServiceKind::Nova:
+      return "nova";
+    case ServiceKind::NovaCompute:
+      return "nova-compute";
+    case ServiceKind::Neutron:
+      return "neutron";
+    case ServiceKind::NeutronAgent:
+      return "neutron-agent";
+    case ServiceKind::Glance:
+      return "glance";
+    case ServiceKind::Cinder:
+      return "cinder";
+    case ServiceKind::Swift:
+      return "swift";
+    case ServiceKind::RabbitMq:
+      return "rabbitmq";
+    case ServiceKind::MySql:
+      return "mysql";
+    case ServiceKind::Ntp:
+      return "ntp";
+    case ServiceKind::Unknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+std::string_view to_string(HttpMethod m) {
+  switch (m) {
+    case HttpMethod::Get:
+      return "GET";
+    case HttpMethod::Post:
+      return "POST";
+    case HttpMethod::Put:
+      return "PUT";
+    case HttpMethod::Delete:
+      return "DELETE";
+    case HttpMethod::Head:
+      return "HEAD";
+    case HttpMethod::Patch:
+      return "PATCH";
+  }
+  return "?";
+}
+
+std::optional<HttpMethod> parse_http_method(std::string_view token) {
+  if (token == "GET") return HttpMethod::Get;
+  if (token == "POST") return HttpMethod::Post;
+  if (token == "PUT") return HttpMethod::Put;
+  if (token == "DELETE") return HttpMethod::Delete;
+  if (token == "HEAD") return HttpMethod::Head;
+  if (token == "PATCH") return HttpMethod::Patch;
+  return std::nullopt;
+}
+
+std::string ApiDescriptor::display_name() const {
+  std::string out;
+  if (kind == ApiKind::Rest) {
+    out += to_string(method);
+    out += ' ';
+    out += to_string(service);
+    out += ' ';
+    out += path;
+  } else {
+    out += "RPC ";
+    out += to_string(service);
+    out += ' ';
+    out += rpc_method;
+  }
+  return out;
+}
+
+ApiId ApiCatalog::add_rest(ServiceKind service, HttpMethod method,
+                           std::string path) {
+  const std::string key = rest_key(service, method, path);
+  if (auto it = by_rest_.find(key); it != by_rest_.end()) return it->second;
+  ApiId id(static_cast<std::uint16_t>(apis_.size()));
+  ApiDescriptor d;
+  d.id = id;
+  d.kind = ApiKind::Rest;
+  d.service = service;
+  d.method = method;
+  d.path = std::move(path);
+  apis_.push_back(std::move(d));
+  by_rest_.emplace(key, id);
+  return id;
+}
+
+ApiId ApiCatalog::add_rpc(ServiceKind service, std::string topic,
+                          std::string rpc_method) {
+  const std::string key = rpc_key(service, rpc_method);
+  if (auto it = by_rpc_.find(key); it != by_rpc_.end()) return it->second;
+  ApiId id(static_cast<std::uint16_t>(apis_.size()));
+  ApiDescriptor d;
+  d.id = id;
+  d.kind = ApiKind::Rpc;
+  d.service = service;
+  d.path = std::move(topic);
+  d.rpc_method = std::move(rpc_method);
+  apis_.push_back(std::move(d));
+  by_rpc_.emplace(key, id);
+  return id;
+}
+
+std::optional<ApiId> ApiCatalog::find_rest(ServiceKind service,
+                                           HttpMethod method,
+                                           std::string_view path) const {
+  const auto it = by_rest_.find(rest_key(service, method, path));
+  if (it == by_rest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ApiId> ApiCatalog::find_rpc(ServiceKind service,
+                                          std::string_view rpc_method) const {
+  const auto it = by_rpc_.find(rpc_key(service, rpc_method));
+  if (it == by_rpc_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t ApiCatalog::count(ApiKind kind) const {
+  std::size_t n = 0;
+  for (const auto& a : apis_) n += (a.kind == kind) ? 1 : 0;
+  return n;
+}
+
+std::size_t ApiCatalog::count(ApiKind kind, ServiceKind service) const {
+  std::size_t n = 0;
+  for (const auto& a : apis_) {
+    n += (a.kind == kind && a.service == service) ? 1 : 0;
+  }
+  return n;
+}
+
+std::string ApiCatalog::rest_key(ServiceKind service, HttpMethod method,
+                                 std::string_view path) const {
+  std::string key;
+  key += static_cast<char>('A' + static_cast<int>(service));
+  key += static_cast<char>('0' + static_cast<int>(method));
+  key += path;
+  return key;
+}
+
+std::string ApiCatalog::rpc_key(ServiceKind service,
+                                std::string_view method) const {
+  std::string key;
+  key += static_cast<char>('A' + static_cast<int>(service));
+  key += method;
+  return key;
+}
+
+}  // namespace gretel::wire

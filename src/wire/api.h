@@ -1,0 +1,103 @@
+// The OpenStack API surface as GRETEL sees it on the wire.
+//
+// GRETEL's key observation (§5) is that OpenStack components interact through
+// a *finite* set of REST and RPC interfaces.  ApiCatalog is the registry of
+// those interfaces; every captured message resolves to one ApiId, and every
+// ApiId maps to one fingerprint symbol (§6 "Unicode encoding").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/ids.h"
+
+namespace gretel::wire {
+
+// OpenStack component services plus the infrastructure dependencies that
+// participate in control-plane traffic (Fig. 1 of the paper).
+enum class ServiceKind : std::uint8_t {
+  Horizon,
+  Keystone,
+  Nova,         // controller
+  NovaCompute,  // nova-compute agents on compute nodes
+  Neutron,
+  NeutronAgent,  // e.g. neutron-plugin-linuxbridge-agent
+  Glance,
+  Cinder,
+  Swift,
+  RabbitMq,
+  MySql,
+  Ntp,
+  Unknown,
+};
+
+std::string_view to_string(ServiceKind s);
+
+enum class HttpMethod : std::uint8_t { Get, Post, Put, Delete, Head, Patch };
+
+std::string_view to_string(HttpMethod m);
+std::optional<HttpMethod> parse_http_method(std::string_view token);
+
+enum class ApiKind : std::uint8_t { Rest, Rpc };
+
+struct ApiIdTag {};
+using ApiId = util::StrongId<ApiIdTag, std::uint16_t>;
+
+// One REST endpoint (method + URI template) or one RPC method.
+struct ApiDescriptor {
+  ApiId id;
+  ApiKind kind = ApiKind::Rest;
+  ServiceKind service = ServiceKind::Unknown;  // service exposing the API
+  HttpMethod method = HttpMethod::Get;         // REST only
+  std::string path;                            // REST URI template / RPC topic
+  std::string rpc_method;                      // RPC only (oslo method name)
+
+  // State-change APIs anchor fingerprint matching (§5.3.1): POST/PUT/DELETE/
+  // PATCH REST calls and all RPC invocations; GET/HEAD are optional symbols.
+  bool state_change() const {
+    if (kind == ApiKind::Rpc) return true;
+    return method == HttpMethod::Post || method == HttpMethod::Put ||
+           method == HttpMethod::Delete || method == HttpMethod::Patch;
+  }
+
+  // Human-readable name, e.g. "POST nova /servers" or "RPC nova build_and_run_instance".
+  std::string display_name() const;
+};
+
+// Registry of every known API.  Append-only; ids are dense indices, which
+// lets downstream tables (symbols, per-API latency series) be flat vectors.
+class ApiCatalog {
+ public:
+  ApiId add_rest(ServiceKind service, HttpMethod method, std::string path);
+  ApiId add_rpc(ServiceKind service, std::string topic,
+                std::string rpc_method);
+
+  const ApiDescriptor& get(ApiId id) const { return apis_[id.value()]; }
+  std::size_t size() const { return apis_.size(); }
+  const std::vector<ApiDescriptor>& all() const { return apis_; }
+
+  // Wire-side resolution: maps a parsed message back to its ApiId.
+  std::optional<ApiId> find_rest(ServiceKind service, HttpMethod method,
+                                 std::string_view path) const;
+  std::optional<ApiId> find_rpc(ServiceKind service,
+                                std::string_view rpc_method) const;
+
+  // Counts split by kind, optionally restricted to one service.
+  std::size_t count(ApiKind kind) const;
+  std::size_t count(ApiKind kind, ServiceKind service) const;
+
+ private:
+  std::string rest_key(ServiceKind service, HttpMethod method,
+                       std::string_view path) const;
+  std::string rpc_key(ServiceKind service, std::string_view method) const;
+
+  std::vector<ApiDescriptor> apis_;
+  std::unordered_map<std::string, ApiId> by_rest_;
+  std::unordered_map<std::string, ApiId> by_rpc_;
+};
+
+}  // namespace gretel::wire

@@ -1,0 +1,67 @@
+// Addressing for the simulated deployment: nodes, IPv4 addresses, ports.
+//
+// OpenStack deployments put each component service on its own node with a
+// distinct IP (§5.4 "Improving precision"); GRETEL keys per-node metadata by
+// these addresses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/ids.h"
+
+namespace gretel::wire {
+
+struct NodeIdTag {};
+using NodeId = util::StrongId<NodeIdTag, std::uint8_t>;
+
+// A dotted-quad IPv4 address stored as a host-order u32.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t addr) : addr_(addr) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const { return addr_; }
+  constexpr auto operator<=>(const Ipv4&) const = default;
+
+  std::string to_string() const {
+    return std::to_string((addr_ >> 24) & 0xFF) + '.' +
+           std::to_string((addr_ >> 16) & 0xFF) + '.' +
+           std::to_string((addr_ >> 8) & 0xFF) + '.' +
+           std::to_string(addr_ & 0xFF);
+  }
+
+ private:
+  std::uint32_t addr_ = 0;
+};
+
+struct Endpoint {
+  Ipv4 ip;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const {
+    return ip.to_string() + ':' + std::to_string(port);
+  }
+};
+
+// Well-known control-plane ports in the simulated deployment (mirroring the
+// defaults of the real services).
+namespace ports {
+inline constexpr std::uint16_t kHorizon = 80;
+inline constexpr std::uint16_t kKeystone = 5000;
+inline constexpr std::uint16_t kNovaApi = 8774;
+inline constexpr std::uint16_t kNeutronApi = 9696;
+inline constexpr std::uint16_t kGlanceApi = 9292;
+inline constexpr std::uint16_t kCinderApi = 8776;
+inline constexpr std::uint16_t kSwiftProxy = 8080;
+inline constexpr std::uint16_t kRabbitMq = 5672;
+inline constexpr std::uint16_t kMySql = 3306;
+inline constexpr std::uint16_t kNtp = 123;
+}  // namespace ports
+
+}  // namespace gretel::wire

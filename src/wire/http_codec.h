@@ -1,0 +1,57 @@
+// HTTP/1.1 wire codec for OpenStack REST traffic.
+//
+// The real GRETEL deployment captured REST calls with Bro; here the capture
+// tap decodes the byte stream produced by the simulated services.  The codec
+// understands exactly the header-level subset GRETEL needs: request line /
+// status line, Host, Content-Length, and the X-Service header the paper
+// proposes so clients identify the originating component (§5.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "wire/api.h"
+
+namespace gretel::wire {
+
+struct HttpHeaders {
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  void set(std::string name, std::string value) {
+    fields.emplace_back(std::move(name), std::move(value));
+  }
+  // Case-insensitive lookup of the first matching header.
+  std::optional<std::string_view> get(std::string_view name) const;
+};
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::Get;
+  std::string target;  // request URI
+  HttpHeaders headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  std::uint16_t status = 200;
+  std::string reason;
+  HttpHeaders headers;
+  std::string body;
+};
+
+// Canonical reason phrase for the status codes the simulator emits.
+std::string_view reason_phrase(std::uint16_t status);
+
+std::string serialize(const HttpRequest& req);
+std::string serialize(const HttpResponse& resp);
+
+// Both parsers are strict about framing (CRLF line endings, Content-Length
+// consistent with the body) and return nullopt on truncated or malformed
+// input rather than guessing.
+std::optional<HttpRequest> parse_http_request(std::string_view bytes);
+std::optional<HttpResponse> parse_http_response(std::string_view bytes);
+
+}  // namespace gretel::wire

@@ -1,0 +1,105 @@
+// The branched-fingerprint extension (paper limitation 6).
+#include <gtest/gtest.h>
+
+#include "gretel/fingerprint.h"
+#include "gretel/training.h"
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::ApiId;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+class BranchedFingerprintTest : public ::testing::Test {
+ protected:
+  BranchedFingerprintTest()
+      : filter_(&catalog_), generator_(&catalog_, &filter_) {
+    for (int i = 0; i < 8; ++i) {
+      api_.push_back(catalog_.add_rest(ServiceKind::Nova, HttpMethod::Post,
+                                       "/p" + std::to_string(i)));
+    }
+  }
+
+  std::vector<ApiId> seq(std::initializer_list<int> xs) {
+    std::vector<ApiId> out;
+    for (int x : xs) out.push_back(api_[static_cast<std::size_t>(x)]);
+    return out;
+  }
+
+  ApiCatalog catalog_;
+  NoiseFilter filter_;
+  FingerprintGenerator generator_;
+  std::vector<ApiId> api_;
+};
+
+TEST_F(BranchedFingerprintTest, SingleShapeYieldsOneFingerprint) {
+  const auto fps = generator_.from_traces_branched(
+      wire::OpTemplateId(1), "op",
+      {seq({0, 1, 2}), seq({0, 1, 2}), seq({0, 1, 2})});
+  ASSERT_EQ(fps.size(), 1u);
+  EXPECT_EQ(fps[0].name, "op");  // no #k suffix for a single branch
+  EXPECT_EQ(fps[0].sequence, seq({0, 1, 2}));
+}
+
+TEST_F(BranchedFingerprintTest, AsyncBranchPreserved) {
+  // Two trace families: with and without the async insert (API 5).  The
+  // plain fold loses API 5; branched learning keeps both shapes.
+  const std::vector<std::vector<ApiId>> traces{
+      seq({0, 1, 2, 3}), seq({0, 5, 1, 2, 3}), seq({0, 1, 2, 3}),
+      seq({0, 5, 1, 2, 3})};
+
+  const auto plain = generator_.from_traces(wire::OpTemplateId(1), "op",
+                                            traces);
+  EXPECT_FALSE(plain.contains(api_[5]));
+
+  const auto fps = generator_.from_traces_branched(
+      wire::OpTemplateId(1), "op", traces, /*similarity_threshold=*/0.9);
+  ASSERT_EQ(fps.size(), 2u);
+  const bool branch0_has5 = fps[0].contains(api_[5]);
+  const bool branch1_has5 = fps[1].contains(api_[5]);
+  EXPECT_NE(branch0_has5, branch1_has5) << "exactly one branch has API 5";
+  EXPECT_EQ(fps[0].op, fps[1].op) << "branches share the operation id";
+  EXPECT_NE(fps[0].name, fps[1].name);
+}
+
+TEST_F(BranchedFingerprintTest, LowThresholdMergesEverything) {
+  const auto fps = generator_.from_traces_branched(
+      wire::OpTemplateId(1), "op",
+      {seq({0, 1, 2, 3}), seq({0, 5, 1, 2, 3})},
+      /*similarity_threshold=*/0.1);
+  EXPECT_EQ(fps.size(), 1u);
+}
+
+TEST_F(BranchedFingerprintTest, BranchesShareOpIdInDatabase) {
+  FingerprintDb db;
+  for (auto& fp : generator_.from_traces_branched(
+           wire::OpTemplateId(7), "op",
+           {seq({0, 1, 2}), seq({0, 4, 1, 2})}, 0.95)) {
+    db.add(std::move(fp));
+  }
+  ASSERT_EQ(db.size(), 2u);
+  // Both branches are candidates for their shared APIs...
+  EXPECT_EQ(db.containing(api_[0]).size(), 2u);
+  // ...and only the async branch for the branch-specific one.
+  EXPECT_EQ(db.containing(api_[4]).size(), 1u);
+}
+
+TEST(BranchedTraining, ProducesAtLeastOneFingerprintPerOperation) {
+  const auto catalog = tempest::TempestCatalog::build(61, 0.03);
+  auto deployment = stack::Deployment::standard(3);
+  TrainingOptions options;
+  options.branch_similarity = 0.9;
+  options.repeats = 4;
+  const auto report = learn_fingerprints(catalog, deployment, options);
+  EXPECT_GE(report.db.size(), catalog.operations().size());
+
+  // Every operation id appears in the database.
+  std::vector<bool> seen(catalog.operations().size(), false);
+  for (const auto& fp : report.db.all()) seen[fp.op.value()] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace gretel::core

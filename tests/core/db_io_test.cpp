@@ -1,0 +1,126 @@
+#include "gretel/db_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+ApiCatalog small_catalog() {
+  ApiCatalog cat;
+  cat.add_rest(ServiceKind::Nova, HttpMethod::Post, "/v2.1/servers");
+  cat.add_rest(ServiceKind::Nova, HttpMethod::Get, "/v2.1/servers/<ID>");
+  cat.add_rpc(ServiceKind::NovaCompute, "nova-compute",
+              "build_and_run_instance");
+  cat.add_rest(ServiceKind::Glance, HttpMethod::Put, "/v2/images/<ID>/file");
+  return cat;
+}
+
+FingerprintDb sample_db() {
+  FingerprintDb db;
+  Fingerprint a;
+  a.op = wire::OpTemplateId(0);
+  a.name = "vm-create";
+  a.sequence = {wire::ApiId(0), wire::ApiId(2), wire::ApiId(1)};
+  a.state_sequence = {wire::ApiId(0), wire::ApiId(2)};
+  db.add(a);
+
+  Fingerprint b;
+  b.op = wire::OpTemplateId(1);
+  b.name = "image-upload";
+  b.sequence = {wire::ApiId(3), wire::ApiId(1)};
+  b.state_sequence = {wire::ApiId(3)};
+  db.add(b);
+  return db;
+}
+
+TEST(DbIo, RoundTrip) {
+  const auto catalog = small_catalog();
+  const auto db = sample_db();
+  const auto decoded =
+      decode_fingerprint_db(encode_fingerprint_db(db, catalog), catalog);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), 2u);
+  EXPECT_EQ(decoded->get(0).name, "vm-create");
+  EXPECT_EQ(decoded->get(0).sequence, db.get(0).sequence);
+  EXPECT_EQ(decoded->get(1).op, wire::OpTemplateId(1));
+}
+
+TEST(DbIo, StateSequenceRecomputed) {
+  const auto catalog = small_catalog();
+  const auto decoded = decode_fingerprint_db(
+      encode_fingerprint_db(sample_db(), catalog), catalog);
+  ASSERT_TRUE(decoded.has_value());
+  // POST(0), RPC(2) are state changes; GET(1) is not.
+  EXPECT_EQ(decoded->get(0).state_sequence,
+            (std::vector<wire::ApiId>{wire::ApiId(0), wire::ApiId(2)}));
+}
+
+TEST(DbIo, InvertedIndexRebuilt) {
+  const auto catalog = small_catalog();
+  const auto decoded = decode_fingerprint_db(
+      encode_fingerprint_db(sample_db(), catalog), catalog);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->containing(wire::ApiId(1)).size(), 2u);
+  EXPECT_EQ(decoded->containing(wire::ApiId(3)).size(), 1u);
+  EXPECT_EQ(decoded->max_fingerprint_size(), 3u);
+}
+
+TEST(DbIo, RejectsCatalogMismatch) {
+  const auto catalog = small_catalog();
+  const auto data = encode_fingerprint_db(sample_db(), catalog);
+
+  ApiCatalog other = small_catalog();
+  other.add_rest(ServiceKind::Cinder, HttpMethod::Get, "/v2/<ID>/volumes");
+  EXPECT_FALSE(decode_fingerprint_db(data, other).has_value());
+}
+
+TEST(DbIo, CatalogHashStable) {
+  EXPECT_EQ(catalog_hash(small_catalog()), catalog_hash(small_catalog()));
+}
+
+TEST(DbIo, RejectsBadMagicAndTruncation) {
+  const auto catalog = small_catalog();
+  auto data = encode_fingerprint_db(sample_db(), catalog);
+  for (std::size_t len = 0; len < data.size(); len += 3) {
+    EXPECT_FALSE(
+        decode_fingerprint_db(data.substr(0, len), catalog).has_value());
+  }
+  auto bad = data;
+  bad[0] = 'x';
+  EXPECT_FALSE(decode_fingerprint_db(bad, catalog).has_value());
+  data += "y";
+  EXPECT_FALSE(decode_fingerprint_db(data, catalog).has_value());
+}
+
+TEST(DbIo, RejectsOutOfRangeApiIds) {
+  const auto catalog = small_catalog();
+  FingerprintDb db;
+  Fingerprint fp;
+  fp.op = wire::OpTemplateId(0);
+  fp.name = "bad";
+  fp.sequence = {wire::ApiId(99)};  // not in catalog
+  db.add(fp);
+  EXPECT_FALSE(
+      decode_fingerprint_db(encode_fingerprint_db(db, catalog), catalog)
+          .has_value());
+}
+
+TEST(DbIo, FileRoundTrip) {
+  const std::string path = "/tmp/gretel_db_io_test.db";
+  const auto catalog = small_catalog();
+  ASSERT_TRUE(save_fingerprint_db(path, sample_db(), catalog));
+  const auto loaded = load_fingerprint_db(path, catalog);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(load_fingerprint_db(path, catalog).has_value());
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,152 @@
+#include "gretel/fingerprint.h"
+
+#include <gtest/gtest.h>
+
+#include "gretel/fingerprint_db.h"
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::ApiId;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest() : filter_(&catalog_), generator_(&catalog_, &filter_) {
+    post_a_ = catalog_.add_rest(ServiceKind::Nova, HttpMethod::Post, "/a");
+    get_b_ = catalog_.add_rest(ServiceKind::Nova, HttpMethod::Get, "/b");
+    rpc_c_ = catalog_.add_rpc(ServiceKind::NovaCompute, "nova-compute", "c");
+    get_d_ = catalog_.add_rest(ServiceKind::Glance, HttpMethod::Get, "/d");
+    put_e_ = catalog_.add_rest(ServiceKind::Glance, HttpMethod::Put, "/e");
+    keystone_ = catalog_.add_rest(ServiceKind::Keystone, HttpMethod::Post,
+                                  "/v3/auth/tokens");
+  }
+
+  ApiCatalog catalog_;
+  NoiseFilter filter_;
+  FingerprintGenerator generator_;
+  ApiId post_a_, get_b_, rpc_c_, get_d_, put_e_, keystone_;
+};
+
+TEST_F(FingerprintTest, SingleTraceIsFilteredTrace) {
+  const auto fp = generator_.from_traces(
+      wire::OpTemplateId(1), "op",
+      {{keystone_, post_a_, get_b_, get_b_, rpc_c_}});
+  EXPECT_EQ(fp.sequence, (std::vector<ApiId>{post_a_, get_b_, rpc_c_}));
+  EXPECT_EQ(fp.op, wire::OpTemplateId(1));
+  EXPECT_EQ(fp.name, "op");
+}
+
+TEST_F(FingerprintTest, TransientApisRemovedByLcs) {
+  // get_d_ appears only in one of three runs: pruned (§5 re-execution).
+  const auto fp = generator_.from_traces(
+      wire::OpTemplateId(2), "op",
+      {{post_a_, get_b_, rpc_c_},
+       {post_a_, get_d_, get_b_, rpc_c_},
+       {post_a_, get_b_, rpc_c_}});
+  EXPECT_EQ(fp.sequence, (std::vector<ApiId>{post_a_, get_b_, rpc_c_}));
+}
+
+TEST_F(FingerprintTest, StateSequenceExtracted) {
+  const auto fp = generator_.from_traces(
+      wire::OpTemplateId(3), "op",
+      {{post_a_, get_b_, rpc_c_, get_d_, put_e_}});
+  EXPECT_EQ(fp.state_sequence,
+            (std::vector<ApiId>{post_a_, rpc_c_, put_e_}));
+}
+
+TEST_F(FingerprintTest, SizeWithoutRpc) {
+  const auto fp = generator_.from_traces(
+      wire::OpTemplateId(4), "op", {{post_a_, rpc_c_, get_b_, rpc_c_}});
+  EXPECT_EQ(fp.size(), 4u);
+  EXPECT_EQ(fp.size_without_rpc(catalog_), 2u);
+}
+
+TEST_F(FingerprintTest, Contains) {
+  const auto fp = generator_.from_traces(wire::OpTemplateId(5), "op",
+                                         {{post_a_, get_b_}});
+  EXPECT_TRUE(fp.contains(post_a_));
+  EXPECT_FALSE(fp.contains(put_e_));
+}
+
+TEST_F(FingerprintTest, RegexStringAlgorithm1Form) {
+  const SymbolTable symbols(catalog_);
+  const auto fp = generator_.from_traces(
+      wire::OpTemplateId(6), "op", {{post_a_, get_b_, rpc_c_, get_d_}});
+  // POST literal, GET starred, RPC literal (state change), GET starred.
+  std::u32string expected;
+  expected += symbols.symbol(post_a_);
+  expected += symbols.symbol(get_b_);
+  expected += U'*';
+  expected += symbols.symbol(rpc_c_);
+  expected += symbols.symbol(get_d_);
+  expected += U'*';
+  EXPECT_EQ(fp.regex_string(symbols, catalog_, /*include_rpc=*/true),
+            expected);
+}
+
+TEST_F(FingerprintTest, RegexStringWithoutRpc) {
+  const SymbolTable symbols(catalog_);
+  const auto fp = generator_.from_traces(wire::OpTemplateId(7), "op",
+                                         {{post_a_, rpc_c_, put_e_}});
+  std::u32string expected;
+  expected += symbols.symbol(post_a_);
+  expected += symbols.symbol(put_e_);
+  EXPECT_EQ(fp.regex_string(symbols, catalog_, /*include_rpc=*/false),
+            expected);
+}
+
+TEST_F(FingerprintTest, EmptyTraceListYieldsEmptyFingerprint) {
+  const auto fp = generator_.from_traces(wire::OpTemplateId(8), "op", {});
+  EXPECT_TRUE(fp.sequence.empty());
+  EXPECT_TRUE(fp.state_sequence.empty());
+}
+
+TEST_F(FingerprintTest, FromEventTracesUsesRequests) {
+  wire::Event req;
+  req.api = post_a_;
+  req.dir = wire::Direction::Request;
+  wire::Event resp = req;
+  resp.dir = wire::Direction::Response;
+  const auto fp = generator_.from_event_traces(wire::OpTemplateId(9), "op",
+                                               {{req, resp}});
+  EXPECT_EQ(fp.sequence, (std::vector<ApiId>{post_a_}));
+}
+
+TEST_F(FingerprintTest, DbInvertedIndex) {
+  FingerprintDb db;
+  const auto fp1 = generator_.from_traces(wire::OpTemplateId(0), "one",
+                                          {{post_a_, get_b_}});
+  const auto fp2 = generator_.from_traces(wire::OpTemplateId(1), "two",
+                                          {{post_a_, rpc_c_}});
+  const auto i1 = db.add(fp1);
+  const auto i2 = db.add(fp2);
+
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.containing(post_a_),
+            (std::vector<FingerprintDb::Index>{i1, i2}));
+  EXPECT_EQ(db.containing(rpc_c_), (std::vector<FingerprintDb::Index>{i2}));
+  EXPECT_TRUE(db.containing(put_e_).empty());
+}
+
+TEST_F(FingerprintTest, DbMaxSizeTracksLargest) {
+  FingerprintDb db;
+  db.add(generator_.from_traces(wire::OpTemplateId(0), "small",
+                                {{post_a_}}));
+  db.add(generator_.from_traces(wire::OpTemplateId(1), "large",
+                                {{post_a_, get_b_, rpc_c_, get_d_, put_e_}}));
+  EXPECT_EQ(db.max_fingerprint_size(), 5u);
+}
+
+TEST_F(FingerprintTest, DbIndexDeduplicatesRepeatedApis) {
+  FingerprintDb db;
+  const auto idx = db.add(generator_.from_traces(
+      wire::OpTemplateId(0), "rep", {{post_a_, get_b_, post_a_}}));
+  EXPECT_EQ(db.containing(post_a_).size(), 1u);
+  EXPECT_EQ(db.containing(post_a_)[0], idx);
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,113 @@
+#include "gretel/json_export.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+struct Fixture {
+  ApiCatalog catalog;
+  FingerprintDb db;
+  Diagnosis diagnosis;
+
+  Fixture() {
+    const auto post =
+        catalog.add_rest(ServiceKind::Neutron, HttpMethod::Post,
+                         "/v2.0/ports.json");
+    Fingerprint fp;
+    fp.op = wire::OpTemplateId(0);
+    fp.name = "vm-create";
+    fp.sequence = {post};
+    fp.state_sequence = {post};
+    db.add(fp);
+
+    diagnosis.fault.kind = FaultKind::Operational;
+    diagnosis.fault.offending_api = post;
+    diagnosis.fault.detected_at = util::SimTime(1'500'000'000);
+    diagnosis.fault.theta = 1.0;
+    diagnosis.fault.beta_final = 80;
+    diagnosis.fault.candidates = 17;
+    diagnosis.fault.matched_fingerprints = {0};
+    diagnosis.fault.error_events.resize(2);
+
+    Cause cause;
+    cause.kind = CauseKind::SoftwareFailure;
+    cause.node = wire::NodeId(4);
+    cause.detail = "neutron-plugin-linuxbridge-agent";
+    diagnosis.root_cause.causes.push_back(cause);
+    diagnosis.root_cause.expanded_search = true;
+  }
+};
+
+TEST(JsonEscape, PassesPlainText) {
+  EXPECT_EQ(json_escape("hello world"), "hello world");
+}
+
+TEST(JsonEscape, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonExport, ContainsExpectedFields) {
+  const Fixture f;
+  const auto json = to_json(f.diagnosis, f.catalog, f.db);
+  EXPECT_NE(json.find("\"kind\": \"operational\""), std::string::npos);
+  EXPECT_NE(json.find("POST neutron /v2.0/ports.json"), std::string::npos);
+  EXPECT_NE(json.find("\"theta\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"beta_final\": 80"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"vm-create\""), std::string::npos);
+  EXPECT_NE(json.find("\"expanded_search\": true"), std::string::npos);
+  EXPECT_NE(json.find("neutron-plugin-linuxbridge-agent"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"error_events\": 2"), std::string::npos);
+  EXPECT_EQ(json.find("\"latency\""), std::string::npos)
+      << "no latency block for operational faults";
+}
+
+TEST(JsonExport, PerformanceFaultIncludesLatency) {
+  Fixture f;
+  f.diagnosis.fault.kind = FaultKind::Performance;
+  detect::LatencyAlarm alarm;
+  alarm.api = f.diagnosis.fault.offending_api;
+  alarm.alarm.baseline = 5.0;
+  alarm.alarm.magnitude = 50.0;
+  alarm.alarm.direction = detect::ShiftDirection::Up;
+  f.diagnosis.fault.latency = alarm;
+
+  const auto json = to_json(f.diagnosis, f.catalog, f.db);
+  EXPECT_NE(json.find("\"kind\": \"performance\""), std::string::npos);
+  EXPECT_NE(json.find("\"baseline_ms\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"magnitude_ms\": 50"), std::string::npos);
+  EXPECT_NE(json.find("\"direction\": \"up\""), std::string::npos);
+}
+
+TEST(JsonExport, ArrayForm) {
+  const Fixture f;
+  const std::vector<Diagnosis> diagnoses{f.diagnosis, f.diagnosis};
+  const auto json = to_json(diagnoses, f.catalog, f.db);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  // Two top-level objects (each starts with the fault-kind field; nested
+  // cause objects start with "node").
+  std::size_t count = 0;
+  for (std::size_t pos = json.find("{\"kind\""); pos != std::string::npos;
+       pos = json.find("{\"kind\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(JsonExport, EmptyArray) {
+  const Fixture f;
+  EXPECT_EQ(to_json(std::span<const Diagnosis>{}, f.catalog, f.db), "[]");
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,96 @@
+#include "gretel/lcs.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiId;
+
+std::vector<ApiId> ids(std::initializer_list<int> xs) {
+  std::vector<ApiId> out;
+  for (int x : xs) out.emplace_back(static_cast<std::uint16_t>(x));
+  return out;
+}
+
+// True when `sub` is a subsequence of `seq`.
+bool is_subsequence(const std::vector<ApiId>& sub,
+                    const std::vector<ApiId>& seq) {
+  std::size_t need = 0;
+  for (auto x : seq) {
+    if (need < sub.size() && x == sub[need]) ++need;
+  }
+  return need == sub.size();
+}
+
+TEST(Lcs, EmptyInputs) {
+  EXPECT_TRUE(longest_common_subsequence({}, {}).empty());
+  EXPECT_TRUE(longest_common_subsequence(ids({1, 2}), {}).empty());
+  EXPECT_TRUE(longest_common_subsequence({}, ids({1, 2})).empty());
+}
+
+TEST(Lcs, IdenticalSequences) {
+  const auto a = ids({1, 2, 3, 4});
+  EXPECT_EQ(longest_common_subsequence(a, a), a);
+}
+
+TEST(Lcs, ClassicExample) {
+  // LCS of ABCBDAB / BDCABA has length 4 (e.g. BCAB or BDAB).
+  const auto a = ids({1, 2, 3, 2, 4, 1, 2});
+  const auto b = ids({2, 4, 3, 1, 2, 1});
+  const auto lcs = longest_common_subsequence(a, b);
+  EXPECT_EQ(lcs.size(), 4u);
+  EXPECT_TRUE(is_subsequence(lcs, a));
+  EXPECT_TRUE(is_subsequence(lcs, b));
+}
+
+TEST(Lcs, DisjointAlphabets) {
+  EXPECT_TRUE(
+      longest_common_subsequence(ids({1, 2, 3}), ids({4, 5, 6})).empty());
+}
+
+TEST(Lcs, OneIsSubsequenceOfOther) {
+  const auto small = ids({2, 5, 7});
+  const auto big = ids({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_EQ(longest_common_subsequence(small, big), small);
+  EXPECT_EQ(longest_common_subsequence(big, small), small);
+}
+
+TEST(Lcs, RemovesTransientInsertions) {
+  // The Algorithm-1 use case: run 2 has a transient API (9) injected; the
+  // LCS recovers the stable skeleton.
+  const auto run1 = ids({1, 2, 3, 4, 5});
+  const auto run2 = ids({1, 2, 9, 3, 4, 5});
+  EXPECT_EQ(longest_common_subsequence(run1, run2), run1);
+}
+
+// Property sweep over random traces: the result is a common subsequence,
+// and never shorter than what greedy intersection proves possible.
+class LcsProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LcsProperty, IsCommonSubsequenceAndSymmetricLength) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ApiId> a;
+    std::vector<ApiId> b;
+    const auto na = 1 + rng.next_below(40);
+    const auto nb = 1 + rng.next_below(40);
+    for (std::size_t i = 0; i < na; ++i)
+      a.emplace_back(static_cast<std::uint16_t>(rng.next_below(8)));
+    for (std::size_t i = 0; i < nb; ++i)
+      b.emplace_back(static_cast<std::uint16_t>(rng.next_below(8)));
+
+    const auto ab = longest_common_subsequence(a, b);
+    const auto ba = longest_common_subsequence(b, a);
+    EXPECT_TRUE(is_subsequence(ab, a));
+    EXPECT_TRUE(is_subsequence(ab, b));
+    EXPECT_EQ(ab.size(), ba.size());  // length is symmetric
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LcsProperty, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace gretel::core

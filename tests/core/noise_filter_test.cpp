@@ -1,0 +1,114 @@
+#include "gretel/noise_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::ApiId;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+class NoiseFilterTest : public ::testing::Test {
+ protected:
+  NoiseFilterTest() {
+    keystone_auth_ = catalog_.add_rest(ServiceKind::Keystone,
+                                       HttpMethod::Post, "/v3/auth/tokens");
+    nova_get_ = catalog_.add_rest(ServiceKind::Nova, HttpMethod::Get,
+                                  "/v2.1/servers/<ID>");
+    nova_post_ = catalog_.add_rest(ServiceKind::Nova, HttpMethod::Post,
+                                   "/v2.1/servers");
+    heartbeat_ = catalog_.add_rpc(ServiceKind::Nova, "nova", "report_state");
+    rpc_build_ = catalog_.add_rpc(ServiceKind::NovaCompute, "nova-compute",
+                                  "build_and_run_instance");
+  }
+
+  ApiCatalog catalog_;
+  ApiId keystone_auth_, nova_get_, nova_post_, heartbeat_, rpc_build_;
+};
+
+TEST_F(NoiseFilterTest, KeystoneApisAreNoise) {
+  NoiseFilter filter(&catalog_);
+  EXPECT_TRUE(filter.is_noise_api(keystone_auth_));
+  EXPECT_FALSE(filter.is_noise_api(nova_get_));
+  EXPECT_FALSE(filter.is_noise_api(nova_post_));
+}
+
+TEST_F(NoiseFilterTest, HeartbeatRpcsAreNoise) {
+  NoiseFilter filter(&catalog_);
+  EXPECT_TRUE(filter.is_noise_api(heartbeat_));
+  EXPECT_FALSE(filter.is_noise_api(rpc_build_));
+}
+
+TEST_F(NoiseFilterTest, CustomHeartbeatName) {
+  NoiseFilter filter(&catalog_);
+  const auto custom =
+      catalog_.add_rpc(ServiceKind::Cinder, "cinder", "publish_capacity");
+  EXPECT_FALSE(filter.is_noise_api(custom));
+  filter.add_heartbeat_rpc("publish_capacity");
+  EXPECT_TRUE(filter.is_noise_api(custom));
+}
+
+TEST_F(NoiseFilterTest, FilterDropsNoiseApis) {
+  NoiseFilter filter(&catalog_);
+  const auto out = filter.filter(
+      {keystone_auth_, nova_post_, heartbeat_, nova_get_, keystone_auth_});
+  EXPECT_EQ(out, (std::vector<ApiId>{nova_post_, nova_get_}));
+}
+
+TEST_F(NoiseFilterTest, CollapsesConsecutiveIdempotentRepeats) {
+  NoiseFilter filter(&catalog_);
+  const auto out =
+      filter.filter({nova_get_, nova_get_, nova_get_, nova_post_, nova_get_});
+  EXPECT_EQ(out, (std::vector<ApiId>{nova_get_, nova_post_, nova_get_}));
+}
+
+TEST_F(NoiseFilterTest, StateChangeRepeatsKept) {
+  // Two consecutive POSTs are two state changes, not idempotent chatter.
+  NoiseFilter filter(&catalog_);
+  const auto out = filter.filter({nova_post_, nova_post_});
+  EXPECT_EQ(out, (std::vector<ApiId>{nova_post_, nova_post_}));
+}
+
+TEST_F(NoiseFilterTest, RpcRepeatsKept) {
+  NoiseFilter filter(&catalog_);
+  const auto out = filter.filter({rpc_build_, rpc_build_});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(NoiseFilterTest, NoiseRemovalCanCreateAdjacency) {
+  // GET, keystone, GET -> the keystone drop makes the GETs adjacent, and
+  // the repeat-collapse then merges them (matches the paper's intent:
+  // repeats of an idempotent action on one URI don't segregate operations).
+  NoiseFilter filter(&catalog_);
+  const auto out = filter.filter({nova_get_, keystone_auth_, nova_get_});
+  EXPECT_EQ(out, (std::vector<ApiId>{nova_get_}));
+}
+
+TEST_F(NoiseFilterTest, FilterIdempotent) {
+  NoiseFilter filter(&catalog_);
+  const std::vector<ApiId> trace{keystone_auth_, nova_get_,  nova_get_,
+                                 nova_post_,     heartbeat_, nova_get_};
+  const auto once = filter.filter(trace);
+  EXPECT_EQ(filter.filter(once), once);
+}
+
+TEST_F(NoiseFilterTest, EmptyTrace) {
+  NoiseFilter filter(&catalog_);
+  EXPECT_TRUE(filter.filter({}).empty());
+}
+
+TEST_F(NoiseFilterTest, FilterEventsUsesRequestsOnly) {
+  NoiseFilter filter(&catalog_);
+  wire::Event req;
+  req.api = nova_post_;
+  req.dir = wire::Direction::Request;
+  wire::Event resp = req;
+  resp.dir = wire::Direction::Response;
+  const auto out = filter.filter_events({req, resp, req, resp});
+  EXPECT_EQ(out, (std::vector<ApiId>{nova_post_, nova_post_}));
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,240 @@
+#include "gretel/op_detector.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::core {
+namespace {
+
+using wire::ApiCatalog;
+using wire::ApiId;
+using wire::Direction;
+using wire::Event;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+// Catalog with GETs 0..5, POSTs 6..11, RPCs 12..13.
+class OpDetectorTest : public ::testing::Test {
+ protected:
+  OpDetectorTest() {
+    for (int i = 0; i < 6; ++i) {
+      catalog_.add_rest(ServiceKind::Nova, HttpMethod::Get,
+                        "/g" + std::to_string(i));
+    }
+    for (int i = 0; i < 6; ++i) {
+      catalog_.add_rest(ServiceKind::Nova, HttpMethod::Post,
+                        "/p" + std::to_string(i));
+    }
+    catalog_.add_rpc(ServiceKind::NovaCompute, "nova-compute", "r0");
+    catalog_.add_rpc(ServiceKind::NovaCompute, "nova-compute", "r1");
+  }
+
+  Fingerprint make_fp(std::uint32_t op, std::initializer_list<int> seq) {
+    Fingerprint fp;
+    fp.op = wire::OpTemplateId(op);
+    fp.name = "op-" + std::to_string(op);
+    for (int x : seq) {
+      fp.sequence.emplace_back(static_cast<std::uint16_t>(x));
+      if (catalog_.get(fp.sequence.back()).state_change())
+        fp.state_sequence.push_back(fp.sequence.back());
+    }
+    return fp;
+  }
+
+  // Builds a window of request events from api ids; every event a request.
+  static std::vector<Event> window_of(std::initializer_list<int> apis) {
+    std::vector<Event> out;
+    std::uint64_t seq = 0;
+    for (int a : apis) {
+      Event ev;
+      ev.seq = seq++;
+      ev.api = ApiId(static_cast<std::uint16_t>(a));
+      ev.dir = Direction::Request;
+      out.push_back(ev);
+    }
+    return out;
+  }
+
+  GretelConfig tiny_config() {
+    GretelConfig config;
+    config.fp_max = 8;  // α = 16
+    config.p_rate = 1.0;
+    config.match_rpc = true;
+    return config;
+  }
+
+  ApiCatalog catalog_;
+};
+
+TEST_F(OpDetectorTest, ThetaFormula) {
+  FingerprintDb db;
+  for (std::uint32_t i = 0; i < 11; ++i) db.add(make_fp(i, {6}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+  EXPECT_DOUBLE_EQ(det.theta(1), 1.0);   // single match: perfect
+  EXPECT_DOUBLE_EQ(det.theta(11), 0.0);  // everything matched: useless
+  EXPECT_DOUBLE_EQ(det.theta(6), 0.5);
+  EXPECT_DOUBLE_EQ(det.theta(0), 0.0);   // no match: no information
+}
+
+TEST_F(OpDetectorTest, SingleCandidateExactMatch) {
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {6, 0, 7, 1}));  // P G P G
+  const OperationDetector det(&db, &catalog_, tiny_config());
+
+  const auto window = window_of({6, 0, 7, 1});
+  const auto result = det.detect(window, 2, ApiId(7), /*truncate=*/true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+  EXPECT_DOUBLE_EQ(result.theta, 1.0);
+  EXPECT_EQ(result.candidates, 1u);
+}
+
+TEST_F(OpDetectorTest, NoCandidatesForUnknownApi) {
+  FingerprintDb db;
+  db.add(make_fp(0, {6, 7}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+  const auto window = window_of({6, 7});
+  const auto result = det.detect(window, 1, ApiId(9), true);
+  EXPECT_TRUE(result.matched.empty());
+  EXPECT_EQ(result.candidates, 0u);
+  EXPECT_DOUBLE_EQ(result.theta, 0.0);
+}
+
+TEST_F(OpDetectorTest, TruncationIgnoresStepsAfterFault) {
+  // Fingerprint P6 P7 P8: the operation aborted at P7, so P8 never shows.
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {6, 7, 8}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+  const auto window = window_of({6, 7});
+  const auto result = det.detect(window, 1, ApiId(7), /*truncate=*/true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+}
+
+TEST_F(OpDetectorTest, WithoutTruncationAbortedOpDoesNotMatch) {
+  FingerprintDb db;
+  db.add(make_fp(0, {6, 7, 8}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+  const auto window = window_of({6, 7});
+  const auto result = det.detect(window, 1, ApiId(7), /*truncate=*/false);
+  EXPECT_TRUE(result.matched.empty());
+}
+
+TEST_F(OpDetectorTest, InterleavedForeignSymbolsTolerated) {
+  // Fig. 4: E..F preserved despite interleavings and a missing optional A.
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {0, 6, 1, 7, 2}));  // G P G P G
+  db.add(make_fp(1, {8, 9}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+
+  const auto window = window_of({6, 3, 8, 1, 9, 7, 4});
+  const auto result = det.detect(window, 5, ApiId(7), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+}
+
+TEST_F(OpDetectorTest, RpcPruningStillMatches) {
+  auto config = tiny_config();
+  config.match_rpc = false;
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {6, 12, 7}));  // P RPC P
+  const OperationDetector det(&db, &catalog_, config);
+  // Snapshot misses the RPC entirely (e.g. it rode a different tap).
+  const auto window = window_of({6, 7});
+  const auto result = det.detect(window, 1, ApiId(7), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+}
+
+TEST_F(OpDetectorTest, WithRpcMatchingRequiresRpcInSnapshot) {
+  FingerprintDb db;
+  db.add(make_fp(0, {6, 12, 7}));
+  const OperationDetector det(&db, &catalog_, tiny_config());  // match_rpc
+  const auto window = window_of({6, 7});
+  const auto result = det.detect(window, 1, ApiId(7), true);
+  EXPECT_TRUE(result.matched.empty());
+}
+
+TEST_F(OpDetectorTest, StopsWhenPrecisionWouldDrop) {
+  // Two candidates contain P7.  Near the fault only op0 matches; the decoy's
+  // literal P8 appears far away in the window.  Growth must stop before
+  // admitting the decoy.
+  FingerprintDb db;
+  const auto good = db.add(make_fp(0, {6, 7}));
+  db.add(make_fp(1, {8, 7}));
+
+  GretelConfig config = tiny_config();
+  config.fp_max = 16;  // α = 32, β0 = 3, δ = 1
+  config.c1 = 0.1;
+  config.c2 = 0.04;
+  const OperationDetector det(&db, &catalog_, config);
+
+  // Window: P8 far left ... P6 P7(fault) ... padding right.
+  std::vector<int> apis{8, 0, 1, 2, 3, 4, 5, 0, 1, 2, 6, 7,
+                        0, 1, 2, 3, 4, 5, 0, 1, 2, 3, 4, 5};
+  std::vector<Event> window;
+  std::uint64_t seq = 0;
+  for (int a : apis) {
+    Event ev;
+    ev.seq = seq++;
+    ev.api = ApiId(static_cast<std::uint16_t>(a));
+    ev.dir = Direction::Request;
+    window.push_back(ev);
+  }
+  const auto result = det.detect(window, 11, ApiId(7), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], good);
+  EXPECT_DOUBLE_EQ(result.theta, 1.0);
+  EXPECT_LT(result.beta_final, 11u);  // stopped before reaching the decoy
+}
+
+TEST_F(OpDetectorTest, GrowsUntilMatchFound) {
+  // The only literal pair spans more than β0 messages: the detector must
+  // keep growing past empty iterations instead of stopping at n=0.
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {6, 7}));
+  GretelConfig config = tiny_config();
+  config.fp_max = 16;  // β0 = 3, δ = 1
+  const OperationDetector det(&db, &catalog_, config);
+
+  std::vector<int> apis;
+  apis.push_back(6);
+  for (int i = 0; i < 8; ++i) apis.push_back(i % 6);  // GET padding
+  apis.push_back(7);
+  const auto window = window_of({6, 0, 1, 2, 3, 4, 5, 0, 1, 7});
+  (void)apis;
+  const auto result = det.detect(window, 9, ApiId(7), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+  EXPECT_GT(result.beta_final, 3u);
+}
+
+TEST_F(OpDetectorTest, ResponsesIgnoredInPattern) {
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {6, 7}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+
+  std::vector<Event> window = window_of({6, 7});
+  Event resp;
+  resp.api = ApiId(8);  // a response for another op's POST
+  resp.dir = Direction::Response;
+  resp.status = 200;
+  window.insert(window.begin() + 1, resp);
+  const auto result = det.detect(window, 2, ApiId(7), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+}
+
+TEST_F(OpDetectorTest, DegenerateTruncationAnchorsOnOffendingApi) {
+  // Offending API is the leading GET: the truncated prefix has no state
+  // change, so the detector anchors on the offending API itself.
+  FingerprintDb db;
+  const auto idx = db.add(make_fp(0, {0, 6, 7}));
+  const OperationDetector det(&db, &catalog_, tiny_config());
+  const auto window = window_of({0, 1, 2});
+  const auto result = det.detect(window, 0, ApiId(0), true);
+  ASSERT_EQ(result.matched.size(), 1u);
+  EXPECT_EQ(result.matched[0], idx);
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,186 @@
+// Direct unit tests for the root-cause engine (Algorithm 3), built on a
+// hand-assembled fingerprint DB and metrics so each rule is isolated.
+#include "gretel/root_cause.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <optional>
+
+namespace gretel::core {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::NodeId;
+using wire::ServiceKind;
+
+class RootCauseTest : public ::testing::Test {
+ protected:
+  RootCauseTest() : deployment_(stack::Deployment::standard(2)) {
+    nova_api_ = catalog_.add_rest(ServiceKind::Nova, wire::HttpMethod::Post,
+                                  "/v2.1/servers");
+    neutron_api_ = catalog_.add_rest(ServiceKind::Neutron,
+                                     wire::HttpMethod::Post,
+                                     "/v2.0/ports.json");
+    rpc_compute_ = catalog_.add_rpc(ServiceKind::NovaCompute, "nova-compute",
+                                    "build");
+
+    Fingerprint fp;
+    fp.op = wire::OpTemplateId(0);
+    fp.name = "vm-create";
+    fp.sequence = {nova_api_, rpc_compute_, neutron_api_};
+    fp.state_sequence = fp.sequence;
+    db_.add(fp);
+
+    watcher_ = std::make_unique<monitor::DependencyWatcher>(&deployment_);
+    engine_ = std::make_unique<RootCauseEngine>(&db_, &catalog_, &deployment_,
+                                                &metrics_, watcher_.get());
+  }
+
+  // Seeds a flat resource series for every node, 0..60 s.  One (node,
+  // kind, window) triple can be overridden with a surge level — mirroring
+  // what the 1 Hz monitor would actually record during a perturbation.
+  void seed_flat_metrics(std::optional<wire::NodeId> surge_node = {},
+                         net::ResourceKind surge_kind =
+                             net::ResourceKind::CpuPct,
+                         int surge_from = 0, int surge_to = 0,
+                         double surge_level = 0.0) {
+    for (auto node : deployment_.node_ids()) {
+      for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
+        const auto kind = static_cast<net::ResourceKind>(k);
+        const double level =
+            kind == net::ResourceKind::DiskFreeMb ? 100000.0 : 20.0;
+        for (int t = 0; t < 60; ++t) {
+          const bool surged = surge_node && node == *surge_node &&
+                              kind == surge_kind && t >= surge_from &&
+                              t < surge_to;
+          metrics_.record(node, kind, t,
+                          surged ? surge_level : level + 0.1 * (t % 3));
+        }
+      }
+    }
+  }
+
+  FaultReport fault_with_error_nodes(NodeId a, NodeId b) {
+    FaultReport fault;
+    fault.offending_api = neutron_api_;
+    fault.matched_fingerprints = {0};
+    fault.window_start = SimTime::epoch() + SimDuration::seconds(20);
+    fault.window_end = SimTime::epoch() + SimDuration::seconds(30);
+    wire::Event err;
+    err.dir = wire::Direction::Response;
+    err.status = 500;
+    err.src_node = a;
+    err.dst_node = b;
+    fault.error_events.push_back(err);
+    return fault;
+  }
+
+  stack::Deployment deployment_;
+  wire::ApiCatalog catalog_;
+  FingerprintDb db_;
+  monitor::MetricsStore metrics_;
+  std::unique_ptr<monitor::DependencyWatcher> watcher_;
+  std::unique_ptr<RootCauseEngine> engine_;
+  wire::ApiId nova_api_, neutron_api_, rpc_compute_;
+};
+
+TEST_F(RootCauseTest, NodesForOperationsFollowServices) {
+  const auto nodes = engine_->nodes_for_operations({0});
+  // vm-create touches Nova, Neutron and the computes (NovaCompute).
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(),
+                      deployment_.primary_node_for(ServiceKind::Nova)),
+            nodes.end());
+  EXPECT_NE(std::find(nodes.begin(), nodes.end(),
+                      deployment_.primary_node_for(ServiceKind::Neutron)),
+            nodes.end());
+  for (auto compute : deployment_.nodes_for(ServiceKind::NovaCompute)) {
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), compute), nodes.end());
+  }
+}
+
+TEST_F(RootCauseTest, CleanStateYieldsNoCauses) {
+  seed_flat_metrics();
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  EXPECT_TRUE(report.causes.empty());
+  EXPECT_TRUE(report.expanded_search) << "clean endpoints -> expanded";
+}
+
+TEST_F(RootCauseTest, ResourceAnomalyOnErrorNode) {
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  // CPU surge inside the fault window only.
+  seed_flat_metrics(neutron, net::ResourceKind::CpuPct, 20, 30, 95.0);
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  ASSERT_FALSE(report.causes.empty());
+  EXPECT_FALSE(report.expanded_search);
+  EXPECT_EQ(report.causes.front().node, neutron);
+  EXPECT_EQ(report.causes.front().kind, CauseKind::ResourceAnomaly);
+  EXPECT_NE(report.causes.front().detail.find("cpu"), std::string::npos);
+}
+
+TEST_F(RootCauseTest, SoftwareFailureOutranksResourceAnomaly) {
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  seed_flat_metrics(neutron, net::ResourceKind::CpuPct, 20, 30, 95.0);
+  deployment_.node(neutron).inject_outage(
+      {"neutron-server", SimTime::epoch(),
+       SimTime::epoch() + SimDuration::minutes(5)});
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  ASSERT_GE(report.causes.size(), 2u);
+  EXPECT_EQ(report.causes.front().kind, CauseKind::SoftwareFailure);
+  EXPECT_EQ(report.causes.front().detail, "neutron-server");
+}
+
+TEST_F(RootCauseTest, ExpandsUpstreamWhenEndpointsClean) {
+  seed_flat_metrics();
+  // Crash on a compute node, which is NOT among the error endpoints.
+  const auto computes = deployment_.nodes_for(ServiceKind::NovaCompute);
+  deployment_.node(computes.front())
+      .inject_outage({"neutron-plugin-linuxbridge-agent", SimTime::epoch(),
+                      SimTime::epoch() + SimDuration::minutes(5)});
+
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  ASSERT_FALSE(report.causes.empty());
+  EXPECT_TRUE(report.expanded_search);
+  EXPECT_EQ(report.causes.front().node, computes.front());
+  EXPECT_EQ(report.causes.front().detail,
+            "neutron-plugin-linuxbridge-agent");
+}
+
+TEST_F(RootCauseTest, AnomalyOutsideWindowIgnored) {
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  // Surge well before the fault window (and its 3 s pad).
+  seed_flat_metrics(neutron, net::ResourceKind::CpuPct, 5, 10, 95.0);
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  EXPECT_TRUE(report.causes.empty());
+}
+
+TEST_F(RootCauseTest, DiskFloorViaAbsoluteRule) {
+  // Disk has been nearly full the whole time: no *relative* anomaly, but
+  // the absolute floor rule fires inside the window.  (Seed manually: the
+  // flat helper would give the node a healthy disk series.)
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  for (int t = 0; t < 60; ++t) {
+    metrics_.record(neutron, net::ResourceKind::CpuPct, t, 20.0);
+    metrics_.record(neutron, net::ResourceKind::DiskFreeMb, t, 300.0);
+  }
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto report = engine_->analyze(fault_with_error_nodes(nova, neutron));
+  ASSERT_FALSE(report.causes.empty());
+  bool disk = false;
+  for (const auto& c : report.causes) {
+    disk = disk || c.detail.find("disk") != std::string::npos;
+  }
+  EXPECT_TRUE(disk);
+}
+
+}  // namespace
+}  // namespace gretel::core

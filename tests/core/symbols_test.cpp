@@ -1,0 +1,64 @@
+#include "gretel/symbols.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::core {
+namespace {
+
+wire::ApiCatalog three_api_catalog() {
+  wire::ApiCatalog cat;
+  cat.add_rest(wire::ServiceKind::Nova, wire::HttpMethod::Get, "/a");
+  cat.add_rest(wire::ServiceKind::Nova, wire::HttpMethod::Post, "/b");
+  cat.add_rpc(wire::ServiceKind::Neutron, "neutron", "m");
+  return cat;
+}
+
+TEST(SymbolTable, DenseAssignmentFromCjkBlock) {
+  const auto cat = three_api_catalog();
+  const SymbolTable symbols(cat);
+  EXPECT_EQ(symbols.size(), 3u);
+  EXPECT_EQ(symbols.symbol(wire::ApiId(0)), SymbolTable::kFirstSymbol);
+  EXPECT_EQ(symbols.symbol(wire::ApiId(2)), SymbolTable::kFirstSymbol + 2);
+}
+
+TEST(SymbolTable, InverseMapping) {
+  const auto cat = three_api_catalog();
+  const SymbolTable symbols(cat);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(symbols.api(symbols.symbol(wire::ApiId(i))), wire::ApiId(i));
+  }
+}
+
+TEST(SymbolTable, OutOfRangeSymbolInvalid) {
+  const auto cat = three_api_catalog();
+  const SymbolTable symbols(cat);
+  EXPECT_FALSE(symbols.api(SymbolTable::kFirstSymbol - 1).valid());
+  EXPECT_FALSE(symbols.api(SymbolTable::kFirstSymbol + 3).valid());
+  EXPECT_FALSE(symbols.api(U'x').valid());
+}
+
+TEST(SymbolTable, EncodeSequence) {
+  const auto cat = three_api_catalog();
+  const SymbolTable symbols(cat);
+  const auto encoded =
+      symbols.encode({wire::ApiId(2), wire::ApiId(0), wire::ApiId(2)});
+  ASSERT_EQ(encoded.size(), 3u);
+  EXPECT_EQ(encoded[0], SymbolTable::kFirstSymbol + 2);
+  EXPECT_EQ(encoded[1], SymbolTable::kFirstSymbol);
+  EXPECT_EQ(encoded[2], SymbolTable::kFirstSymbol + 2);
+}
+
+TEST(SymbolTable, SupportsFullOpenStackApiSurface) {
+  // 643 public APIs must all get distinct printable symbols.
+  wire::ApiCatalog cat;
+  for (int i = 0; i < 643; ++i) {
+    cat.add_rest(wire::ServiceKind::Nova, wire::HttpMethod::Get,
+                 "/api/" + std::to_string(i));
+  }
+  const SymbolTable symbols(cat);
+  EXPECT_EQ(symbols.size(), 643u);
+  EXPECT_EQ(symbols.api(symbols.symbol(wire::ApiId(642))), wire::ApiId(642));
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,129 @@
+#include "gretel/window.h"
+
+#include <gtest/gtest.h>
+
+#include "gretel/config.h"
+
+namespace gretel::core {
+namespace {
+
+wire::Event event_with(std::uint16_t api) {
+  wire::Event ev;
+  ev.api = wire::ApiId(api);
+  return ev;
+}
+
+TEST(GretelConfig, AlphaFormulaPaperValues) {
+  // §7: FPmax = 384, Prate = 150 pps, t = 1 s -> α = 2*max(384,150) = 768.
+  GretelConfig config;
+  config.fp_max = 384;
+  config.p_rate = 150.0;
+  config.t_seconds = 1.0;
+  EXPECT_EQ(config.alpha(), 768u);
+  // β0 = c1·α ≈ 76 (the paper rounds to 80), δ = c2·α ≈ 30.
+  EXPECT_EQ(config.beta0(), 76u);
+  EXPECT_EQ(config.delta(), 30u);
+}
+
+TEST(GretelConfig, HighRateDominatesAlpha) {
+  GretelConfig config;
+  config.fp_max = 384;
+  config.p_rate = 50000.0;
+  config.t_seconds = 1.0;
+  EXPECT_EQ(config.alpha(), 100000u);
+}
+
+TEST(GretelConfig, BetaDeltaNeverZero) {
+  GretelConfig config;
+  config.fp_max = 2;
+  config.p_rate = 1.0;
+  EXPECT_GE(config.beta0(), 1u);
+  EXPECT_GE(config.delta(), 1u);
+}
+
+TEST(DualBuffer, FutureReadySemantics) {
+  DualBuffer buf(8);  // α = 8
+  for (int i = 0; i < 5; ++i) buf.push(event_with(0));
+  // Center 2: future ready once end_seq > 2 + 4.
+  EXPECT_FALSE(buf.future_ready(2));
+  buf.push(event_with(0));
+  buf.push(event_with(0));
+  EXPECT_TRUE(buf.future_ready(2));
+}
+
+TEST(DualBuffer, FreezeCentersWindow) {
+  DualBuffer buf(8);
+  for (std::uint16_t i = 0; i < 20; ++i) buf.push(event_with(i));
+  std::size_t center_index = 0;
+  const auto snap = buf.freeze(12, &center_index);
+  // [12-4, 12+4) = events 8..15.
+  ASSERT_EQ(snap.size(), 8u);
+  EXPECT_EQ(snap.front().api, wire::ApiId(8));
+  EXPECT_EQ(snap.back().api, wire::ApiId(15));
+  EXPECT_EQ(center_index, 4u);
+  EXPECT_EQ(snap[center_index].api, wire::ApiId(12));
+}
+
+TEST(DualBuffer, FreezeClampsAtStreamStart) {
+  DualBuffer buf(8);
+  for (std::uint16_t i = 0; i < 6; ++i) buf.push(event_with(i));
+  std::size_t center_index = 0;
+  const auto snap = buf.freeze(1, &center_index);
+  ASSERT_EQ(snap.size(), 5u);  // [0, 5)
+  EXPECT_EQ(snap.front().api, wire::ApiId(0));
+  EXPECT_EQ(center_index, 1u);
+  EXPECT_EQ(snap[center_index].api, wire::ApiId(1));
+}
+
+TEST(DualBuffer, PastAvailableWithin2Alpha) {
+  DualBuffer buf(8);  // ring capacity 16
+  for (int i = 0; i < 30; ++i) buf.push(event_with(0));
+  // first resident seq = 14; center 18 needs past from 14.
+  EXPECT_TRUE(buf.past_available(18));
+  EXPECT_FALSE(buf.past_available(10));
+}
+
+TEST(DualBuffer, FreezeTruncatedWhenPastEvicted) {
+  DualBuffer buf(4);  // ring capacity 8
+  for (std::uint16_t i = 0; i < 40; ++i) buf.push(event_with(i));
+  // Residents: 32..39; center 33 wants [31, 35) but 31 is gone.
+  std::size_t center_index = 0;
+  const auto snap = buf.freeze(33, &center_index);
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap.front().api, wire::ApiId(32));
+  EXPECT_EQ(center_index, 1u);
+}
+
+TEST(DualBuffer, NullCenterIndexAccepted) {
+  DualBuffer buf(4);
+  for (int i = 0; i < 8; ++i) buf.push(event_with(0));
+  EXPECT_EQ(buf.freeze(4, nullptr).size(), 4u);
+}
+
+// Property: for any α and stream length, the frozen window contains at most
+// α events and always includes the center (when resident).
+class DualBufferProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DualBufferProperty, WindowBoundsInvariant) {
+  const auto [alpha, n] = GetParam();
+  DualBuffer buf(static_cast<std::size_t>(alpha));
+  for (std::uint16_t i = 0; i < n; ++i) buf.push(event_with(i));
+  for (std::uint64_t center = 0; center < static_cast<std::uint64_t>(n);
+       ++center) {
+    std::size_t ci = 0;
+    const auto snap = buf.freeze(center, &ci);
+    EXPECT_LE(snap.size(), static_cast<std::size_t>(alpha));
+    if (!snap.empty() && ci < snap.size()) {
+      EXPECT_EQ(snap[ci].api, wire::ApiId(static_cast<std::uint16_t>(center)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DualBufferProperty,
+    ::testing::Combine(::testing::Values(2, 4, 8, 16),
+                       ::testing::Values(1, 7, 16, 64)));
+
+}  // namespace
+}  // namespace gretel::core

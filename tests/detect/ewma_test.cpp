@@ -1,0 +1,95 @@
+#include "detect/ewma.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gretel::detect {
+namespace {
+
+EwmaParams fast_params() {
+  EwmaParams p;
+  p.alpha = 0.1;
+  p.warmup = 10;
+  p.k_sigma = 5.0;
+  p.sigma_floor = 0.05;
+  p.confirm = 3;
+  return p;
+}
+
+int feed_noise(OutlierDetector& d, double level, double sigma, int n,
+               std::uint64_t seed, double t0 = 0.0) {
+  util::Rng rng(seed);
+  int alarms = 0;
+  for (int i = 0; i < n; ++i) {
+    alarms += d.observe(t0 + i, rng.next_gaussian(level, sigma)).has_value();
+  }
+  return alarms;
+}
+
+TEST(Ewma, QuietOnStationary) {
+  EwmaDetector d(fast_params());
+  EXPECT_EQ(feed_noise(d, 10.0, 0.4, 600, 1), 0);
+}
+
+TEST(Ewma, SilentDuringWarmup) {
+  EwmaDetector d(fast_params());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(d.observe(i, i % 2 ? 100.0 : 0.0).has_value());
+  }
+}
+
+TEST(Ewma, AlarmsOnSustainedShiftAfterConfirm) {
+  EwmaDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 2);
+  EXPECT_FALSE(d.observe(100, 30.0).has_value());
+  EXPECT_FALSE(d.observe(101, 30.0).has_value());
+  const auto alarm = d.observe(102, 30.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Up);
+  EXPECT_GT(alarm->magnitude, 10.0);
+}
+
+TEST(Ewma, SingleSpikeRejected) {
+  EwmaDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 3);
+  EXPECT_FALSE(d.observe(100, 60.0).has_value());
+  EXPECT_EQ(feed_noise(d, 10.0, 0.3, 100, 4, 101.0), 0);
+}
+
+TEST(Ewma, AdaptsToNewLevelEventually) {
+  EwmaDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 5);
+  // Sustained shift: first confirmation alarms, then the EWMA re-centers
+  // and the new level becomes quiet.
+  int alarms = 0;
+  for (int i = 0; i < 200; ++i) {
+    alarms += d.observe(100 + i, 30.0).has_value();
+  }
+  EXPECT_GE(alarms, 1);
+  EXPECT_NEAR(d.mean(), 30.0, 1.0);
+  EXPECT_EQ(feed_noise(d, 30.0, 0.3, 100, 6, 300.0), 0);
+}
+
+TEST(Ewma, DownShiftDetected) {
+  EwmaDetector d(fast_params());
+  feed_noise(d, 50.0, 0.5, 100, 7);
+  d.observe(100, 10.0);
+  d.observe(101, 10.0);
+  const auto alarm = d.observe(102, 10.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Down);
+}
+
+TEST(Ewma, ResetClears) {
+  EwmaDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 50, 8);
+  d.reset();
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_FALSE(d.observe(0, 100.0).has_value());  // warming up again
+}
+
+TEST(Ewma, FactoryName) { EXPECT_EQ(make_ewma()->name(), "ewma"); }
+
+}  // namespace
+}  // namespace gretel::detect

@@ -1,0 +1,151 @@
+#include "detect/latency_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/level_shift.h"
+
+namespace gretel::detect {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::ApiId;
+using wire::ApiKind;
+using wire::Direction;
+using wire::Event;
+
+Event rest_event(ApiId api, Direction dir, std::uint32_t conn,
+                 SimTime ts) {
+  Event ev;
+  ev.api = api;
+  ev.kind = ApiKind::Rest;
+  ev.dir = dir;
+  ev.conn_id = conn;
+  ev.ts = ts;
+  ev.status = dir == Direction::Response ? 200 : 0;
+  return ev;
+}
+
+Event rpc_event(ApiId api, Direction dir, std::uint64_t msg,
+                SimTime ts) {
+  Event ev;
+  ev.api = api;
+  ev.kind = ApiKind::Rpc;
+  ev.dir = dir;
+  ev.msg_id = msg;
+  ev.ts = ts;
+  ev.status = dir == Direction::Response ? 200 : 0;
+  return ev;
+}
+
+LatencyTracker fast_tracker() {
+  return LatencyTracker([] {
+    LevelShiftParams p;
+    p.min_baseline = 8;
+    p.confirm = 3;
+    p.sigma_floor = 0.1;
+    p.cooldown_seconds = 0.0;
+    return std::make_unique<LevelShiftDetector>(p);
+  });
+}
+
+TEST(LatencyTracker, PairsRestByConnection) {
+  auto tracker = fast_tracker();
+  const ApiId api(1);
+  tracker.observe(rest_event(api, Direction::Request, 7, SimTime(0)));
+  tracker.observe(rest_event(api, Direction::Response, 7,
+                             SimTime::epoch() + SimDuration::millis(12)));
+  const auto* series = tracker.series(api);
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_NEAR(series->points()[0].value, 12.0, 1e-9);
+  EXPECT_EQ(tracker.pending(), 0u);
+  EXPECT_EQ(tracker.samples(), 1u);
+}
+
+TEST(LatencyTracker, PairsRpcByMessageId) {
+  auto tracker = fast_tracker();
+  const ApiId api(2);
+  tracker.observe(rpc_event(api, Direction::Request, 99, SimTime(0)));
+  tracker.observe(rpc_event(api, Direction::Response, 99,
+                            SimTime::epoch() + SimDuration::millis(30)));
+  const auto* series = tracker.series(api);
+  ASSERT_NE(series, nullptr);
+  EXPECT_NEAR(series->points()[0].value, 30.0, 1e-9);
+}
+
+TEST(LatencyTracker, InterleavedConnectionsPairCorrectly) {
+  auto tracker = fast_tracker();
+  const ApiId api(3);
+  tracker.observe(rest_event(api, Direction::Request, 1, SimTime(0)));
+  tracker.observe(rest_event(
+      api, Direction::Request, 2,
+      SimTime::epoch() + SimDuration::millis(1)));
+  tracker.observe(rest_event(
+      api, Direction::Response, 2,
+      SimTime::epoch() + SimDuration::millis(5)));
+  tracker.observe(rest_event(
+      api, Direction::Response, 1,
+      SimTime::epoch() + SimDuration::millis(20)));
+  const auto* series = tracker.series(api);
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_NEAR(series->points()[0].value, 4.0, 1e-9);   // conn 2
+  EXPECT_NEAR(series->points()[1].value, 20.0, 1e-9);  // conn 1
+}
+
+TEST(LatencyTracker, OrphanResponseIgnored) {
+  auto tracker = fast_tracker();
+  EXPECT_FALSE(tracker
+                   .observe(rest_event(ApiId(4), Direction::Response, 5,
+                                       SimTime(0)))
+                   .has_value());
+  EXPECT_EQ(tracker.samples(), 0u);
+}
+
+TEST(LatencyTracker, UnansweredRequestStaysPending) {
+  auto tracker = fast_tracker();
+  tracker.observe(rest_event(ApiId(5), Direction::Request, 6, SimTime(0)));
+  EXPECT_EQ(tracker.pending(), 1u);
+}
+
+TEST(LatencyTracker, SeriesSeparatedPerApi) {
+  auto tracker = fast_tracker();
+  tracker.observe(rest_event(ApiId(1), Direction::Request, 1, SimTime(0)));
+  tracker.observe(rest_event(ApiId(1), Direction::Response, 1,
+                             SimTime::epoch() + SimDuration::millis(5)));
+  tracker.observe(rpc_event(ApiId(2), Direction::Request, 1, SimTime(0)));
+  tracker.observe(rpc_event(ApiId(2), Direction::Response, 1,
+                            SimTime::epoch() + SimDuration::millis(9)));
+  EXPECT_EQ(tracker.series(ApiId(1))->size(), 1u);
+  EXPECT_EQ(tracker.series(ApiId(2))->size(), 1u);
+  EXPECT_EQ(tracker.series(ApiId(3)), nullptr);
+}
+
+TEST(LatencyTracker, AlarmOnSustainedLatencyShift) {
+  auto tracker = fast_tracker();
+  const ApiId api(6);
+  std::uint32_t conn = 1;
+  auto exchange = [&](double t_s, double latency_ms) {
+    const auto t0 = SimTime::epoch() +
+                    SimDuration::nanos(static_cast<std::int64_t>(t_s * 1e9));
+    tracker.observe(rest_event(api, Direction::Request, conn, t0));
+    return tracker.observe(rest_event(
+        api, Direction::Response, conn++,
+        t0 + SimDuration::nanos(
+                 static_cast<std::int64_t>(latency_ms * 1e6))));
+  };
+
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_FALSE(exchange(i, 10.0 + (i % 3) * 0.3).has_value());
+  }
+  // 50 ms injected latency (the paper's tc experiment).
+  std::optional<LatencyAlarm> alarm;
+  for (int i = 0; i < 10 && !alarm; ++i) alarm = exchange(100 + i, 60.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->api, api);
+  EXPECT_GT(alarm->alarm.magnitude, 30.0);
+  EXPECT_EQ(alarm->alarm.direction, ShiftDirection::Up);
+}
+
+}  // namespace
+}  // namespace gretel::detect

@@ -1,0 +1,163 @@
+#include "detect/level_shift.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gretel::detect {
+namespace {
+
+LevelShiftParams fast_params() {
+  LevelShiftParams p;
+  p.baseline_window = 32;
+  p.min_baseline = 8;
+  p.k_sigma = 5.0;
+  p.confirm = 3;
+  p.sigma_floor = 0.01;
+  p.cooldown_seconds = 0.0;
+  return p;
+}
+
+// Feeds a flat series with gaussian noise; returns alarms raised.
+int feed_noise(OutlierDetector& d, double level, double sigma, int n,
+               std::uint64_t seed, double t0 = 0.0) {
+  util::Rng rng(seed);
+  int alarms = 0;
+  for (int i = 0; i < n; ++i) {
+    alarms += d.observe(t0 + i, rng.next_gaussian(level, sigma)).has_value();
+  }
+  return alarms;
+}
+
+TEST(LevelShift, NoAlarmOnStationarySeries) {
+  LevelShiftDetector d(fast_params());
+  EXPECT_EQ(feed_noise(d, 10.0, 0.5, 500, 1), 0);
+}
+
+TEST(LevelShift, NotArmedBeforeMinBaseline) {
+  LevelShiftDetector d(fast_params());
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(d.observe(i, 10.0).has_value());
+    EXPECT_FALSE(d.armed());
+  }
+  d.observe(8, 10.0);
+  EXPECT_TRUE(d.armed());
+}
+
+TEST(LevelShift, DetectsUpwardShift) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 2);
+  // Sustained jump to 20: confirmed on the 3rd deviating sample.
+  EXPECT_FALSE(d.observe(100, 20.0).has_value());
+  EXPECT_FALSE(d.observe(101, 20.2).has_value());
+  const auto alarm = d.observe(102, 19.8);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Up);
+  EXPECT_NEAR(alarm->baseline, 10.0, 0.5);
+  EXPECT_NEAR(alarm->magnitude, 10.0, 1.0);
+}
+
+TEST(LevelShift, DetectsDownwardShift) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 50.0, 0.5, 100, 3);
+  d.observe(100, 20.0);
+  d.observe(101, 20.0);
+  const auto alarm = d.observe(102, 20.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Down);
+}
+
+TEST(LevelShift, SingleSpikeDoesNotAlarm) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 4);
+  EXPECT_FALSE(d.observe(100, 50.0).has_value());  // isolated outlier
+  EXPECT_EQ(feed_noise(d, 10.0, 0.3, 100, 5, 101.0), 0);
+}
+
+TEST(LevelShift, AdaptsAfterShift) {
+  // The paper's key LS property (§7.3): after a confirmed shift the detector
+  // re-baselines; continued samples at the new level stay quiet.
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 6);
+  d.observe(100, 25.0);
+  d.observe(101, 25.1);
+  ASSERT_TRUE(d.observe(102, 24.9).has_value());
+  EXPECT_EQ(feed_noise(d, 25.0, 0.3, 300, 7, 103.0), 0);
+  EXPECT_NEAR(d.level(), 25.0, 0.5);
+}
+
+TEST(LevelShift, ShiftBackAlarmsAgain) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 8);
+  d.observe(100, 25.0);
+  d.observe(101, 25.0);
+  ASSERT_TRUE(d.observe(102, 25.0).has_value());
+  feed_noise(d, 25.0, 0.3, 50, 9, 103.0);
+  d.observe(200, 10.0);
+  d.observe(201, 10.0);
+  const auto alarm = d.observe(202, 10.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Down);
+}
+
+TEST(LevelShift, CooldownSuppressesRapidReAlarms) {
+  auto params = fast_params();
+  params.cooldown_seconds = 100.0;
+  LevelShiftDetector d(params);
+  feed_noise(d, 10.0, 0.3, 100, 10);
+  d.observe(100, 25.0);
+  d.observe(101, 25.0);
+  ASSERT_TRUE(d.observe(102, 25.0).has_value());
+  // Another shift within the cooldown: confirmed but not reported.
+  d.observe(110, 60.0);
+  d.observe(111, 60.0);
+  EXPECT_FALSE(d.observe(112, 60.0).has_value());
+}
+
+TEST(LevelShift, DirectionFlipsRestartConfirmation) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 11);
+  // Alternating up/down excursions never accumulate `confirm` same-signed
+  // deviations.
+  EXPECT_FALSE(d.observe(100, 20.0).has_value());
+  EXPECT_FALSE(d.observe(101, 0.0).has_value());
+  EXPECT_FALSE(d.observe(102, 20.0).has_value());
+  EXPECT_FALSE(d.observe(103, 0.0).has_value());
+}
+
+TEST(LevelShift, ResetForgetsState) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 12);
+  d.reset();
+  EXPECT_FALSE(d.armed());
+  EXPECT_DOUBLE_EQ(d.level(), 0.0);
+}
+
+TEST(LevelShift, FactoryReturnsWorkingDetector) {
+  const auto d = make_level_shift();
+  EXPECT_EQ(d->name(), "level-shift");
+}
+
+// Parameterized sweep: sustained shifts well past k·sigma are caught across
+// baseline levels and shift magnitudes.
+class LevelShiftSweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(LevelShiftSweep, CatchesLargeShifts) {
+  const auto [level, shift] = GetParam();
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, level, 0.02 * level, 100, 13);
+  bool alarmed = false;
+  for (int i = 0; i < 10 && !alarmed; ++i) {
+    alarmed = d.observe(100 + i, level + shift * level).has_value();
+  }
+  EXPECT_TRUE(alarmed) << "level=" << level << " shift=" << shift;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LevelShiftSweep,
+    ::testing::Combine(::testing::Values(1.0, 10.0, 100.0, 1000.0),
+                       ::testing::Values(0.5, 2.0, 10.0)));
+
+}  // namespace
+}  // namespace gretel::detect

@@ -1,0 +1,100 @@
+#include "detect/series_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gretel::detect {
+namespace {
+
+util::TimeSeries flat_series(double level, double sigma, int n,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::TimeSeries ts;
+  for (int i = 0; i < n; ++i) ts.add(i, rng.next_gaussian(level, sigma));
+  return ts;
+}
+
+TEST(AnalyzeWindow, QuietSeriesNotAnomalous) {
+  const auto ts = flat_series(10.0, 0.5, 100, 1);
+  const auto v = analyze_window(ts, 40.0, 60.0);
+  EXPECT_FALSE(v.anomalous);
+  EXPECT_NEAR(v.window_level, 10.0, 0.5);
+  EXPECT_NEAR(v.baseline_level, 10.0, 0.5);
+}
+
+TEST(AnalyzeWindow, DetectsSurgeInWindow) {
+  auto ts = flat_series(10.0, 0.3, 40, 2);
+  for (int i = 40; i < 60; ++i) ts.add(i, 80.0);
+  for (int i = 60; i < 100; ++i) ts.add(i, 10.0);
+  const auto v = analyze_window(ts, 40.0, 60.0);
+  EXPECT_TRUE(v.anomalous);
+  EXPECT_NEAR(v.window_level, 80.0, 1.0);
+  EXPECT_NEAR(v.baseline_level, 10.0, 1.0);
+}
+
+TEST(AnalyzeWindow, SurgeOutsideWindowNotFlagged) {
+  auto ts = flat_series(10.0, 0.3, 40, 3);
+  for (int i = 40; i < 60; ++i) ts.add(i, 80.0);
+  for (int i = 60; i < 100; ++i) ts.add(i, 10.0);
+  // Analysis window over the *quiet* region: the surge elsewhere raises the
+  // baseline MAD but the window median is unchanged.
+  const auto v = analyze_window(ts, 70.0, 90.0);
+  EXPECT_FALSE(v.anomalous);
+}
+
+TEST(AnalyzeWindow, EmptyWindowNotAnomalous) {
+  const auto ts = flat_series(10.0, 0.3, 50, 4);
+  EXPECT_FALSE(analyze_window(ts, 200.0, 300.0).anomalous);
+}
+
+TEST(AnalyzeWindow, TooFewBaselinePointsNotAnomalous) {
+  util::TimeSeries ts;
+  ts.add(0.0, 10.0);
+  ts.add(1.0, 10.0);
+  ts.add(5.0, 99.0);
+  EXPECT_FALSE(analyze_window(ts, 4.0, 6.0).anomalous);
+}
+
+TEST(AnalyzeWindow, FlatSeriesWithTinyDriftNotFlagged) {
+  // min_abs guard: a perfectly flat baseline has sigma ~ 0; a microscopic
+  // offset must not alarm.
+  util::TimeSeries ts;
+  for (int i = 0; i < 50; ++i) ts.add(i, 5.0);
+  for (int i = 50; i < 60; ++i) ts.add(i, 5.0 + 1e-12);
+  for (int i = 60; i < 100; ++i) ts.add(i, 5.0);
+  EXPECT_FALSE(analyze_window(ts, 50.0, 60.0, 5.0, 0.5).anomalous);
+}
+
+TEST(AnalyzeWindow, DropDetectedAsAnomalous) {
+  auto ts = flat_series(1000.0, 5.0, 40, 5);
+  for (int i = 40; i < 60; ++i) ts.add(i, 100.0);  // disk free collapsed
+  for (int i = 60; i < 100; ++i) ts.add(i, 1000.0);
+  const auto v = analyze_window(ts, 40.0, 60.0);
+  EXPECT_TRUE(v.anomalous);
+  EXPECT_LT(v.window_level, v.baseline_level);
+}
+
+TEST(AbsoluteRules, CpuPegged) {
+  EXPECT_TRUE(
+      absolute_rule_violation(net::ResourceKind::CpuPct, 95.0).has_value());
+  EXPECT_FALSE(
+      absolute_rule_violation(net::ResourceKind::CpuPct, 85.0).has_value());
+}
+
+TEST(AbsoluteRules, DiskFloor) {
+  EXPECT_TRUE(absolute_rule_violation(net::ResourceKind::DiskFreeMb, 512.0)
+                  .has_value());
+  EXPECT_FALSE(absolute_rule_violation(net::ResourceKind::DiskFreeMb, 5000.0)
+                   .has_value());
+}
+
+TEST(AbsoluteRules, NetAndDiskIoUnbounded) {
+  EXPECT_FALSE(absolute_rule_violation(net::ResourceKind::NetMbps, 1e9)
+                   .has_value());
+  EXPECT_FALSE(absolute_rule_violation(net::ResourceKind::DiskIoOps, 1e9)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace gretel::detect

@@ -1,0 +1,78 @@
+#include "detect/zscore.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gretel::detect {
+namespace {
+
+ZScoreParams fast_params() {
+  ZScoreParams p;
+  p.window = 32;
+  p.min_samples = 8;
+  p.k_sigma = 5.0;
+  p.sigma_floor = 0.01;
+  return p;
+}
+
+TEST(ZScore, QuietOnStationary) {
+  ZScoreDetector d(fast_params());
+  util::Rng rng(1);
+  int alarms = 0;
+  for (int i = 0; i < 500; ++i) {
+    alarms += d.observe(i, rng.next_gaussian(10.0, 0.5)).has_value();
+  }
+  EXPECT_EQ(alarms, 0);
+}
+
+TEST(ZScore, AlarmsOnSpike) {
+  ZScoreDetector d(fast_params());
+  for (int i = 0; i < 20; ++i) d.observe(i, 10.0);
+  const auto alarm = d.observe(20, 30.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Up);
+  EXPECT_NEAR(alarm->baseline, 10.0, 0.1);
+}
+
+TEST(ZScore, AlarmsOnNegativeSpike) {
+  ZScoreDetector d(fast_params());
+  for (int i = 0; i < 20; ++i) d.observe(i, 10.0 + (i % 2) * 0.1);
+  const auto alarm = d.observe(20, 1.0);
+  ASSERT_TRUE(alarm.has_value());
+  EXPECT_EQ(alarm->direction, ShiftDirection::Down);
+}
+
+TEST(ZScore, KeepsAlarmingThroughSustainedShift) {
+  // The contrast to LS: z-score does not adapt quickly, so a sustained
+  // shift keeps alarming until the window fills with the new level — this
+  // is exactly why the paper prefers the level-shift detector.
+  ZScoreDetector d(fast_params());
+  for (int i = 0; i < 32; ++i) d.observe(i, 10.0 + (i % 2) * 0.1);
+  int alarms = 0;
+  for (int i = 0; i < 8; ++i) {
+    alarms += d.observe(32 + i, 30.0).has_value();
+  }
+  EXPECT_GE(alarms, 2);
+}
+
+TEST(ZScore, SilentBeforeMinSamples) {
+  ZScoreDetector d(fast_params());
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(d.observe(i, i * 100.0).has_value());
+  }
+}
+
+TEST(ZScore, ResetClearsWindow) {
+  ZScoreDetector d(fast_params());
+  for (int i = 0; i < 20; ++i) d.observe(i, 10.0);
+  d.reset();
+  EXPECT_FALSE(d.observe(21, 500.0).has_value());  // not armed anymore
+}
+
+TEST(ZScore, FactoryName) {
+  EXPECT_EQ(make_zscore()->name(), "z-score");
+}
+
+}  // namespace
+}  // namespace gretel::detect

@@ -1,0 +1,209 @@
+#include "gretel/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gretel/training.h"
+#include "monitor/metrics.h"
+#include "tempest/workload.h"
+
+namespace gretel::core {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+
+// Shared trained environment for the analyzer tests.
+struct Env {
+  tempest::TempestCatalog catalog = tempest::TempestCatalog::build(21, 0.04);
+  stack::Deployment deployment = stack::Deployment::standard(3);
+  TrainingReport training = learn_fingerprints(catalog, deployment);
+
+  Analyzer::Options options() const {
+    Analyzer::Options opt;
+    opt.config.fp_max = training.fp_max;
+    opt.config.p_rate = 150.0;
+    return opt;
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+// Runs a workload through a fresh analyzer; returns it for inspection.
+std::unique_ptr<Analyzer> run_workload(
+    const tempest::GeneratedWorkload& workload, std::uint64_t exec_seed,
+    bool with_metrics = true) {
+  auto& e = env();
+  auto analyzer = std::make_unique<Analyzer>(
+      &e.training.db, &e.catalog.apis(), &e.deployment, e.options());
+
+  stack::WorkflowExecutor executor(&e.deployment, &e.catalog.apis(),
+                                   &e.catalog.infra(), exec_seed);
+  const auto records = executor.execute(workload.launches);
+  if (with_metrics && !records.empty()) {
+    monitor::ResourceMonitor mon(&e.deployment, SimDuration::seconds(1), 3);
+    mon.sample_range(SimTime::epoch(),
+                     records.back().ts + SimDuration::seconds(3),
+                     analyzer->metrics());
+  }
+  for (const auto& r : records) analyzer->on_wire(r);
+  analyzer->finish();
+  return analyzer;
+}
+
+TEST(Analyzer, CleanWorkloadProducesNoReports) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 15;
+  spec.faults = 0;
+  spec.seed = 1;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 100, /*with_metrics=*/false);
+  EXPECT_EQ(analyzer->detector_stats().rest_errors, 0u);
+  EXPECT_EQ(analyzer->detector_stats().operational_reports, 0u);
+  EXPECT_TRUE(analyzer->diagnoses().empty());
+  EXPECT_EQ(analyzer->tap_stats().decode_failures, 0u);
+  EXPECT_EQ(analyzer->tap_stats().unknown_api, 0u);
+}
+
+TEST(Analyzer, SingleFaultDetectedAndIdentified) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 15;
+  spec.faults = 1;
+  spec.seed = 2;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 101);
+
+  ASSERT_GE(analyzer->detector_stats().operational_reports, 1u);
+  const auto& launch = w.launches[w.faulty_launch_idx.front()];
+
+  // At least one diagnosis must name the injected operation.
+  bool identified = false;
+  for (const auto& d : analyzer->diagnoses()) {
+    for (auto idx : d.fault.matched_fingerprints) {
+      identified = identified ||
+                   env().training.db.get(idx).op == launch.op->id;
+    }
+  }
+  EXPECT_TRUE(identified);
+}
+
+TEST(Analyzer, ReportCarriesWindowAndErrors) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 10;
+  spec.faults = 1;
+  spec.seed = 3;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 102);
+  ASSERT_FALSE(analyzer->diagnoses().empty());
+  const auto& fault = analyzer->diagnoses().front().fault;
+  EXPECT_LE(fault.window_start, fault.window_end);
+  EXPECT_FALSE(fault.error_events.empty());
+  EXPECT_GT(fault.candidates, 0u);
+  EXPECT_GT(fault.beta_final, 0u);
+  bool anchor_in_errors = false;
+  for (const auto& ev : fault.error_events) {
+    anchor_in_errors = anchor_in_errors || ev.api == fault.offending_api;
+  }
+  EXPECT_TRUE(anchor_in_errors);
+}
+
+TEST(Analyzer, DuplicateRelaySuppressed) {
+  // One fault produces a step error + its dashboard relay; the analyzer
+  // reports once per anchored fault, not once per REST error message.
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 0;
+  spec.faults = 1;
+  spec.seed = 4;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 103, false);
+  EXPECT_EQ(analyzer->detector_stats().operational_reports, 1u);
+}
+
+TEST(Analyzer, MultipleFaultsEachIdentified) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 20;
+  spec.faults = 4;
+  spec.seed = 5;
+  spec.window = SimDuration::seconds(120);
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 104);
+
+  // Group diagnoses by ground-truth faulty instance via their error events.
+  std::set<std::uint32_t> diagnosed_instances;
+  for (const auto& d : analyzer->diagnoses()) {
+    for (const auto& ev : d.fault.error_events) {
+      if (ev.truth_instance.valid())
+        diagnosed_instances.insert(ev.truth_instance.value());
+    }
+  }
+  for (auto idx : w.faulty_launch_idx) {
+    const auto instance = static_cast<std::uint32_t>(idx + 1);
+    EXPECT_TRUE(diagnosed_instances.contains(instance))
+        << "fault in launch " << idx << " undiagnosed";
+  }
+}
+
+TEST(Analyzer, ThetaHighUnderConcurrency) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 40;
+  spec.faults = 2;
+  spec.seed = 6;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 105);
+  ASSERT_FALSE(analyzer->diagnoses().empty());
+  for (const auto& d : analyzer->diagnoses()) {
+    EXPECT_GE(d.fault.theta, 0.9) << "matched "
+                                  << d.fault.matched_fingerprints.size();
+  }
+}
+
+TEST(Analyzer, RpcErrorsCountedButDontTriggerAlone) {
+  // RPC errors are relayed via REST; the detector counts them but the
+  // snapshot count is driven by REST triggers (§5.3.1).
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 5;
+  spec.faults = 2;
+  spec.seed = 7;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 106, false);
+  const auto& stats = analyzer->detector_stats();
+  EXPECT_EQ(stats.operational_reports + stats.suppressed_triggers,
+            stats.rest_errors);
+}
+
+TEST(Analyzer, FinishFlushesTrailingFault) {
+  // A fault at the very end of the stream lacks its future α/2 context;
+  // finish() must still produce the report.
+  auto& e = env();
+  const auto& ops = e.catalog.category_ops(stack::Category::Compute);
+  const auto& op = e.catalog.operation(ops.back());
+  stack::OperationalFault fault;
+  fault.fail_step = op.steps.size() - 1;
+  while (op.steps[fault.fail_step].transient) --fault.fail_step;
+  fault.status = 500;
+
+  tempest::GeneratedWorkload w;
+  w.launches.push_back({&op, SimTime::epoch(), fault});
+  w.faulty_launch_idx.push_back(0);
+  const auto analyzer = run_workload(w, 107, false);
+  EXPECT_GE(analyzer->detector_stats().operational_reports, 1u);
+}
+
+TEST(Analyzer, EventCountsMatchTap) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 10;
+  spec.faults = 0;
+  spec.seed = 8;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  const auto analyzer = run_workload(w, 108, false);
+  EXPECT_EQ(analyzer->detector_stats().events,
+            analyzer->tap_stats().decoded);
+  EXPECT_GT(analyzer->detector_stats().events, 0u);
+}
+
+}  // namespace
+}  // namespace gretel::core

@@ -1,0 +1,78 @@
+#include "logs/log_analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::logs {
+namespace {
+
+using stack::LogLevel;
+using stack::LogLine;
+using util::SimDuration;
+using util::SimTime;
+
+LogLine line(double t_s, LogLevel level, std::string message) {
+  LogLine out;
+  out.ts = SimTime::epoch() +
+           SimDuration::nanos(static_cast<std::int64_t>(t_s * 1e9));
+  out.level = level;
+  out.message = std::move(message);
+  return out;
+}
+
+TEST(LogAnalyzer, GrepFiltersByLevel) {
+  LogAnalyzer a;
+  a.ingest(line(1.0, LogLevel::Trace, "handling GET"));
+  a.ingest(line(2.0, LogLevel::Warning, "No valid host was found"));
+  a.ingest(line(3.0, LogLevel::Error, "exploded"));
+
+  EXPECT_EQ(a.grep(LogLevel::Trace).size(), 3u);
+  EXPECT_EQ(a.grep(LogLevel::Warning).size(), 2u);
+  EXPECT_EQ(a.grep(LogLevel::Error).size(), 1u);
+}
+
+TEST(LogAnalyzer, GrepFiltersByPattern) {
+  LogAnalyzer a;
+  a.ingest(line(1.0, LogLevel::Warning, "No valid host was found"));
+  a.ingest(line(2.0, LogLevel::Warning, "Timeout is too large"));
+  EXPECT_EQ(a.grep(LogLevel::Warning, "valid host").size(), 1u);
+  EXPECT_EQ(a.grep(LogLevel::Warning, "nothing").size(), 0u);
+}
+
+TEST(LogAnalyzer, FindingsSortedByTime) {
+  LogAnalyzer a;
+  a.ingest(line(5.0, LogLevel::Warning, "b"));
+  a.ingest(line(1.0, LogLevel::Warning, "a"));
+  const auto f = a.grep(LogLevel::Warning);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0].line.message, "a");
+  EXPECT_EQ(f[1].line.message, "b");
+}
+
+TEST(LogAnalyzer, CollationDelaysAvailability) {
+  LogAnalyzer::Options options;
+  options.collation_period = SimDuration::seconds(60);
+  LogAnalyzer a(options);
+  a.ingest(line(10.0, LogLevel::Warning, "w"));
+  a.ingest(line(61.0, LogLevel::Warning, "w2"));
+  const auto f = a.grep(LogLevel::Warning);
+  ASSERT_EQ(f.size(), 2u);
+  // Written at t=10 -> shipped at the t=60 batch; t=61 -> t=120 batch.
+  EXPECT_DOUBLE_EQ(f[0].available_at.to_seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(f[1].available_at.to_seconds(), 120.0);
+}
+
+TEST(LogAnalyzer, BulkIngest) {
+  LogAnalyzer a;
+  a.ingest(std::vector<LogLine>{line(1.0, LogLevel::Info, "x"),
+                                line(2.0, LogLevel::Info, "y")});
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(LogAnalyzer, EmptyAnalyzer) {
+  LogAnalyzer a;
+  EXPECT_TRUE(a.grep(LogLevel::Trace).empty());
+  EXPECT_EQ(a.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gretel::logs

@@ -1,0 +1,94 @@
+// The persisted-artifact pipeline the CLI tools drive: train -> save DB ->
+// write capture -> (fresh process boundary) -> load DB -> read capture ->
+// analyze -> export JSON.  Everything in-memory/file, no subprocesses.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gretel/analyzer.h"
+#include "gretel/db_io.h"
+#include "gretel/json_export.h"
+#include "gretel/training.h"
+#include "net/capture_file.h"
+#include "tempest/workload.h"
+
+namespace gretel::core {
+namespace {
+
+TEST(PipelineArtifacts, TrainSaveCaptureLoadAnalyze) {
+  const std::string db_path = "/tmp/gretel_pipeline_test.db";
+  const std::string cap_path = "/tmp/gretel_pipeline_test.cap";
+
+  const auto catalog = tempest::TempestCatalog::build(91, 0.04);
+
+  // --- "training process": learn and persist -----------------------------
+  {
+    auto deployment = stack::Deployment::standard(3);
+    const auto training = learn_fingerprints(catalog, deployment);
+    ASSERT_TRUE(
+        save_fingerprint_db(db_path, training.db, catalog.apis()));
+  }
+
+  // --- "capture process": record a faulty workload ------------------------
+  std::uint32_t faulty_instance = 0;
+  wire::OpTemplateId faulty_template;
+  {
+    auto deployment = stack::Deployment::standard(3);
+    tempest::WorkloadSpec spec;
+    spec.concurrent_tests = 12;
+    spec.faults = 1;
+    spec.seed = 5;
+    const auto w = make_parallel_workload(catalog, spec);
+    faulty_instance =
+        static_cast<std::uint32_t>(w.faulty_launch_idx.front() + 1);
+    faulty_template = w.launches[w.faulty_launch_idx.front()].op->id;
+
+    stack::WorkflowExecutor executor(&deployment, &catalog.apis(),
+                                     &catalog.infra(), 50);
+    ASSERT_TRUE(write_capture_file(cap_path, executor.execute(w.launches)));
+  }
+
+  // --- "analysis process": everything reloaded from disk ------------------
+  auto deployment = stack::Deployment::standard(3);
+  const auto db = load_fingerprint_db(db_path, catalog.apis());
+  ASSERT_TRUE(db.has_value());
+  const auto records = net::read_capture_file(cap_path);
+  ASSERT_TRUE(records.has_value());
+  ASSERT_FALSE(records->empty());
+
+  Analyzer::Options options;
+  options.config.fp_max = db->max_fingerprint_size();
+  options.config.p_rate = 150.0;
+  options.run_root_cause = false;
+  Analyzer analyzer(&*db, &catalog.apis(), &deployment, options);
+  for (const auto& r : *records) analyzer.on_wire(r);
+  analyzer.finish();
+
+  ASSERT_GE(analyzer.detector_stats().operational_reports, 1u);
+  bool identified = false;
+  bool covers_instance = false;
+  for (const auto& d : analyzer.diagnoses()) {
+    for (auto idx : d.fault.matched_fingerprints) {
+      identified = identified || db->get(idx).op == faulty_template;
+    }
+    for (const auto& ev : d.fault.error_events) {
+      covers_instance = covers_instance ||
+                        (ev.truth_instance.valid() &&
+                         ev.truth_instance.value() == faulty_instance);
+    }
+  }
+  EXPECT_TRUE(identified);
+  EXPECT_TRUE(covers_instance);
+
+  // --- JSON export is well-formed enough for downstream tooling -----------
+  const auto json = to_json(analyzer.diagnoses(), catalog.apis(), *db);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"matched_operations\""), std::string::npos);
+
+  std::remove(db_path.c_str());
+  std::remove(cap_path.c_str());
+}
+
+}  // namespace
+}  // namespace gretel::core

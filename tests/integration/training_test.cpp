@@ -1,0 +1,167 @@
+#include "gretel/training.h"
+
+#include <gtest/gtest.h>
+
+#include "gretel/noise_filter.h"
+
+namespace gretel::core {
+namespace {
+
+// Shared small-scale training run (the expensive fixture in this binary).
+struct TrainingFixture {
+  tempest::TempestCatalog catalog = tempest::TempestCatalog::build(11, 0.04);
+  stack::Deployment deployment = stack::Deployment::standard(3);
+  TrainingReport report = learn_fingerprints(catalog, deployment);
+};
+
+const TrainingFixture& fixture() {
+  static const TrainingFixture f;
+  return f;
+}
+
+TEST(Training, OneFingerprintPerOperation) {
+  EXPECT_EQ(fixture().report.db.size(),
+            fixture().catalog.operations().size());
+}
+
+TEST(Training, FingerprintsNonEmpty) {
+  for (const auto& fp : fixture().report.db.all()) {
+    EXPECT_FALSE(fp.sequence.empty()) << fp.name;
+    // Read-only operations (e.g. cinder-list) legitimately have an empty
+    // state sequence; everything else must anchor on state changes.
+  }
+}
+
+TEST(Training, FingerprintCoversStableTemplateSkeleton) {
+  // Algorithm 1 must recover at least the template's stable (non-transient)
+  // skeleton; lucky transients surviving every re-execution may add a few
+  // read-only extras, but never state changes.
+  const auto& f = fixture();
+  NoiseFilter filter(&f.catalog.apis());
+  for (std::size_t i = 0; i < f.catalog.operations().size(); ++i) {
+    const auto& op = f.catalog.operation(i);
+    std::vector<wire::ApiId> stable;
+    for (const auto& s : op.steps) {
+      if (!s.transient) stable.push_back(s.api);
+    }
+    const auto expected = filter.filter(stable);
+    const auto& fp = f.report.db.get(static_cast<std::uint32_t>(i));
+
+    // The stable skeleton is a subsequence of the fingerprint.
+    std::size_t need = 0;
+    for (auto api : fp.sequence) {
+      if (need < expected.size() && api == expected[need]) ++need;
+    }
+    EXPECT_EQ(need, expected.size()) << op.name;
+
+    // State-change literals match the skeleton exactly (transients are
+    // read-only chatter by construction).
+    std::vector<wire::ApiId> expected_state;
+    for (auto api : expected) {
+      if (f.catalog.apis().get(api).state_change())
+        expected_state.push_back(api);
+    }
+    EXPECT_EQ(fp.state_sequence, expected_state) << op.name;
+  }
+}
+
+TEST(Training, NoNoiseApisInFingerprints) {
+  const auto& f = fixture();
+  NoiseFilter filter(&f.catalog.apis());
+  for (const auto& fp : f.report.db.all()) {
+    for (auto api : fp.sequence) {
+      EXPECT_FALSE(filter.is_noise_api(api))
+          << fp.name << " kept noise API "
+          << f.catalog.apis().get(api).display_name();
+    }
+  }
+}
+
+TEST(Training, FpMaxConsistent) {
+  const auto& f = fixture();
+  EXPECT_EQ(f.report.fp_max, f.report.db.max_fingerprint_size());
+  EXPECT_GT(f.report.fp_max, 0u);
+  EXPECT_LE(f.report.fp_max, f.catalog.max_operation_steps());
+}
+
+TEST(Training, PerCategoryTestCounts) {
+  const auto& f = fixture();
+  for (std::size_t c = 0; c < stack::kCategories; ++c) {
+    EXPECT_EQ(static_cast<std::size_t>(f.report.per_category[c].tests),
+              f.catalog.category_ops(static_cast<stack::Category>(c)).size());
+  }
+}
+
+TEST(Training, EventsCountedPerCategory) {
+  for (const auto& stats : fixture().report.per_category) {
+    EXPECT_GT(stats.rest_events, 0.0);
+    // Average events per execution exceed fingerprint size (noise rides
+    // along: auth, heartbeats, duplicate GETs, responses).
+    EXPECT_GT(stats.rest_events + stats.rpc_events,
+              stats.avg_fingerprint());
+  }
+}
+
+TEST(Training, AvgFingerprintOrdering) {
+  // Compute operations are the largest, Misc/Image/Storage the smallest
+  // (Table 1's ordering).
+  const auto& pc = fixture().report.per_category;
+  const auto compute = static_cast<std::size_t>(stack::Category::Compute);
+  const auto image = static_cast<std::size_t>(stack::Category::Image);
+  const auto network = static_cast<std::size_t>(stack::Category::Network);
+  EXPECT_GT(pc[compute].avg_fingerprint(), pc[network].avg_fingerprint());
+  EXPECT_GT(pc[network].avg_fingerprint(), pc[image].avg_fingerprint());
+  for (const auto& stats : pc) {
+    EXPECT_LE(stats.avg_fingerprint_norpc(), stats.avg_fingerprint());
+  }
+}
+
+TEST(Training, VmCreateFingerprintMatchesPaperExample) {
+  // §5.3.1: "The operational fingerprint for the VM create operation
+  // involves 7 REST and 3 RPC invocations."
+  const auto& f = fixture();
+  const auto& fp = f.report.db.get(
+      static_cast<std::uint32_t>(f.catalog.canonical().vm_create));
+  EXPECT_EQ(fp.name, "vm-create");
+  EXPECT_EQ(fp.size_without_rpc(f.catalog.apis()), 7u);
+  EXPECT_EQ(fp.size() - fp.size_without_rpc(f.catalog.apis()), 3u);
+  // POST servers (E) precedes POST ports.json (F) among the literals.
+  const auto& wk = f.catalog.well_known();
+  std::ptrdiff_t e = -1;
+  std::ptrdiff_t fpos = -1;
+  for (std::size_t i = 0; i < fp.state_sequence.size(); ++i) {
+    if (fp.state_sequence[i] == wk.nova_post_servers)
+      e = static_cast<std::ptrdiff_t>(i);
+    if (fp.state_sequence[i] == wk.neutron_post_ports)
+      fpos = static_cast<std::ptrdiff_t>(i);
+  }
+  ASSERT_GE(e, 0);
+  ASSERT_GE(fpos, 0);
+  EXPECT_LT(e, fpos);
+}
+
+TEST(Training, DeterministicAcrossRuns) {
+  const auto& f = fixture();
+  auto deployment = stack::Deployment::standard(3);
+  const auto again = learn_fingerprints(f.catalog, deployment);
+  ASSERT_EQ(again.db.size(), f.report.db.size());
+  for (std::size_t i = 0; i < again.db.size(); ++i) {
+    EXPECT_EQ(again.db.get(static_cast<std::uint32_t>(i)).sequence,
+              f.report.db.get(static_cast<std::uint32_t>(i)).sequence);
+  }
+}
+
+TEST(Training, MoreRepeatsNeverGrowFingerprint) {
+  const auto& f = fixture();
+  auto deployment = stack::Deployment::standard(3);
+  TrainingOptions options;
+  options.repeats = 5;
+  const auto more = learn_fingerprints(f.catalog, deployment, options);
+  for (std::size_t i = 0; i < more.db.size(); ++i) {
+    EXPECT_LE(more.db.get(static_cast<std::uint32_t>(i)).size(),
+              f.report.db.get(static_cast<std::uint32_t>(i)).size() + 0u);
+  }
+}
+
+}  // namespace
+}  // namespace gretel::core

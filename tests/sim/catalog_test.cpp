@@ -1,0 +1,214 @@
+#include "tempest/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gretel::tempest {
+namespace {
+
+using stack::Category;
+using wire::ApiKind;
+using wire::ServiceKind;
+
+// One shared full-scale catalog for the whole suite (construction is cheap
+// but not free).
+const TempestCatalog& full_catalog() {
+  static const TempestCatalog catalog = TempestCatalog::build();
+  return catalog;
+}
+
+TEST(TempestCatalog, TotalPublicApisIs643) {
+  EXPECT_EQ(full_catalog().apis().size(), 643u);
+}
+
+TEST(TempestCatalog, TestCountsMatchTable1) {
+  const auto& c = full_catalog();
+  EXPECT_EQ(c.category_ops(Category::Compute).size(), 517u);
+  EXPECT_EQ(c.category_ops(Category::Image).size(), 55u);
+  EXPECT_EQ(c.category_ops(Category::Network).size(), 251u);
+  EXPECT_EQ(c.category_ops(Category::Storage).size(), 84u);
+  EXPECT_EQ(c.category_ops(Category::Misc).size(), 293u);
+  EXPECT_EQ(c.operations().size(), 1200u);
+}
+
+TEST(TempestCatalog, MaxOperationIs384Steps) {
+  EXPECT_EQ(full_catalog().max_operation_steps(), 384u);
+}
+
+TEST(TempestCatalog, MeanStepsNearTable1) {
+  const auto& c = full_catalog();
+  const struct {
+    Category cat;
+    double mean;
+  } expectations[] = {{Category::Compute, 100.0},
+                      {Category::Image, 18.0},
+                      {Category::Network, 31.0},
+                      {Category::Storage, 17.0},
+                      {Category::Misc, 16.0}};
+  for (const auto& e : expectations) {
+    double sum = 0;
+    std::size_t stable = 0;
+    const auto& ops = c.category_ops(e.cat);
+    for (auto idx : ops) {
+      for (const auto& s : c.operation(idx).steps) {
+        if (!s.transient) ++stable;
+      }
+    }
+    sum = static_cast<double>(stable) / static_cast<double>(ops.size());
+    EXPECT_NEAR(sum, e.mean, e.mean * 0.25)
+        << "category " << to_string(e.cat);
+  }
+}
+
+TEST(TempestCatalog, OperationsNonEmptyAndNamed) {
+  for (const auto& op : full_catalog().operations()) {
+    EXPECT_FALSE(op.steps.empty());
+    EXPECT_FALSE(op.name.empty());
+    EXPECT_TRUE(op.poll_api.valid());
+  }
+}
+
+TEST(TempestCatalog, OperationIdsMatchIndices) {
+  const auto& ops = full_catalog().operations();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(ops[i].id.value(), i);
+  }
+}
+
+TEST(TempestCatalog, NoAdjacentDuplicateStableSteps) {
+  for (const auto& op : full_catalog().operations()) {
+    for (std::size_t i = 1; i < op.steps.size(); ++i) {
+      if (op.steps[i].transient || op.steps[i - 1].transient) continue;
+      EXPECT_NE(op.steps[i].api, op.steps[i - 1].api)
+          << op.name << " step " << i;
+    }
+  }
+}
+
+TEST(TempestCatalog, DeterministicForSeed) {
+  const auto a = TempestCatalog::build(1, 0.02);
+  const auto b = TempestCatalog::build(1, 0.02);
+  ASSERT_EQ(a.operations().size(), b.operations().size());
+  for (std::size_t i = 0; i < a.operations().size(); ++i) {
+    ASSERT_EQ(a.operation(i).steps.size(), b.operation(i).steps.size());
+    for (std::size_t s = 0; s < a.operation(i).steps.size(); ++s) {
+      EXPECT_EQ(a.operation(i).steps[s].api, b.operation(i).steps[s].api);
+    }
+  }
+}
+
+TEST(TempestCatalog, FractionScalesSuite) {
+  const auto small = TempestCatalog::build(1, 0.05);
+  EXPECT_LT(small.operations().size(), 100u);
+  EXPECT_GT(small.operations().size(), 20u);
+  EXPECT_EQ(small.apis().size(), 643u);  // API surface never shrinks
+}
+
+TEST(TempestCatalog, CanonicalVmCreateMatchesFig2) {
+  const auto& c = full_catalog();
+  const auto& vm = c.operation(c.canonical().vm_create);
+  EXPECT_EQ(vm.name, "vm-create");
+  EXPECT_EQ(vm.category, Category::Compute);
+  // 7 REST + 3 RPC (§5.3.1 example).
+  EXPECT_EQ(vm.count(ApiKind::Rest, c.apis()), 7u);
+  EXPECT_EQ(vm.count(ApiKind::Rpc, c.apis()), 3u);
+  // POST servers (E) precedes POST ports.json (F).
+  std::ptrdiff_t post_servers = -1;
+  std::ptrdiff_t post_ports = -1;
+  for (std::size_t i = 0; i < vm.steps.size(); ++i) {
+    if (vm.steps[i].api == c.well_known().nova_post_servers)
+      post_servers = static_cast<std::ptrdiff_t>(i);
+    if (vm.steps[i].api == c.well_known().neutron_post_ports)
+      post_ports = static_cast<std::ptrdiff_t>(i);
+  }
+  ASSERT_GE(post_servers, 0);
+  ASSERT_GE(post_ports, 0);
+  EXPECT_LT(post_servers, post_ports);
+}
+
+TEST(TempestCatalog, SnapshotSubsumesVolumeCreate) {
+  // §4: S1 (snapshot) subsumes S2 (volume create): S2's API sequence is a
+  // contiguous subsequence of S1's.
+  const auto& c = full_catalog();
+  const auto& s1 = c.operation(c.canonical().vm_snapshot);
+  const auto& s2 = c.operation(c.canonical().volume_create);
+  ASSERT_LT(s2.steps.size(), s1.steps.size());
+
+  bool found = false;
+  for (std::size_t start = 0;
+       start + s2.steps.size() <= s1.steps.size() && !found; ++start) {
+    bool all = true;
+    for (std::size_t i = 0; i < s2.steps.size(); ++i) {
+      if (s1.steps[start + i].api != s2.steps[i].api) {
+        all = false;
+        break;
+      }
+    }
+    found = all;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TempestCatalog, WellKnownApisResolvable) {
+  const auto& c = full_catalog();
+  const auto& wk = c.well_known();
+  EXPECT_EQ(c.apis().get(wk.neutron_get_ports).path, "/v2.0/ports.json");
+  EXPECT_EQ(c.apis().get(wk.glance_put_image_file).path,
+            "/v2/images/<ID>/file");
+  EXPECT_EQ(c.apis().get(wk.rpc_get_device_details).rpc_method,
+            "get_devices_details_list");
+  EXPECT_EQ(c.apis().get(wk.rpc_sec_group_info).rpc_method,
+            "security_group_info_for_devices");
+}
+
+TEST(TempestCatalog, CategoryApiPoolsMostlyDisjoint) {
+  // Fig. 5's premise: operations of different categories share few APIs.
+  const auto& c = full_catalog();
+  std::array<std::set<wire::ApiId>, stack::kCategories> used;
+  for (const auto& op : c.operations()) {
+    // Skip canonical cross-service ops; they are intentionally cross-cutting.
+    for (const auto& s : op.steps)
+      used[static_cast<std::size_t>(op.category)].insert(s.api);
+  }
+  // Compute vs Image overlap should be far below either pool's size.
+  std::size_t overlap = 0;
+  for (auto api : used[0]) overlap += used[1].count(api);
+  EXPECT_LT(overlap, used[1].size() / 2);
+}
+
+TEST(TempestCatalog, UniqueApisPerCategoryNearTable1) {
+  const auto& c = full_catalog();
+  const struct {
+    Category cat;
+    std::size_t rest;
+    std::size_t rpc;
+  } expectations[] = {{Category::Compute, 195, 61},
+                      {Category::Image, 38, 10},
+                      {Category::Network, 70, 24},
+                      {Category::Storage, 40, 11},
+                      {Category::Misc, 20, 11}};
+  for (const auto& e : expectations) {
+    std::set<wire::ApiId> rest;
+    std::set<wire::ApiId> rpc;
+    for (auto idx : c.category_ops(e.cat)) {
+      for (const auto& s : c.operation(idx).steps) {
+        if (c.apis().get(s.api).kind == ApiKind::Rest) {
+          rest.insert(s.api);
+        } else {
+          rpc.insert(s.api);
+        }
+      }
+    }
+    // Within 20% of the paper's Table 1 (canonical ops add a little).
+    EXPECT_NEAR(static_cast<double>(rest.size()),
+                static_cast<double>(e.rest), e.rest * 0.2)
+        << to_string(e.cat);
+    EXPECT_NEAR(static_cast<double>(rpc.size()), static_cast<double>(e.rpc),
+                e.rpc * 0.3)
+        << to_string(e.cat);
+  }
+}
+
+}  // namespace
+}  // namespace gretel::tempest

@@ -1,0 +1,123 @@
+#include "stack/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gretel::stack {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::NodeId;
+using wire::ServiceKind;
+
+TEST(Deployment, StandardTopologyMatchesPaper) {
+  const auto d = Deployment::standard(3);
+  // 7 servers including 3 computes (§7 experimental setup).
+  EXPECT_EQ(d.node_count(), 7u);
+  EXPECT_EQ(d.nodes_for(ServiceKind::NovaCompute).size(), 3u);
+  EXPECT_EQ(d.nodes_for(ServiceKind::Nova).size(), 1u);
+  EXPECT_EQ(d.nodes_for(ServiceKind::Neutron).size(), 1u);
+  EXPECT_EQ(d.nodes_for(ServiceKind::Glance).size(), 1u);
+  EXPECT_EQ(d.nodes_for(ServiceKind::Horizon).size(), 1u);
+}
+
+TEST(Deployment, DistinctIps) {
+  const auto d = Deployment::standard(3);
+  std::set<std::uint32_t> ips;
+  for (auto id : d.node_ids()) ips.insert(d.node(id).ip().value());
+  EXPECT_EQ(ips.size(), d.node_count());
+}
+
+TEST(Deployment, SoftwareInstalledPerService) {
+  const auto d = Deployment::standard(1);
+  const auto compute = d.primary_node_for(ServiceKind::NovaCompute);
+  const auto& sw = d.node(compute).software();
+  EXPECT_NE(std::find(sw.begin(), sw.end(), "nova-compute"), sw.end());
+  EXPECT_NE(std::find(sw.begin(), sw.end(),
+                      "neutron-plugin-linuxbridge-agent"),
+            sw.end());
+  EXPECT_NE(std::find(sw.begin(), sw.end(), "ntpd"), sw.end());
+}
+
+TEST(Deployment, EndpointForService) {
+  const auto d = Deployment::standard(1);
+  const auto ep = d.endpoint_for(ServiceKind::Neutron);
+  EXPECT_EQ(ep.port, wire::ports::kNeutronApi);
+  EXPECT_EQ(ep.ip.value(),
+            d.node(d.primary_node_for(ServiceKind::Neutron)).ip().value());
+}
+
+TEST(Deployment, ServiceByPortSkipsAgents) {
+  const auto d = Deployment::standard(2);
+  const auto map = d.service_by_port();
+  EXPECT_EQ(map.at(wire::ports::kNovaApi), ServiceKind::Nova);
+  EXPECT_EQ(map.at(wire::ports::kNeutronApi), ServiceKind::Neutron);
+  EXPECT_EQ(map.at(wire::ports::kGlanceApi), ServiceKind::Glance);
+}
+
+TEST(Deployment, InjectCpuSurgeHitsServiceNode) {
+  auto d = Deployment::standard(1);
+  const auto t0 = SimTime::epoch();
+  d.inject_cpu_surge(ServiceKind::Neutron, t0, t0 + SimDuration::seconds(10),
+                     70.0);
+  const auto node = d.primary_node_for(ServiceKind::Neutron);
+  EXPECT_GT(d.node(node).nominal(net::ResourceKind::CpuPct,
+                                 t0 + SimDuration::seconds(5)),
+            60.0);
+  const auto other = d.primary_node_for(ServiceKind::Nova);
+  EXPECT_LT(d.node(other).nominal(net::ResourceKind::CpuPct,
+                                  t0 + SimDuration::seconds(5)),
+            30.0);
+}
+
+TEST(Deployment, InjectDiskExhaustion) {
+  auto d = Deployment::standard(1);
+  const auto t0 = SimTime::epoch();
+  const auto node = d.primary_node_for(ServiceKind::Glance);
+  const double before =
+      d.node(node).nominal(net::ResourceKind::DiskFreeMb, t0);
+  d.inject_disk_exhaustion(ServiceKind::Glance,
+                           t0 + SimDuration::seconds(1),
+                           t0 + SimDuration::seconds(10), before - 100.0);
+  EXPECT_NEAR(d.node(node).nominal(net::ResourceKind::DiskFreeMb,
+                                   t0 + SimDuration::seconds(5)),
+              100.0, 1e-6);
+}
+
+TEST(Deployment, CrashSoftwareOnAllServiceNodes) {
+  auto d = Deployment::standard(3);
+  const auto t0 = SimTime::epoch();
+  d.crash_software(ServiceKind::NovaCompute,
+                   "neutron-plugin-linuxbridge-agent", t0,
+                   t0 + SimDuration::seconds(30));
+  for (auto id : d.nodes_for(ServiceKind::NovaCompute)) {
+    EXPECT_FALSE(d.node(id).software_running(
+        "neutron-plugin-linuxbridge-agent", t0 + SimDuration::seconds(1)));
+  }
+}
+
+TEST(Deployment, InjectLinkLatency) {
+  auto d = Deployment::standard(1);
+  const auto t0 = SimTime::epoch();
+  d.inject_link_latency(ServiceKind::Glance, t0,
+                        t0 + SimDuration::seconds(10),
+                        SimDuration::millis(50));
+  const auto glance = d.primary_node_for(ServiceKind::Glance);
+  EXPECT_EQ(d.fabric().injector().extra_delay(NodeId(0), glance,
+                                              t0 + SimDuration::seconds(1)),
+            SimDuration::millis(50));
+}
+
+TEST(RestPortFor, WellKnownPorts) {
+  EXPECT_EQ(rest_port_for(ServiceKind::Keystone), 5000);
+  EXPECT_EQ(rest_port_for(ServiceKind::Nova), 8774);
+  EXPECT_EQ(rest_port_for(ServiceKind::Neutron), 9696);
+  EXPECT_EQ(rest_port_for(ServiceKind::Glance), 9292);
+  EXPECT_EQ(rest_port_for(ServiceKind::Cinder), 8776);
+}
+
+}  // namespace
+}  // namespace gretel::stack

@@ -1,0 +1,102 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace gretel::net {
+namespace {
+
+using util::Rng;
+using util::SimDuration;
+using util::SimTime;
+using wire::NodeId;
+
+TEST(LatencyInjector, NoRulesNoDelay) {
+  LatencyInjector inj;
+  EXPECT_EQ(inj.extra_delay(NodeId(0), NodeId(1), SimTime::epoch()).count(),
+            0);
+}
+
+TEST(LatencyInjector, RuleAppliesToEitherEndpoint) {
+  LatencyInjector inj;
+  const auto t0 = SimTime::epoch();
+  inj.add_rule({NodeId(3), t0, t0 + SimDuration::seconds(10),
+                SimDuration::millis(50)});
+
+  EXPECT_EQ(inj.extra_delay(NodeId(3), NodeId(1), t0),
+            SimDuration::millis(50));
+  EXPECT_EQ(inj.extra_delay(NodeId(1), NodeId(3), t0),
+            SimDuration::millis(50));
+  EXPECT_EQ(inj.extra_delay(NodeId(1), NodeId(2), t0).count(), 0);
+}
+
+TEST(LatencyInjector, RuleWindowBoundaries) {
+  LatencyInjector inj;
+  const auto t0 = SimTime::epoch() + SimDuration::seconds(5);
+  const auto t1 = t0 + SimDuration::seconds(10);
+  inj.add_rule({NodeId(0), t0, t1, SimDuration::millis(50)});
+
+  EXPECT_EQ(inj.extra_delay(NodeId(0), NodeId(1),
+                            t0 - SimDuration::nanos(1)).count(),
+            0);
+  EXPECT_EQ(inj.extra_delay(NodeId(0), NodeId(1), t0),
+            SimDuration::millis(50));
+  EXPECT_EQ(inj.extra_delay(NodeId(0), NodeId(1), t1).count(), 0);
+}
+
+TEST(LatencyInjector, RulesStack) {
+  LatencyInjector inj;
+  const auto t0 = SimTime::epoch();
+  const auto t1 = t0 + SimDuration::seconds(1);
+  inj.add_rule({NodeId(0), t0, t1, SimDuration::millis(10)});
+  inj.add_rule({NodeId(1), t0, t1, SimDuration::millis(5)});
+  EXPECT_EQ(inj.extra_delay(NodeId(0), NodeId(1), t0),
+            SimDuration::millis(15));
+}
+
+TEST(LatencyInjector, ClearRemovesRules) {
+  LatencyInjector inj;
+  inj.add_rule({NodeId(0), SimTime::epoch(),
+                SimTime::epoch() + SimDuration::seconds(1),
+                SimDuration::millis(10)});
+  inj.clear();
+  EXPECT_EQ(
+      inj.extra_delay(NodeId(0), NodeId(1), SimTime::epoch()).count(), 0);
+}
+
+TEST(Fabric, LoopbackIsFast) {
+  Fabric fabric;
+  Rng rng(1);
+  EXPECT_LT(fabric.delivery_delay(NodeId(2), NodeId(2), SimTime::epoch(),
+                                  rng),
+            SimDuration::micros(100));
+}
+
+TEST(Fabric, CrossNodeNearBase) {
+  Fabric fabric(SimDuration::micros(200), SimDuration::micros(20));
+  Rng rng(2);
+  util::RunningStats stats;
+  for (int i = 0; i < 500; ++i) {
+    stats.add(static_cast<double>(
+        fabric.delivery_delay(NodeId(0), NodeId(1), SimTime::epoch(), rng)
+            .count()));
+  }
+  EXPECT_GE(stats.min(), SimDuration::micros(200).count());
+  EXPECT_NEAR(stats.mean(), 208'000.0, 15'000.0);  // base + E[max(N,0)]
+}
+
+TEST(Fabric, InjectedLatencyAdds) {
+  Fabric fabric(SimDuration::micros(100), SimDuration::nanos(0));
+  Rng rng(3);
+  fabric.injector().add_rule({NodeId(1), SimTime::epoch(),
+                              SimTime::epoch() + SimDuration::seconds(60),
+                              SimDuration::millis(50)});
+  const auto d =
+      fabric.delivery_delay(NodeId(0), NodeId(1), SimTime::epoch(), rng);
+  EXPECT_GE(d, SimDuration::millis(50));
+  EXPECT_LT(d, SimDuration::millis(51));
+}
+
+}  // namespace
+}  // namespace gretel::net

@@ -1,0 +1,129 @@
+// Service-log emission by the workflow executor (§3.1's observable).
+#include <gtest/gtest.h>
+
+#include "stack/faults.h"
+#include "stack/workflow.h"
+
+namespace gretel::stack {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::ApiCatalog;
+using wire::HttpMethod;
+using wire::ServiceKind;
+
+class WorkflowLoggingTest : public ::testing::Test {
+ protected:
+  WorkflowLoggingTest() : deployment_(Deployment::standard(1)) {
+    infra_ = register_infra_apis(catalog_);
+    post_ = catalog_.add_rest(ServiceKind::Glance, HttpMethod::Post,
+                              "/v2/images");
+    put_ = catalog_.add_rest(ServiceKind::Glance, HttpMethod::Put,
+                             "/v2/images/<ID>/file");
+    get_ = catalog_.add_rest(ServiceKind::Glance, HttpMethod::Get,
+                             "/v2/images/<ID>");
+    op_.id = wire::OpTemplateId(0);
+    op_.name = "image-upload";
+    op_.category = Category::Image;
+    op_.poll_api = get_;
+    op_.steps = {
+        {post_, ServiceKind::Horizon, ServiceKind::Glance,
+         SimDuration::millis(8), false, 1.0},
+        {put_, ServiceKind::Horizon, ServiceKind::Glance,
+         SimDuration::millis(20), false, 1.0},
+        {get_, ServiceKind::Horizon, ServiceKind::Glance,
+         SimDuration::millis(4), false, 1.0},
+    };
+  }
+
+  WorkflowExecutor::Options quiet() {
+    WorkflowExecutor::Options opt;
+    opt.emit_heartbeats = false;
+    opt.emit_keystone_auth = false;
+    opt.duplicate_get_prob = 0.0;
+    return opt;
+  }
+
+  Deployment deployment_;
+  ApiCatalog catalog_;
+  InfraApis infra_;
+  OperationTemplate op_;
+  wire::ApiId post_, put_, get_;
+};
+
+TEST_F(WorkflowLoggingTest, SuccessfulRunLogsTraceOnly) {
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, quiet());
+  exec.execute(std::vector<Launch>{{&op_, SimTime::epoch(), std::nullopt}});
+  ASSERT_EQ(exec.logs().size(), op_.steps.size());
+  for (const auto& line : exec.logs()) {
+    EXPECT_EQ(line.level, LogLevel::Trace);
+    EXPECT_EQ(line.service, ServiceKind::Glance);
+    EXPECT_NE(line.message.find("handling"), std::string::npos);
+  }
+}
+
+TEST_F(WorkflowLoggingTest, LogsTimeSorted) {
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, quiet());
+  std::vector<Launch> launches{
+      {&op_, SimTime::epoch() + SimDuration::seconds(1), std::nullopt},
+      {&op_, SimTime::epoch(), std::nullopt}};
+  exec.execute(launches);
+  const auto& logs = exec.logs();
+  for (std::size_t i = 1; i < logs.size(); ++i) {
+    EXPECT_LE(logs[i - 1].ts, logs[i].ts);
+  }
+}
+
+TEST_F(WorkflowLoggingTest, FaultLogsAtConfiguredLevel) {
+  OperationalFault fault = no_valid_host_fault(1);
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, quiet());
+  exec.execute(std::vector<Launch>{{&op_, SimTime::epoch(), fault}});
+
+  std::size_t warnings = 0;
+  for (const auto& line : exec.logs()) {
+    if (line.level == LogLevel::Warning) {
+      ++warnings;
+      EXPECT_NE(line.message.find("No valid host"), std::string::npos);
+    }
+    EXPECT_NE(line.level, LogLevel::Error)
+        << "the paper's faults never reach ERROR";
+  }
+  // The failing step and the dashboard relay both log.
+  EXPECT_EQ(warnings, 2u);
+}
+
+TEST_F(WorkflowLoggingTest, SilentFaultWritesNothing) {
+  // §7.2.1: Glance logs nothing for the 413.
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, quiet());
+  exec.execute(std::vector<Launch>{
+      {&op_, SimTime::epoch(), entity_too_large_fault(1)}});
+  for (const auto& line : exec.logs()) {
+    EXPECT_EQ(line.level, LogLevel::Trace);
+  }
+}
+
+TEST_F(WorkflowLoggingTest, EmitLogsOffDisables) {
+  auto opt = quiet();
+  opt.emit_logs = false;
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, opt);
+  exec.execute(std::vector<Launch>{{&op_, SimTime::epoch(), std::nullopt}});
+  EXPECT_TRUE(exec.logs().empty());
+}
+
+TEST_F(WorkflowLoggingTest, LogsClearedBetweenExecutes) {
+  WorkflowExecutor exec(&deployment_, &catalog_, &infra_, 1, quiet());
+  exec.execute(std::vector<Launch>{{&op_, SimTime::epoch(), std::nullopt}});
+  const auto first = exec.logs().size();
+  exec.execute(std::vector<Launch>{{&op_, SimTime::epoch(), std::nullopt}});
+  EXPECT_EQ(exec.logs().size(), first);
+}
+
+TEST(LogLevelNames, AllNamed) {
+  EXPECT_EQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_EQ(to_string(LogLevel::Warning), "WARNING");
+  EXPECT_EQ(to_string(LogLevel::Error), "ERROR");
+}
+
+}  // namespace
+}  // namespace gretel::stack

@@ -1,0 +1,154 @@
+#include "monitor/metrics.h"
+#include "monitor/watcher.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::monitor {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+using wire::NodeId;
+using wire::ServiceKind;
+
+TEST(MetricsStore, RecordAndLookup) {
+  MetricsStore store;
+  store.record(NodeId(1), net::ResourceKind::CpuPct, 1.0, 42.0);
+  store.record(NodeId(1), net::ResourceKind::CpuPct, 2.0, 43.0);
+  const auto* series = store.series(NodeId(1), net::ResourceKind::CpuPct);
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2u);
+  EXPECT_EQ(store.total_samples(), 2u);
+}
+
+TEST(MetricsStore, MissingSeriesIsNull) {
+  MetricsStore store;
+  EXPECT_EQ(store.series(NodeId(1), net::ResourceKind::CpuPct), nullptr);
+}
+
+TEST(MetricsStore, KeysSeparateNodesAndKinds) {
+  MetricsStore store;
+  store.record(NodeId(1), net::ResourceKind::CpuPct, 1.0, 10.0);
+  store.record(NodeId(2), net::ResourceKind::CpuPct, 1.0, 20.0);
+  store.record(NodeId(1), net::ResourceKind::MemUsedMb, 1.0, 30.0);
+  EXPECT_EQ(store.series(NodeId(1), net::ResourceKind::CpuPct)->size(), 1u);
+  EXPECT_EQ(store.series(NodeId(2), net::ResourceKind::CpuPct)->size(), 1u);
+  EXPECT_DOUBLE_EQ(store.series(NodeId(1), net::ResourceKind::MemUsedMb)
+                       ->points()[0]
+                       .value,
+                   30.0);
+}
+
+TEST(ResourceMonitor, SamplesEveryNodeEveryPeriod) {
+  auto deployment = stack::Deployment::standard(2);  // 6 nodes
+  ResourceMonitor monitor(&deployment, SimDuration::seconds(1), 1);
+  MetricsStore store;
+  monitor.sample_range(SimTime::epoch(),
+                       SimTime::epoch() + SimDuration::seconds(10), store);
+  // 10 polls x 6 nodes x 5 resources.
+  EXPECT_EQ(store.total_samples(), 10u * 6u * net::kResourceKinds);
+  const auto* cpu = store.series(NodeId(0), net::ResourceKind::CpuPct);
+  ASSERT_NE(cpu, nullptr);
+  EXPECT_EQ(cpu->size(), 10u);
+}
+
+TEST(ResourceMonitor, CapturesPerturbation) {
+  auto deployment = stack::Deployment::standard(1);
+  const auto neutron =
+      deployment.primary_node_for(ServiceKind::Neutron);
+  deployment.inject_cpu_surge(ServiceKind::Neutron,
+                              SimTime::epoch() + SimDuration::seconds(20),
+                              SimTime::epoch() + SimDuration::seconds(40),
+                              80.0);
+  ResourceMonitor monitor(&deployment, SimDuration::seconds(1), 2);
+  MetricsStore store;
+  monitor.sample_range(SimTime::epoch(),
+                       SimTime::epoch() + SimDuration::seconds(60), store);
+  const auto* cpu = store.series(neutron, net::ResourceKind::CpuPct);
+  ASSERT_NE(cpu, nullptr);
+  double in_window = 0;
+  double outside = 0;
+  int n_in = 0;
+  int n_out = 0;
+  for (const auto& p : cpu->points()) {
+    if (p.t_seconds >= 20 && p.t_seconds < 40) {
+      in_window += p.value;
+      ++n_in;
+    } else {
+      outside += p.value;
+      ++n_out;
+    }
+  }
+  EXPECT_GT(in_window / n_in, outside / n_out + 50.0);
+}
+
+TEST(DependencyWatcher, CleanDeploymentHasNoFailures) {
+  auto deployment = stack::Deployment::standard(2);
+  DependencyWatcher watcher(&deployment);
+  EXPECT_TRUE(watcher.failures_at(SimTime::epoch()).empty());
+}
+
+TEST(DependencyWatcher, DetectsDaemonCrash) {
+  auto deployment = stack::Deployment::standard(1);
+  deployment.crash_software(ServiceKind::NovaCompute, "nova-compute",
+                            SimTime::epoch() + SimDuration::seconds(5),
+                            SimTime::epoch() + SimDuration::seconds(15));
+  DependencyWatcher watcher(&deployment);
+  EXPECT_TRUE(watcher.failures_at(SimTime::epoch()).empty());
+  const auto failures =
+      watcher.failures_at(SimTime::epoch() + SimDuration::seconds(10));
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].dependency, "nova-compute");
+}
+
+TEST(DependencyWatcher, FailuresInWindowDeduplicated) {
+  auto deployment = stack::Deployment::standard(1);
+  deployment.crash_software(ServiceKind::Glance, "glance-api",
+                            SimTime::epoch(),
+                            SimTime::epoch() + SimDuration::seconds(30));
+  DependencyWatcher watcher(&deployment);
+  const auto failures = watcher.failures_in(
+      SimTime::epoch(), SimTime::epoch() + SimDuration::seconds(10));
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].dependency, "glance-api");
+  EXPECT_EQ(failures[0].observed, SimTime::epoch());
+}
+
+TEST(DependencyWatcher, InfraReachability) {
+  auto deployment = stack::Deployment::standard(1);
+  DependencyWatcher watcher(&deployment);
+  const auto t = SimTime::epoch() + SimDuration::seconds(1);
+  EXPECT_TRUE(watcher.infra_reachable(ServiceKind::MySql, t));
+
+  deployment.crash_software(ServiceKind::MySql, "mysqld", SimTime::epoch(),
+                            SimTime::epoch() + SimDuration::seconds(10));
+  EXPECT_FALSE(watcher.infra_reachable(ServiceKind::MySql, t));
+
+  // The unreachability also surfaces as a tcp: failure entry.
+  bool saw_tcp = false;
+  for (const auto& f : watcher.failures_at(t)) {
+    saw_tcp = saw_tcp || f.dependency == "tcp:mysql";
+  }
+  EXPECT_TRUE(saw_tcp);
+}
+
+TEST(DependencyWatcher, NtpStopDetected) {
+  // §7.2.4: a stopped NTP agent is the root cause behind a Keystone 401.
+  auto deployment = stack::Deployment::standard(1);
+  const auto controller =
+      deployment.primary_node_for(ServiceKind::Horizon);
+  deployment.node(controller).inject_outage(
+      {"ntpd", SimTime::epoch(),
+       SimTime::epoch() + SimDuration::seconds(60)});
+  DependencyWatcher watcher(&deployment);
+  const auto failures =
+      watcher.failures_at(SimTime::epoch() + SimDuration::seconds(1));
+  bool saw_ntp = false;
+  for (const auto& f : failures) {
+    saw_ntp = saw_ntp || (f.dependency == "ntpd" && f.node == controller);
+  }
+  EXPECT_TRUE(saw_ntp);
+}
+
+}  // namespace
+}  // namespace gretel::monitor

@@ -1,0 +1,154 @@
+#include "net/node.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::net {
+namespace {
+
+using util::Rng;
+using util::SimDuration;
+using util::SimTime;
+using wire::Ipv4;
+using wire::NodeId;
+using wire::ServiceKind;
+
+NodeState make_node() {
+  return NodeState(NodeId(1), "compute-1", Ipv4(10, 0, 0, 11));
+}
+
+TEST(NodeState, Identity) {
+  const auto node = make_node();
+  EXPECT_EQ(node.id(), NodeId(1));
+  EXPECT_EQ(node.hostname(), "compute-1");
+  EXPECT_EQ(node.ip().to_string(), "10.0.0.11");
+}
+
+TEST(NodeState, HostsServices) {
+  auto node = make_node();
+  EXPECT_FALSE(node.hosts(ServiceKind::NovaCompute));
+  node.host_service(ServiceKind::NovaCompute);
+  EXPECT_TRUE(node.hosts(ServiceKind::NovaCompute));
+  EXPECT_FALSE(node.hosts(ServiceKind::Glance));
+}
+
+TEST(NodeState, SoftwareInstallDeduplicates) {
+  auto node = make_node();
+  node.install_software("ntpd");
+  node.install_software("ntpd");
+  EXPECT_EQ(node.software().size(), 1u);
+}
+
+TEST(NodeState, OutageWindowSemantics) {
+  auto node = make_node();
+  node.install_software("nova-compute");
+  const auto t0 = SimTime::epoch();
+  node.inject_outage({"nova-compute", t0 + SimDuration::seconds(10),
+                      t0 + SimDuration::seconds(20)});
+
+  EXPECT_TRUE(node.software_running("nova-compute", t0));
+  EXPECT_FALSE(node.software_running(
+      "nova-compute", t0 + SimDuration::seconds(10)));  // inclusive start
+  EXPECT_FALSE(
+      node.software_running("nova-compute", t0 + SimDuration::seconds(15)));
+  EXPECT_TRUE(node.software_running(
+      "nova-compute", t0 + SimDuration::seconds(20)));  // exclusive end
+}
+
+TEST(NodeState, FailedSoftwareListsOnlyInstalled) {
+  auto node = make_node();
+  node.install_software("ntpd");
+  const auto t0 = SimTime::epoch();
+  node.inject_outage({"ntpd", t0, t0 + SimDuration::seconds(5)});
+  node.inject_outage({"ghost-daemon", t0, t0 + SimDuration::seconds(5)});
+
+  const auto failed = node.failed_software(t0 + SimDuration::seconds(1));
+  ASSERT_EQ(failed.size(), 1u);
+  EXPECT_EQ(failed[0], "ntpd");
+  EXPECT_TRUE(node.failed_software(t0 + SimDuration::seconds(6)).empty());
+}
+
+TEST(NodeState, NominalFollowsPerturbationWindows) {
+  auto node = make_node();
+  node.set_baseline(ResourceKind::CpuPct, 10.0, 0.0);
+  const auto t0 = SimTime::epoch();
+  node.inject_perturbation({ResourceKind::CpuPct,
+                            t0 + SimDuration::seconds(5),
+                            t0 + SimDuration::seconds(10), 60.0});
+
+  EXPECT_DOUBLE_EQ(node.nominal(ResourceKind::CpuPct, t0), 10.0);
+  EXPECT_DOUBLE_EQ(
+      node.nominal(ResourceKind::CpuPct, t0 + SimDuration::seconds(7)), 70.0);
+  EXPECT_DOUBLE_EQ(
+      node.nominal(ResourceKind::CpuPct, t0 + SimDuration::seconds(10)),
+      10.0);
+}
+
+TEST(NodeState, PerturbationsStack) {
+  auto node = make_node();
+  node.set_baseline(ResourceKind::CpuPct, 10.0, 0.0);
+  const auto t0 = SimTime::epoch();
+  node.inject_perturbation(
+      {ResourceKind::CpuPct, t0, t0 + SimDuration::seconds(10), 20.0});
+  node.inject_perturbation(
+      {ResourceKind::CpuPct, t0, t0 + SimDuration::seconds(10), 30.0});
+  EXPECT_DOUBLE_EQ(
+      node.nominal(ResourceKind::CpuPct, t0 + SimDuration::seconds(1)), 60.0);
+}
+
+TEST(NodeState, CpuClampedTo100) {
+  auto node = make_node();
+  node.set_baseline(ResourceKind::CpuPct, 90.0, 0.0);
+  node.inject_perturbation({ResourceKind::CpuPct, SimTime::epoch(),
+                            SimTime::epoch() + SimDuration::seconds(1),
+                            50.0});
+  EXPECT_DOUBLE_EQ(node.nominal(ResourceKind::CpuPct, SimTime::epoch()),
+                   100.0);
+}
+
+TEST(NodeState, DiskFreeNeverNegative) {
+  auto node = make_node();
+  node.set_baseline(ResourceKind::DiskFreeMb, 100.0, 0.0);
+  node.inject_perturbation({ResourceKind::DiskFreeMb, SimTime::epoch(),
+                            SimTime::epoch() + SimDuration::seconds(1),
+                            -500.0});
+  EXPECT_DOUBLE_EQ(node.nominal(ResourceKind::DiskFreeMb, SimTime::epoch()),
+                   0.0);
+}
+
+TEST(NodeState, SampleJittersAroundNominal) {
+  auto node = make_node();
+  node.set_baseline(ResourceKind::MemUsedMb, 1000.0, 10.0);
+  Rng rng(3);
+  double sum = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    sum += node.sample(ResourceKind::MemUsedMb, SimTime::epoch(), rng);
+  EXPECT_NEAR(sum / n, 1000.0, 2.0);
+}
+
+TEST(DefaultSoftware, EveryServiceRunsNtp) {
+  for (int s = 0; s <= static_cast<int>(ServiceKind::Unknown); ++s) {
+    const auto deps = default_software_for(static_cast<ServiceKind>(s));
+    EXPECT_FALSE(deps.empty());
+    EXPECT_EQ(deps.front(), "ntpd");
+  }
+}
+
+TEST(DefaultSoftware, ComputeRunsAgents) {
+  const auto deps = default_software_for(ServiceKind::NovaCompute);
+  EXPECT_NE(std::find(deps.begin(), deps.end(), "nova-compute"), deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(),
+                      "neutron-plugin-linuxbridge-agent"),
+            deps.end());
+  EXPECT_NE(std::find(deps.begin(), deps.end(), "libvirtd"), deps.end());
+}
+
+TEST(ResourceKindNames, AllNamed) {
+  for (std::size_t k = 0; k < kResourceKinds; ++k) {
+    EXPECT_STRNE(
+        std::string(to_string(static_cast<ResourceKind>(k))).c_str(), "?");
+  }
+}
+
+}  // namespace
+}  // namespace gretel::net

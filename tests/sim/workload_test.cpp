@@ -1,0 +1,129 @@
+#include "tempest/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+
+namespace gretel::tempest {
+namespace {
+
+using stack::Category;
+
+const TempestCatalog& small_catalog() {
+  static const TempestCatalog catalog = TempestCatalog::build(5, 0.08);
+  return catalog;
+}
+
+TEST(Workload, CountsMatchSpec) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 40;
+  spec.faults = 4;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  EXPECT_EQ(w.launches.size(), 44u);
+  EXPECT_EQ(w.faulty_launch_idx.size(), 4u);
+}
+
+TEST(Workload, FaultyLaunchesCarryFaults) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 10;
+  spec.faults = 3;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  std::set<std::size_t> faulty(w.faulty_launch_idx.begin(),
+                               w.faulty_launch_idx.end());
+  for (std::size_t i = 0; i < w.launches.size(); ++i) {
+    EXPECT_EQ(w.launches[i].fault.has_value(), faulty.contains(i));
+  }
+}
+
+TEST(Workload, FaultsOnlyFromComputeAndNetwork) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 0;
+  spec.faults = 30;
+  spec.seed = 3;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  for (auto idx : w.faulty_launch_idx) {
+    const auto cat = w.launches[idx].op->category;
+    EXPECT_TRUE(cat == Category::Compute || cat == Category::Network);
+  }
+}
+
+TEST(Workload, FaultStepIsStateChange) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 0;
+  spec.faults = 20;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  for (auto idx : w.faulty_launch_idx) {
+    const auto& launch = w.launches[idx];
+    const auto& step = launch.op->steps[launch.fault->fail_step];
+    EXPECT_TRUE(small_catalog().apis().get(step.api).state_change());
+    EXPECT_FALSE(step.transient);
+    EXPECT_GE(launch.fault->status, 400);
+  }
+}
+
+TEST(Workload, StartsWithinWindow) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 50;
+  spec.window = util::SimDuration::seconds(10);
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  for (const auto& l : w.launches) {
+    EXPECT_GE(l.start, util::SimTime::epoch());
+    EXPECT_LT(l.start, util::SimTime::epoch() + spec.window);
+  }
+}
+
+TEST(Workload, IdenticalFaultyOpRepeats) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 5;
+  spec.faults = 6;
+  spec.identical_faulty_op = small_catalog().canonical().vm_create;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  for (auto idx : w.faulty_launch_idx) {
+    EXPECT_EQ(w.launches[idx].op->name, "vm-create");
+  }
+}
+
+TEST(Workload, DeterministicForSeed) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 20;
+  spec.faults = 2;
+  spec.seed = 17;
+  const auto a = make_parallel_workload(small_catalog(), spec);
+  const auto b = make_parallel_workload(small_catalog(), spec);
+  ASSERT_EQ(a.launches.size(), b.launches.size());
+  for (std::size_t i = 0; i < a.launches.size(); ++i) {
+    EXPECT_EQ(a.launches[i].op, b.launches[i].op);
+    EXPECT_EQ(a.launches[i].start, b.launches[i].start);
+  }
+}
+
+TEST(Workload, CategoryMixTracksDistribution) {
+  WorkloadSpec spec;
+  spec.concurrent_tests = 2000;
+  spec.seed = 11;
+  const auto w = make_parallel_workload(small_catalog(), spec);
+  std::array<int, stack::kCategories> counts{};
+  for (const auto& l : w.launches) {
+    ++counts[static_cast<std::size_t>(l.op->category)];
+  }
+  // Compute (517/1200) should dominate Image (55/1200) by a wide margin.
+  EXPECT_GT(counts[static_cast<std::size_t>(Category::Compute)],
+            5 * counts[static_cast<std::size_t>(Category::Image)]);
+}
+
+TEST(IsolatedRuns, SpacedByGap) {
+  const auto runs = make_isolated_runs(small_catalog(), 0, 4,
+                                       util::SimDuration::seconds(30));
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].op, &small_catalog().operation(0));
+    EXPECT_FALSE(runs[i].fault.has_value());
+    EXPECT_EQ(runs[i].start,
+              util::SimTime::epoch() +
+                  util::SimDuration::seconds(30) * static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gretel::tempest

@@ -1,0 +1,54 @@
+#include "util/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace gretel::util {
+namespace {
+
+struct TagA {};
+struct TagB {};
+using IdA = StrongId<TagA>;
+using IdB = StrongId<TagB, std::uint16_t>;
+
+TEST(StrongId, DefaultIsInvalid) {
+  IdA id;
+  EXPECT_FALSE(id.valid());
+  EXPECT_EQ(id, IdA::invalid());
+}
+
+TEST(StrongId, ValueRoundTrip) {
+  IdA id(42);
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(id.value(), 42u);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(IdA(1), IdA(2));
+  EXPECT_EQ(IdA(3), IdA(3));
+  EXPECT_NE(IdA(3), IdA(4));
+}
+
+TEST(StrongId, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<IdA, IdB>);
+  static_assert(!std::is_convertible_v<IdA, IdB>);
+  SUCCEED();
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<IdA> set;
+  set.insert(IdA(1));
+  set.insert(IdA(2));
+  set.insert(IdA(1));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(IdA(2)));
+}
+
+TEST(StrongId, NarrowRepInvalid) {
+  EXPECT_FALSE(IdB::invalid().valid());
+  EXPECT_EQ(IdB::invalid().value(), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace gretel::util

@@ -1,0 +1,53 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  LoggingTest() : saved_(log_level()) {}
+  ~LoggingTest() override { set_log_level(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Error);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_STREQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::Debug), "DEBUG");
+  EXPECT_STREQ(to_string(LogLevel::Info), "INFO");
+  EXPECT_STREQ(to_string(LogLevel::Warn), "WARN");
+  EXPECT_STREQ(to_string(LogLevel::Error), "ERROR");
+  EXPECT_STREQ(to_string(LogLevel::Off), "OFF");
+}
+
+TEST_F(LoggingTest, OrderingSupportsThresholds) {
+  EXPECT_LT(LogLevel::Trace, LogLevel::Debug);
+  EXPECT_LT(LogLevel::Debug, LogLevel::Info);
+  EXPECT_LT(LogLevel::Info, LogLevel::Warn);
+  EXPECT_LT(LogLevel::Warn, LogLevel::Error);
+  EXPECT_LT(LogLevel::Error, LogLevel::Off);
+}
+
+TEST_F(LoggingTest, StreamBelowThresholdIsCheapNoop) {
+  set_log_level(LogLevel::Off);
+  // Must not crash or emit; the << operands still evaluate.
+  GRETEL_LOG(Info, "test") << "invisible " << 42;
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, StreamAtThresholdWrites) {
+  set_log_level(LogLevel::Error);
+  GRETEL_LOG(Error, "test") << "visible error line (expected in output)";
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace gretel::util

@@ -1,0 +1,140 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace gretel::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    EXPECT_EQ(rng.next_below(1), 0u);
+  }
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo = saw_lo || v == -3;
+    saw_hi = saw_hi || v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(15);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_exponential(3.0);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(Rng, PickWeightedRespectsWeights) {
+  Rng rng(17);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.pick_weighted(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(Rng, PickWeightedAllZeroPicksFirst) {
+  Rng rng(19);
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_EQ(rng.pick_weighted(weights), 0u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(21);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinctSortedInRange) {
+  Rng rng(23);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = rng.sample_indices(100, 10);
+    ASSERT_EQ(s.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (auto i : s) EXPECT_LT(i, 100u);
+  }
+}
+
+TEST(Rng, SampleIndicesAllWhenKExceedsN) {
+  Rng rng(25);
+  const auto s = rng.sample_indices(5, 9);
+  EXPECT_EQ(s.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, ForkIndependentButDeterministic) {
+  Rng a(31);
+  Rng b(31);
+  Rng fa = a.fork();
+  Rng fb = b.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fa.next_u64(), fb.next_u64());
+}
+
+}  // namespace
+}  // namespace gretel::util

@@ -1,0 +1,67 @@
+#include "util/time.h"
+
+#include <gtest/gtest.h>
+
+namespace gretel::util {
+namespace {
+
+TEST(SimDuration, ConstructionUnits) {
+  EXPECT_EQ(SimDuration::nanos(5).count(), 5);
+  EXPECT_EQ(SimDuration::micros(3).count(), 3'000);
+  EXPECT_EQ(SimDuration::millis(2).count(), 2'000'000);
+  EXPECT_EQ(SimDuration::seconds(1).count(), 1'000'000'000);
+  EXPECT_EQ(SimDuration::minutes(2).count(), 120'000'000'000LL);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::millis(10);
+  const auto b = SimDuration::millis(4);
+  EXPECT_EQ((a + b).count(), SimDuration::millis(14).count());
+  EXPECT_EQ((a - b).count(), SimDuration::millis(6).count());
+  EXPECT_EQ((a * 3).count(), SimDuration::millis(30).count());
+  EXPECT_EQ((a / 2).count(), SimDuration::millis(5).count());
+  EXPECT_EQ((-a).count(), -10'000'000);
+}
+
+TEST(SimDuration, Conversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimDuration::micros(2500).to_millis(), 2.5);
+}
+
+TEST(SimDuration, Comparisons) {
+  EXPECT_LT(SimDuration::millis(1), SimDuration::millis(2));
+  EXPECT_EQ(SimDuration::seconds(1), SimDuration::millis(1000));
+}
+
+TEST(SimTime, EpochAndOffsets) {
+  const auto t = SimTime::epoch() + SimDuration::seconds(5);
+  EXPECT_EQ(t.nanos(), 5'000'000'000);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 5.0);
+  EXPECT_EQ((t - SimTime::epoch()).count(),
+            SimDuration::seconds(5).count());
+  EXPECT_EQ((t - SimDuration::seconds(2)).nanos(),
+            SimDuration::seconds(3).count());
+}
+
+TEST(SimTime, PlusEqualsAccumulates) {
+  SimTime t;
+  t += SimDuration::millis(250);
+  t += SimDuration::millis(750);
+  EXPECT_EQ(t, SimTime::epoch() + SimDuration::seconds(1));
+}
+
+TEST(SimClock, AdvanceMonotonic) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), SimTime::epoch());
+  clock.advance(SimDuration::seconds(2));
+  EXPECT_EQ(clock.now().to_seconds(), 2.0);
+  clock.advance_to(SimTime::epoch() + SimDuration::seconds(1));
+  EXPECT_EQ(clock.now().to_seconds(), 2.0) << "must never move backwards";
+  clock.advance_to(SimTime::epoch() + SimDuration::seconds(3));
+  EXPECT_EQ(clock.now().to_seconds(), 3.0);
+  clock.reset();
+  EXPECT_EQ(clock.now(), SimTime::epoch());
+}
+
+}  // namespace
+}  // namespace gretel::util

@@ -1,0 +1,107 @@
+#include "net/capture_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace gretel::net {
+namespace {
+
+std::vector<WireRecord> sample_records() {
+  std::vector<WireRecord> out;
+  for (int i = 0; i < 5; ++i) {
+    WireRecord r;
+    r.ts = util::SimTime(1000000LL * i);
+    r.src_node = wire::NodeId(static_cast<std::uint8_t>(i));
+    r.dst_node = wire::NodeId(static_cast<std::uint8_t>(i + 1));
+    r.src = {wire::Ipv4(10, 0, 0, static_cast<std::uint8_t>(i)),
+             static_cast<std::uint16_t>(30000 + i)};
+    r.dst = {wire::Ipv4(10, 0, 0, 99), 9696};
+    r.conn_id = static_cast<std::uint32_t>(100 + i);
+    r.is_amqp = (i % 2) == 0;
+    r.truth_noise = i == 3;
+    if (i != 4) {
+      r.truth_instance = wire::OpInstanceId(static_cast<std::uint32_t>(i));
+      r.truth_template = wire::OpTemplateId(7);
+    }
+    r.identifiers = {static_cast<std::uint32_t>(1000 + i), 42};
+    r.bytes = "payload-" + std::to_string(i) +
+              std::string("\x00\xCE\r\n", 4);  // binary-safe
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(CaptureFile, RoundTripPreservesEverything) {
+  const auto records = sample_records();
+  const auto decoded = decode_capture(encode_capture(records));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& a = records[i];
+    const auto& b = (*decoded)[i];
+    EXPECT_EQ(a.ts, b.ts);
+    EXPECT_EQ(a.src_node, b.src_node);
+    EXPECT_EQ(a.dst_node, b.dst_node);
+    EXPECT_EQ(a.src, b.src);
+    EXPECT_EQ(a.dst, b.dst);
+    EXPECT_EQ(a.conn_id, b.conn_id);
+    EXPECT_EQ(a.is_amqp, b.is_amqp);
+    EXPECT_EQ(a.truth_noise, b.truth_noise);
+    EXPECT_EQ(a.truth_instance, b.truth_instance);
+    EXPECT_EQ(a.truth_template, b.truth_template);
+    EXPECT_EQ(a.identifiers, b.identifiers);
+    EXPECT_EQ(a.bytes, b.bytes);
+  }
+}
+
+TEST(CaptureFile, EmptyCapture) {
+  const auto decoded = decode_capture(encode_capture({}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(CaptureFile, RejectsBadMagic) {
+  auto data = encode_capture(sample_records());
+  data[0] = 'X';
+  EXPECT_FALSE(decode_capture(data).has_value());
+}
+
+TEST(CaptureFile, RejectsEveryTruncation) {
+  const auto data = encode_capture(sample_records());
+  // Sampled prefixes (every byte would be slow for big captures).
+  for (std::size_t len = 0; len < data.size(); len += 7) {
+    EXPECT_FALSE(decode_capture(data.substr(0, len)).has_value())
+        << "prefix " << len;
+  }
+}
+
+TEST(CaptureFile, RejectsTrailingGarbage) {
+  auto data = encode_capture(sample_records());
+  data += "x";
+  EXPECT_FALSE(decode_capture(data).has_value());
+}
+
+TEST(CaptureFile, RejectsGarbage) {
+  EXPECT_FALSE(decode_capture("").has_value());
+  EXPECT_FALSE(decode_capture("random").has_value());
+}
+
+TEST(CaptureFile, FileRoundTrip) {
+  const std::string path = "/tmp/gretel_capture_file_test.cap";
+  const auto records = sample_records();
+  ASSERT_TRUE(write_capture_file(path, records));
+  const auto loaded = read_capture_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), records.size());
+  EXPECT_EQ((*loaded)[2].bytes, records[2].bytes);
+  std::remove(path.c_str());
+}
+
+TEST(CaptureFile, MissingFileIsNullopt) {
+  EXPECT_FALSE(read_capture_file("/tmp/does-not-exist-gretel.cap")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace gretel::net

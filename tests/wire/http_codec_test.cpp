@@ -1,0 +1,146 @@
+#include "wire/http_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "wire/message.h"  // is_error_status
+
+namespace gretel::wire {
+namespace {
+
+HttpRequest sample_request() {
+  HttpRequest req;
+  req.method = HttpMethod::Post;
+  req.target = "/v2.0/ports.json";
+  req.headers.set("Host", "neutron");
+  req.headers.set("X-Service", "nova");
+  req.body = R"({"port": {"network_id": "abc"}})";
+  return req;
+}
+
+TEST(HttpCodec, RequestRoundTrip) {
+  const auto bytes = serialize(sample_request());
+  const auto parsed = parse_http_request(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, HttpMethod::Post);
+  EXPECT_EQ(parsed->target, "/v2.0/ports.json");
+  EXPECT_EQ(parsed->headers.get("Host"), "neutron");
+  EXPECT_EQ(parsed->headers.get("X-Service"), "nova");
+  EXPECT_EQ(parsed->body, R"({"port": {"network_id": "abc"}})");
+}
+
+TEST(HttpCodec, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 413;
+  resp.body = R"({"error": "Request Entity Too Large"})";
+  const auto bytes = serialize(resp);
+  const auto parsed = parse_http_response(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 413);
+  EXPECT_EQ(parsed->reason, "Request Entity Too Large");
+  EXPECT_EQ(parsed->body, resp.body);
+}
+
+TEST(HttpCodec, SerializeAddsContentLength) {
+  const auto bytes = serialize(sample_request());
+  EXPECT_NE(bytes.find("Content-Length: 31\r\n"), std::string::npos);
+}
+
+TEST(HttpCodec, HeaderLookupCaseInsensitive) {
+  const auto parsed = parse_http_request(serialize(sample_request()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.get("host"), "neutron");
+  EXPECT_EQ(parsed->headers.get("X-SERVICE"), "nova");
+  EXPECT_FALSE(parsed->headers.get("X-Missing").has_value());
+}
+
+TEST(HttpCodec, EmptyBodyRoundTrip) {
+  HttpRequest req;
+  req.method = HttpMethod::Get;
+  req.target = "/v2.1/servers";
+  const auto parsed = parse_http_request(serialize(req));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+TEST(HttpCodec, RejectsTruncatedBody) {
+  auto bytes = serialize(sample_request());
+  bytes.resize(bytes.size() - 5);
+  EXPECT_FALSE(parse_http_request(bytes).has_value());
+}
+
+TEST(HttpCodec, RejectsMissingHeaderTerminator) {
+  EXPECT_FALSE(
+      parse_http_request("GET /x HTTP/1.1\r\nHost: a\r\n").has_value());
+}
+
+TEST(HttpCodec, RejectsBadMethod) {
+  EXPECT_FALSE(
+      parse_http_request("FETCH /x HTTP/1.1\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, RejectsBadVersion) {
+  EXPECT_FALSE(parse_http_request("GET /x HTTP/2\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, RejectsEmptyTarget) {
+  EXPECT_FALSE(parse_http_request("GET  HTTP/1.1\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, RejectsMalformedHeaderLine) {
+  EXPECT_FALSE(parse_http_request(
+                   "GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n")
+                   .has_value());
+}
+
+TEST(HttpCodec, RejectsBadContentLength) {
+  EXPECT_FALSE(parse_http_request(
+                   "GET /x HTTP/1.1\r\nContent-Length: abc\r\n\r\n")
+                   .has_value());
+}
+
+TEST(HttpCodec, RejectsGarbage) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("\r\n").has_value());
+  EXPECT_FALSE(parse_http_request("random bytes").has_value());
+  EXPECT_FALSE(parse_http_response("random bytes").has_value());
+}
+
+TEST(HttpCodec, ResponseRejectsBadStatus) {
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 99 Tiny\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 700 Big\r\n\r\n").has_value());
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 abc X\r\n\r\n").has_value());
+}
+
+TEST(HttpCodec, ResponseDefaultReasonFromStatus) {
+  HttpResponse resp;
+  resp.status = 404;
+  const auto bytes = serialize(resp);
+  EXPECT_NE(bytes.find("404 Not Found"), std::string::npos);
+}
+
+TEST(ReasonPhrase, KnownAndUnknown) {
+  EXPECT_EQ(reason_phrase(200), "OK");
+  EXPECT_EQ(reason_phrase(401), "Unauthorized");
+  EXPECT_EQ(reason_phrase(413), "Request Entity Too Large");
+  EXPECT_EQ(reason_phrase(299), "Unknown");
+}
+
+// Property sweep: round-trip holds for every status the simulator emits.
+class HttpStatusRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HttpStatusRoundTrip, SurvivesSerialization) {
+  HttpResponse resp;
+  resp.status = static_cast<std::uint16_t>(GetParam());
+  resp.body = "x";
+  const auto parsed = parse_http_response(serialize(resp));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, GetParam());
+  EXPECT_EQ(is_error_status(parsed->status), GetParam() >= 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Statuses, HttpStatusRoundTrip,
+                         ::testing::Values(200, 201, 202, 204, 400, 401, 403,
+                                           404, 409, 413, 500, 503, 504));
+
+}  // namespace
+}  // namespace gretel::wire

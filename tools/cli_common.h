@@ -1,0 +1,46 @@
+// Minimal argument parsing shared by the gretel_* command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+
+namespace gretel::tools {
+
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+
+  // "--name value" style option; nullopt when absent.
+  std::optional<std::string> get(const char* name) const {
+    for (int i = 1; i + 1 < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return std::string(argv_[i + 1]);
+    }
+    return std::nullopt;
+  }
+
+  bool has_flag(const char* name) const {
+    for (int i = 1; i < argc_; ++i) {
+      if (std::strcmp(argv_[i], name) == 0) return true;
+    }
+    return false;
+  }
+
+  double get_double(const char* name, double fallback) const {
+    const auto v = get(name);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+  long get_int(const char* name, long fallback) const {
+    const auto v = get(name);
+    return v ? std::atol(v->c_str()) : fallback;
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+};
+
+}  // namespace gretel::tools
