@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_matcher.dir/bench_ablation_matcher.cpp.o"
+  "CMakeFiles/bench_ablation_matcher.dir/bench_ablation_matcher.cpp.o.d"
+  "bench_ablation_matcher"
+  "bench_ablation_matcher.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_matcher.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagnosis_comparison.dir/bench_diagnosis_comparison.cpp.o"
+  "CMakeFiles/bench_diagnosis_comparison.dir/bench_diagnosis_comparison.cpp.o.d"
+  "bench_diagnosis_comparison"
+  "bench_diagnosis_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagnosis_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_precision.dir/bench_fig7a_precision.cpp.o"
+  "CMakeFiles/bench_fig7a_precision.dir/bench_fig7a_precision.cpp.o.d"
+  "bench_fig7a_precision"
+  "bench_fig7a_precision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_rpc_pruning.dir/bench_fig7c_rpc_pruning.cpp.o"
+  "CMakeFiles/bench_fig7c_rpc_pruning.dir/bench_fig7c_rpc_pruning.cpp.o.d"
+  "bench_fig7c_rpc_pruning"
+  "bench_fig7c_rpc_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_rpc_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

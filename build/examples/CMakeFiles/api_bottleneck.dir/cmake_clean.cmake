@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/api_bottleneck.dir/api_bottleneck.cpp.o"
+  "CMakeFiles/api_bottleneck.dir/api_bottleneck.cpp.o.d"
+  "api_bottleneck"
+  "api_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/api_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

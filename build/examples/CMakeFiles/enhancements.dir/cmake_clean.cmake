@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancements.dir/enhancements.cpp.o"
+  "CMakeFiles/enhancements.dir/enhancements.cpp.o.d"
+  "enhancements"
+  "enhancements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

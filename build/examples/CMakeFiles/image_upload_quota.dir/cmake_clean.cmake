@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/image_upload_quota.dir/image_upload_quota.cpp.o"
+  "CMakeFiles/image_upload_quota.dir/image_upload_quota.cpp.o.d"
+  "image_upload_quota"
+  "image_upload_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/image_upload_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_failure.dir/ntp_failure.cpp.o"
+  "CMakeFiles/ntp_failure.dir/ntp_failure.cpp.o.d"
+  "ntp_failure"
+  "ntp_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

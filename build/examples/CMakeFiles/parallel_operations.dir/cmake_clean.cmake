@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_operations.dir/parallel_operations.cpp.o"
+  "CMakeFiles/parallel_operations.dir/parallel_operations.cpp.o.d"
+  "parallel_operations"
+  "parallel_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

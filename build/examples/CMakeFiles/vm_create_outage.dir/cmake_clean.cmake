@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_create_outage.dir/vm_create_outage.cpp.o"
+  "CMakeFiles/vm_create_outage.dir/vm_create_outage.cpp.o.d"
+  "vm_create_outage"
+  "vm_create_outage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_create_outage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/ewma.cpp" "src/detect/CMakeFiles/gretel_detect.dir/ewma.cpp.o" "gcc" "src/detect/CMakeFiles/gretel_detect.dir/ewma.cpp.o.d"
+  "/root/repo/src/detect/latency_tracker.cpp" "src/detect/CMakeFiles/gretel_detect.dir/latency_tracker.cpp.o" "gcc" "src/detect/CMakeFiles/gretel_detect.dir/latency_tracker.cpp.o.d"
+  "/root/repo/src/detect/level_shift.cpp" "src/detect/CMakeFiles/gretel_detect.dir/level_shift.cpp.o" "gcc" "src/detect/CMakeFiles/gretel_detect.dir/level_shift.cpp.o.d"
+  "/root/repo/src/detect/series_analysis.cpp" "src/detect/CMakeFiles/gretel_detect.dir/series_analysis.cpp.o" "gcc" "src/detect/CMakeFiles/gretel_detect.dir/series_analysis.cpp.o.d"
+  "/root/repo/src/detect/zscore.cpp" "src/detect/CMakeFiles/gretel_detect.dir/zscore.cpp.o" "gcc" "src/detect/CMakeFiles/gretel_detect.dir/zscore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

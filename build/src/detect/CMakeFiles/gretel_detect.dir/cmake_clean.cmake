@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_detect.dir/ewma.cpp.o"
+  "CMakeFiles/gretel_detect.dir/ewma.cpp.o.d"
+  "CMakeFiles/gretel_detect.dir/latency_tracker.cpp.o"
+  "CMakeFiles/gretel_detect.dir/latency_tracker.cpp.o.d"
+  "CMakeFiles/gretel_detect.dir/level_shift.cpp.o"
+  "CMakeFiles/gretel_detect.dir/level_shift.cpp.o.d"
+  "CMakeFiles/gretel_detect.dir/series_analysis.cpp.o"
+  "CMakeFiles/gretel_detect.dir/series_analysis.cpp.o.d"
+  "CMakeFiles/gretel_detect.dir/zscore.cpp.o"
+  "CMakeFiles/gretel_detect.dir/zscore.cpp.o.d"
+  "libgretel_detect.a"
+  "libgretel_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

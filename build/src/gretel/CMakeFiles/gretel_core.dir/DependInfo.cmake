@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gretel/analyzer.cpp" "src/gretel/CMakeFiles/gretel_core.dir/analyzer.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/analyzer.cpp.o.d"
+  "/root/repo/src/gretel/anomaly_detector.cpp" "src/gretel/CMakeFiles/gretel_core.dir/anomaly_detector.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/anomaly_detector.cpp.o.d"
+  "/root/repo/src/gretel/db_io.cpp" "src/gretel/CMakeFiles/gretel_core.dir/db_io.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/db_io.cpp.o.d"
+  "/root/repo/src/gretel/fingerprint.cpp" "src/gretel/CMakeFiles/gretel_core.dir/fingerprint.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/gretel/fingerprint_db.cpp" "src/gretel/CMakeFiles/gretel_core.dir/fingerprint_db.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/fingerprint_db.cpp.o.d"
+  "/root/repo/src/gretel/json_export.cpp" "src/gretel/CMakeFiles/gretel_core.dir/json_export.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/json_export.cpp.o.d"
+  "/root/repo/src/gretel/lcs.cpp" "src/gretel/CMakeFiles/gretel_core.dir/lcs.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/lcs.cpp.o.d"
+  "/root/repo/src/gretel/matcher.cpp" "src/gretel/CMakeFiles/gretel_core.dir/matcher.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/matcher.cpp.o.d"
+  "/root/repo/src/gretel/noise_filter.cpp" "src/gretel/CMakeFiles/gretel_core.dir/noise_filter.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/noise_filter.cpp.o.d"
+  "/root/repo/src/gretel/op_detector.cpp" "src/gretel/CMakeFiles/gretel_core.dir/op_detector.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/op_detector.cpp.o.d"
+  "/root/repo/src/gretel/root_cause.cpp" "src/gretel/CMakeFiles/gretel_core.dir/root_cause.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/root_cause.cpp.o.d"
+  "/root/repo/src/gretel/symbols.cpp" "src/gretel/CMakeFiles/gretel_core.dir/symbols.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/symbols.cpp.o.d"
+  "/root/repo/src/gretel/training.cpp" "src/gretel/CMakeFiles/gretel_core.dir/training.cpp.o" "gcc" "src/gretel/CMakeFiles/gretel_core.dir/training.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/gretel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gretel_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/gretel_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/tempest/CMakeFiles/gretel_tempest.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

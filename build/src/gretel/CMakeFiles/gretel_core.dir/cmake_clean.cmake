@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_core.dir/analyzer.cpp.o"
+  "CMakeFiles/gretel_core.dir/analyzer.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/anomaly_detector.cpp.o"
+  "CMakeFiles/gretel_core.dir/anomaly_detector.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/db_io.cpp.o"
+  "CMakeFiles/gretel_core.dir/db_io.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/fingerprint.cpp.o"
+  "CMakeFiles/gretel_core.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/fingerprint_db.cpp.o"
+  "CMakeFiles/gretel_core.dir/fingerprint_db.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/json_export.cpp.o"
+  "CMakeFiles/gretel_core.dir/json_export.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/lcs.cpp.o"
+  "CMakeFiles/gretel_core.dir/lcs.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/matcher.cpp.o"
+  "CMakeFiles/gretel_core.dir/matcher.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/noise_filter.cpp.o"
+  "CMakeFiles/gretel_core.dir/noise_filter.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/op_detector.cpp.o"
+  "CMakeFiles/gretel_core.dir/op_detector.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/root_cause.cpp.o"
+  "CMakeFiles/gretel_core.dir/root_cause.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/symbols.cpp.o"
+  "CMakeFiles/gretel_core.dir/symbols.cpp.o.d"
+  "CMakeFiles/gretel_core.dir/training.cpp.o"
+  "CMakeFiles/gretel_core.dir/training.cpp.o.d"
+  "libgretel_core.a"
+  "libgretel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

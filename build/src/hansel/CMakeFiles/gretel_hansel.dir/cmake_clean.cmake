@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_hansel.dir/hansel.cpp.o"
+  "CMakeFiles/gretel_hansel.dir/hansel.cpp.o.d"
+  "libgretel_hansel.a"
+  "libgretel_hansel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_hansel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gretel_hansel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/log_analysis.cpp" "src/logs/CMakeFiles/gretel_logs.dir/log_analysis.cpp.o" "gcc" "src/logs/CMakeFiles/gretel_logs.dir/log_analysis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/gretel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_logs.dir/log_analysis.cpp.o"
+  "CMakeFiles/gretel_logs.dir/log_analysis.cpp.o.d"
+  "libgretel_logs.a"
+  "libgretel_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

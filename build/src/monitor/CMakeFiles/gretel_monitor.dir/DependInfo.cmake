@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/monitor/metrics.cpp" "src/monitor/CMakeFiles/gretel_monitor.dir/metrics.cpp.o" "gcc" "src/monitor/CMakeFiles/gretel_monitor.dir/metrics.cpp.o.d"
+  "/root/repo/src/monitor/resource_stream.cpp" "src/monitor/CMakeFiles/gretel_monitor.dir/resource_stream.cpp.o" "gcc" "src/monitor/CMakeFiles/gretel_monitor.dir/resource_stream.cpp.o.d"
+  "/root/repo/src/monitor/watcher.cpp" "src/monitor/CMakeFiles/gretel_monitor.dir/watcher.cpp.o" "gcc" "src/monitor/CMakeFiles/gretel_monitor.dir/watcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stack/CMakeFiles/gretel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gretel_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_monitor.dir/metrics.cpp.o"
+  "CMakeFiles/gretel_monitor.dir/metrics.cpp.o.d"
+  "CMakeFiles/gretel_monitor.dir/resource_stream.cpp.o"
+  "CMakeFiles/gretel_monitor.dir/resource_stream.cpp.o.d"
+  "CMakeFiles/gretel_monitor.dir/watcher.cpp.o"
+  "CMakeFiles/gretel_monitor.dir/watcher.cpp.o.d"
+  "libgretel_monitor.a"
+  "libgretel_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/capture.cpp" "src/net/CMakeFiles/gretel_net.dir/capture.cpp.o" "gcc" "src/net/CMakeFiles/gretel_net.dir/capture.cpp.o.d"
+  "/root/repo/src/net/capture_file.cpp" "src/net/CMakeFiles/gretel_net.dir/capture_file.cpp.o" "gcc" "src/net/CMakeFiles/gretel_net.dir/capture_file.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/gretel_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/gretel_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/gretel_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/gretel_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/replay.cpp" "src/net/CMakeFiles/gretel_net.dir/replay.cpp.o" "gcc" "src/net/CMakeFiles/gretel_net.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

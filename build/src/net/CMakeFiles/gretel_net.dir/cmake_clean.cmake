@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_net.dir/capture.cpp.o"
+  "CMakeFiles/gretel_net.dir/capture.cpp.o.d"
+  "CMakeFiles/gretel_net.dir/capture_file.cpp.o"
+  "CMakeFiles/gretel_net.dir/capture_file.cpp.o.d"
+  "CMakeFiles/gretel_net.dir/fabric.cpp.o"
+  "CMakeFiles/gretel_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/gretel_net.dir/node.cpp.o"
+  "CMakeFiles/gretel_net.dir/node.cpp.o.d"
+  "CMakeFiles/gretel_net.dir/replay.cpp.o"
+  "CMakeFiles/gretel_net.dir/replay.cpp.o.d"
+  "libgretel_net.a"
+  "libgretel_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

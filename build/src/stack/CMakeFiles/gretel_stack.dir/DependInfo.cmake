@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/deployment.cpp" "src/stack/CMakeFiles/gretel_stack.dir/deployment.cpp.o" "gcc" "src/stack/CMakeFiles/gretel_stack.dir/deployment.cpp.o.d"
+  "/root/repo/src/stack/operation.cpp" "src/stack/CMakeFiles/gretel_stack.dir/operation.cpp.o" "gcc" "src/stack/CMakeFiles/gretel_stack.dir/operation.cpp.o.d"
+  "/root/repo/src/stack/workflow.cpp" "src/stack/CMakeFiles/gretel_stack.dir/workflow.cpp.o" "gcc" "src/stack/CMakeFiles/gretel_stack.dir/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_stack.dir/deployment.cpp.o"
+  "CMakeFiles/gretel_stack.dir/deployment.cpp.o.d"
+  "CMakeFiles/gretel_stack.dir/operation.cpp.o"
+  "CMakeFiles/gretel_stack.dir/operation.cpp.o.d"
+  "CMakeFiles/gretel_stack.dir/workflow.cpp.o"
+  "CMakeFiles/gretel_stack.dir/workflow.cpp.o.d"
+  "libgretel_stack.a"
+  "libgretel_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

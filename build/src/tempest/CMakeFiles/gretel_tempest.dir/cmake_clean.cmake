@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_tempest.dir/catalog.cpp.o"
+  "CMakeFiles/gretel_tempest.dir/catalog.cpp.o.d"
+  "CMakeFiles/gretel_tempest.dir/workload.cpp.o"
+  "CMakeFiles/gretel_tempest.dir/workload.cpp.o.d"
+  "libgretel_tempest.a"
+  "libgretel_tempest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_tempest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

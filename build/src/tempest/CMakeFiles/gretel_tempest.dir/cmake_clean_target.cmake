@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgretel_tempest.a"
+)

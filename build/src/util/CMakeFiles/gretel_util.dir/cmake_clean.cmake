@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_util.dir/logging.cpp.o"
+  "CMakeFiles/gretel_util.dir/logging.cpp.o.d"
+  "CMakeFiles/gretel_util.dir/rng.cpp.o"
+  "CMakeFiles/gretel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/gretel_util.dir/stats.cpp.o"
+  "CMakeFiles/gretel_util.dir/stats.cpp.o.d"
+  "libgretel_util.a"
+  "libgretel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

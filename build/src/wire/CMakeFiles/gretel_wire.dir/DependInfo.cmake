@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/amqp_codec.cpp" "src/wire/CMakeFiles/gretel_wire.dir/amqp_codec.cpp.o" "gcc" "src/wire/CMakeFiles/gretel_wire.dir/amqp_codec.cpp.o.d"
+  "/root/repo/src/wire/api.cpp" "src/wire/CMakeFiles/gretel_wire.dir/api.cpp.o" "gcc" "src/wire/CMakeFiles/gretel_wire.dir/api.cpp.o.d"
+  "/root/repo/src/wire/http_codec.cpp" "src/wire/CMakeFiles/gretel_wire.dir/http_codec.cpp.o" "gcc" "src/wire/CMakeFiles/gretel_wire.dir/http_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_wire.dir/amqp_codec.cpp.o"
+  "CMakeFiles/gretel_wire.dir/amqp_codec.cpp.o.d"
+  "CMakeFiles/gretel_wire.dir/api.cpp.o"
+  "CMakeFiles/gretel_wire.dir/api.cpp.o.d"
+  "CMakeFiles/gretel_wire.dir/http_codec.cpp.o"
+  "CMakeFiles/gretel_wire.dir/http_codec.cpp.o.d"
+  "libgretel_wire.a"
+  "libgretel_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx.cxx" "tests/CMakeFiles/core_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/core_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/cmake_pch.hxx.gch" "gcc" "tests/CMakeFiles/core_tests.dir/cmake_pch.hxx.gch.d"
+  "/root/repo/tests/core/branched_fingerprint_test.cpp" "tests/CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o.d"
+  "/root/repo/tests/core/db_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o.d"
+  "/root/repo/tests/core/fingerprint_test.cpp" "tests/CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o.d"
+  "/root/repo/tests/core/json_export_test.cpp" "tests/CMakeFiles/core_tests.dir/core/json_export_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/json_export_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/json_export_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/json_export_test.cpp.o.d"
+  "/root/repo/tests/core/lcs_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lcs_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lcs_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/lcs_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lcs_test.cpp.o.d"
+  "/root/repo/tests/core/matcher_test.cpp" "tests/CMakeFiles/core_tests.dir/core/matcher_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/matcher_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/matcher_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/matcher_test.cpp.o.d"
+  "/root/repo/tests/core/noise_filter_test.cpp" "tests/CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o.d"
+  "/root/repo/tests/core/op_detector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o.d"
+  "/root/repo/tests/core/root_cause_test.cpp" "tests/CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o.d"
+  "/root/repo/tests/core/symbols_test.cpp" "tests/CMakeFiles/core_tests.dir/core/symbols_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/symbols_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/symbols_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/symbols_test.cpp.o.d"
+  "/root/repo/tests/core/window_test.cpp" "tests/CMakeFiles/core_tests.dir/core/window_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/window_test.cpp.o.d"
+  "/root/repo/build/tests/CMakeFiles/core_tests.dir/cmake_pch.hxx" "tests/CMakeFiles/core_tests.dir/core/window_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/window_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gretel/CMakeFiles/gretel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hansel/CMakeFiles/gretel_hansel.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/gretel_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/gretel_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gretel_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/tempest/CMakeFiles/gretel_tempest.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/gretel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/core_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/branched_fingerprint_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/db_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/db_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/fingerprint_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/json_export_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/json_export_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/lcs_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/lcs_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/matcher_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/matcher_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/op_detector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/root_cause_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/symbols_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/symbols_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/window_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/window_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

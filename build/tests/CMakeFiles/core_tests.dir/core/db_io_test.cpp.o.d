@@ -1,0 +1,19 @@
+tests/CMakeFiles/core_tests.dir/core/db_io_test.cpp.o: \
+ /root/repo/tests/core/db_io_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/gretel/db_io.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/string /usr/include/c++/12/string_view \
+ /root/repo/src/gretel/fingerprint_db.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/vector \
+ /root/repo/src/gretel/fingerprint.h /root/repo/src/gretel/noise_filter.h \
+ /root/repo/src/wire/api.h /root/repo/src/util/ids.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/functional \
+ /root/repo/src/wire/message.h /root/repo/src/util/time.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/charconv.h /root/repo/src/wire/endpoint.h \
+ /root/repo/src/gretel/symbols.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/cstdio /usr/include/stdio.h

@@ -1,0 +1,24 @@
+tests/CMakeFiles/core_tests.dir/core/json_export_test.cpp.o: \
+ /root/repo/tests/core/json_export_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/gretel/json_export.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/stl_iterator.h \
+ /usr/include/c++/12/bits/ranges_base.h /usr/include/c++/12/string \
+ /usr/include/c++/12/string_view /root/repo/src/gretel/fingerprint_db.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/vector /root/repo/src/gretel/fingerprint.h \
+ /root/repo/src/gretel/noise_filter.h /root/repo/src/wire/api.h \
+ /usr/include/c++/12/optional /root/repo/src/util/ids.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/functional \
+ /root/repo/src/wire/message.h /root/repo/src/util/time.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/charconv.h /root/repo/src/wire/endpoint.h \
+ /root/repo/src/gretel/symbols.h /root/repo/src/gretel/report.h \
+ /root/repo/src/detect/latency_tracker.h /usr/include/c++/12/memory \
+ /root/repo/src/detect/outlier.h /root/repo/src/util/stats.h \
+ /root/miniconda/include/gtest/gtest.h

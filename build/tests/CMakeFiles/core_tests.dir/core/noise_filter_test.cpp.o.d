@@ -1,0 +1,17 @@
+tests/CMakeFiles/core_tests.dir/core/noise_filter_test.cpp.o: \
+ /root/repo/tests/core/noise_filter_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/gretel/noise_filter.h /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/wire/api.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/optional \
+ /usr/include/c++/12/string_view /usr/include/c++/12/unordered_map \
+ /root/repo/src/util/ids.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/functional /root/repo/src/wire/message.h \
+ /root/repo/src/util/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/charconv.h /root/repo/src/wire/endpoint.h \
+ /root/miniconda/include/gtest/gtest.h

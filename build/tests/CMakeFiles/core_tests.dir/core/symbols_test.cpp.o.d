@@ -1,0 +1,8 @@
+tests/CMakeFiles/core_tests.dir/core/symbols_test.cpp.o: \
+ /root/repo/tests/core/symbols_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/gretel/symbols.h /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/wire/api.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/optional \
+ /usr/include/c++/12/string_view /usr/include/c++/12/unordered_map \
+ /root/repo/src/util/ids.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/functional /root/miniconda/include/gtest/gtest.h

@@ -1,0 +1,33 @@
+tests/CMakeFiles/core_tests.dir/core/window_test.cpp.o: \
+ /root/repo/tests/core/window_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/gretel/window.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/vector /root/repo/src/util/ring_buffer.h \
+ /usr/include/c++/12/cassert \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/assert.h /usr/include/features.h \
+ /usr/include/c++/12/cstddef /root/repo/src/wire/message.h \
+ /usr/include/c++/12/string /root/repo/src/util/ids.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/functional \
+ /root/repo/src/util/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/time.h \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/concepts \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/charconv.h \
+ /root/repo/src/wire/api.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/string_view /usr/include/c++/12/unordered_map \
+ /root/repo/src/wire/endpoint.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/gretel/config.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/ranges_base.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/gretel/matcher.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_iterator.h

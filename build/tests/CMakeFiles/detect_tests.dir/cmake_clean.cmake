@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/detect_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/detect_tests.dir/detect/ewma_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/ewma_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/latency_tracker_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/latency_tracker_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/level_shift_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/level_shift_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/series_analysis_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/series_analysis_test.cpp.o.d"
+  "CMakeFiles/detect_tests.dir/detect/zscore_test.cpp.o"
+  "CMakeFiles/detect_tests.dir/detect/zscore_test.cpp.o.d"
+  "detect_tests"
+  "detect_tests.pdb"
+  "detect_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+tests/CMakeFiles/detect_tests.dir/detect/latency_tracker_test.cpp.o: \
+ /root/repo/tests/detect/latency_tracker_test.cpp \
+ /usr/include/stdc-predef.h /root/repo/src/detect/latency_tracker.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/memory \
+ /usr/include/c++/12/optional /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/vector /root/repo/src/detect/outlier.h \
+ /usr/include/c++/12/string_view /root/repo/src/util/stats.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_iterator.h \
+ /usr/include/c++/12/bits/ranges_base.h /root/repo/src/util/time.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/compare \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/charconv.h \
+ /root/repo/src/wire/message.h /usr/include/c++/12/string \
+ /root/repo/src/util/ids.h /root/repo/src/wire/api.h \
+ /root/repo/src/wire/endpoint.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/detect/level_shift.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/c++/12/bits/stl_construct.h \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
+ /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/debug/assertions.h \
+ /usr/include/c++/12/bits/refwrap.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/deque.tcc

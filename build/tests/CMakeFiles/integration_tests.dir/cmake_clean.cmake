@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/integration_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/integration_tests.dir/integration/analyzer_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/analyzer_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/correlation_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/correlation_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/hansel_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/hansel_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/log_analysis_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/log_analysis_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_artifacts_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/pipeline_artifacts_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/scenarios_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/scenarios_test.cpp.o.d"
+  "CMakeFiles/integration_tests.dir/integration/training_test.cpp.o"
+  "CMakeFiles/integration_tests.dir/integration/training_test.cpp.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

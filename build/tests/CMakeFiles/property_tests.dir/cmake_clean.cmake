@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/property_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/property_tests.dir/property/codec_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/codec_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/matching_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/matching_property_test.cpp.o.d"
+  "CMakeFiles/property_tests.dir/property/pipeline_property_test.cpp.o"
+  "CMakeFiles/property_tests.dir/property/pipeline_property_test.cpp.o.d"
+  "property_tests"
+  "property_tests.pdb"
+  "property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/sim_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/catalog_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/deployment_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/deployment_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/fabric_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/fabric_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/logging_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/logging_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/monitor_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/monitor_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/node_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/node_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/resource_stream_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/resource_stream_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/workflow_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/workflow_test.cpp.o.d"
+  "CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o"
+  "CMakeFiles/sim_tests.dir/sim/workload_test.cpp.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+tests/CMakeFiles/sim_tests.dir/sim/workflow_test.cpp.o: \
+ /root/repo/tests/sim/workflow_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/stack/workflow.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/optional /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/stl_iterator.h \
+ /usr/include/c++/12/bits/ranges_base.h /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/net/capture.h \
+ /usr/include/c++/12/unordered_map /root/repo/src/wire/api.h \
+ /usr/include/c++/12/string_view /root/repo/src/util/ids.h \
+ /usr/include/c++/12/compare /usr/include/c++/12/functional \
+ /root/repo/src/wire/message.h /root/repo/src/util/time.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/type_traits \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/charconv.h /root/repo/src/wire/endpoint.h \
+ /root/repo/src/stack/deployment.h /usr/include/c++/12/memory \
+ /root/repo/src/net/fabric.h /root/repo/src/util/rng.h \
+ /usr/include/c++/12/cmath /usr/include/c++/12/bits/cpp_type_traits.h \
+ /usr/include/c++/12/ext/type_traits.h /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
+ /usr/include/features.h /usr/include/x86_64-linux-gnu/bits/types.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/floatn.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/bits/specfun.h \
+ /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_iterator_base_types.h \
+ /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/bits/concept_check.h \
+ /usr/include/c++/12/debug/debug.h /usr/include/c++/12/bits/move.h \
+ /usr/include/c++/12/bit /usr/include/c++/12/ext/numeric_traits.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/net/node.h \
+ /root/repo/src/stack/logging.h /root/repo/src/stack/faults.h \
+ /root/repo/src/stack/operation.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/bits/utility.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/bits/stl_pair.h /usr/include/c++/12/set

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/util_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/util_tests.dir/util/ids_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/ids_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/logging_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/logging_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/ring_buffer_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/ring_buffer_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/rng_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/stats_test.cpp.o.d"
+  "CMakeFiles/util_tests.dir/util/time_test.cpp.o"
+  "CMakeFiles/util_tests.dir/util/time_test.cpp.o.d"
+  "util_tests"
+  "util_tests.pdb"
+  "util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+tests/CMakeFiles/util_tests.dir/util/ids_test.cpp.o: \
+ /root/repo/tests/util/ids_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/util/ids.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/functional \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/initializer_list \
+ /usr/include/c++/12/bits/allocator.h \
+ /usr/include/c++/12/ext/alloc_traits.h \
+ /usr/include/c++/12/ext/aligned_buffer.h \
+ /usr/include/c++/12/bits/stl_pair.h \
+ /usr/include/c++/12/bits/stl_function.h \
+ /usr/include/c++/12/bits/functional_hash.h \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/unordered_set.h \
+ /usr/include/c++/12/bits/range_access.h \
+ /usr/include/c++/12/bits/erase_if.h

@@ -1,0 +1,5 @@
+tests/CMakeFiles/util_tests.dir/util/logging_test.cpp.o: \
+ /root/repo/tests/util/logging_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/util/logging.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/string /usr/include/c++/12/string_view \
+ /root/miniconda/include/gtest/gtest.h

@@ -1,0 +1,7 @@
+tests/CMakeFiles/util_tests.dir/util/ring_buffer_test.cpp.o: \
+ /root/repo/tests/util/ring_buffer_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/util/ring_buffer.h /usr/include/c++/12/cassert \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/assert.h /usr/include/features.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/vector /root/miniconda/include/gtest/gtest.h

@@ -1,0 +1,11 @@
+tests/CMakeFiles/util_tests.dir/util/time_test.cpp.o: \
+ /root/repo/tests/util/time_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/util/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/compare \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/charconv.h \
+ /root/miniconda/include/gtest/gtest.h

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_tests.dir/cmake_pch.hxx.gch"
+  "CMakeFiles/wire_tests.dir/cmake_pch.hxx.gch.d"
+  "CMakeFiles/wire_tests.dir/wire/amqp_codec_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/amqp_codec_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/api_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/api_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/capture_file_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/capture_file_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/capture_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/capture_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/http_codec_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/http_codec_test.cpp.o.d"
+  "wire_tests"
+  "wire_tests.pdb"
+  "wire_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

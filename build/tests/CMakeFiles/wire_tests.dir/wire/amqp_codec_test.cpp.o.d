@@ -1,0 +1,5 @@
+tests/CMakeFiles/wire_tests.dir/wire/amqp_codec_test.cpp.o: \
+ /root/repo/tests/wire/amqp_codec_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/wire/amqp_codec.h /usr/include/c++/12/cstdint \
+ /usr/include/c++/12/optional /usr/include/c++/12/string \
+ /usr/include/c++/12/string_view /root/miniconda/include/gtest/gtest.h

@@ -1,0 +1,21 @@
+tests/CMakeFiles/wire_tests.dir/wire/capture_file_test.cpp.o: \
+ /root/repo/tests/wire/capture_file_test.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/net/capture_file.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/bits/stl_iterator.h \
+ /usr/include/c++/12/bits/ranges_base.h /usr/include/c++/12/string \
+ /usr/include/c++/12/vector /root/repo/src/net/capture.h \
+ /usr/include/c++/12/cstdint /usr/include/c++/12/unordered_map \
+ /root/repo/src/wire/api.h /usr/include/c++/12/string_view \
+ /root/repo/src/util/ids.h /usr/include/c++/12/compare \
+ /usr/include/c++/12/functional /root/repo/src/wire/message.h \
+ /root/repo/src/util/time.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/type_traits /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
+ /usr/include/time.h /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/concepts /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/charconv.h /root/repo/src/wire/endpoint.h \
+ /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstdio \
+ /usr/include/stdio.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_analyze.dir/gretel_analyze.cpp.o"
+  "CMakeFiles/gretel_analyze.dir/gretel_analyze.cpp.o.d"
+  "gretel_analyze"
+  "gretel_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_capture.dir/gretel_capture.cpp.o"
+  "CMakeFiles/gretel_capture.dir/gretel_capture.cpp.o.d"
+  "gretel_capture"
+  "gretel_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_fingerprints.dir/gretel_fingerprints.cpp.o"
+  "CMakeFiles/gretel_fingerprints.dir/gretel_fingerprints.cpp.o.d"
+  "gretel_fingerprints"
+  "gretel_fingerprints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_fingerprints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

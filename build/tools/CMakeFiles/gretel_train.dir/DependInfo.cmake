@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/gretel_train.cpp" "tools/CMakeFiles/gretel_train.dir/gretel_train.cpp.o" "gcc" "tools/CMakeFiles/gretel_train.dir/gretel_train.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gretel/CMakeFiles/gretel_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hansel/CMakeFiles/gretel_hansel.dir/DependInfo.cmake"
+  "/root/repo/build/src/monitor/CMakeFiles/gretel_monitor.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/gretel_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/tempest/CMakeFiles/gretel_tempest.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/gretel_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/gretel_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/gretel_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/gretel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gretel_train.dir/gretel_train.cpp.o"
+  "CMakeFiles/gretel_train.dir/gretel_train.cpp.o.d"
+  "gretel_train"
+  "gretel_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gretel_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
