@@ -48,7 +48,7 @@ int main() {
 
   // Latency series of the target API, bucketed per 5 s for the plot.
   const auto api = env.catalog.well_known().neutron_get_ports;
-  const auto* series = analyzer.latency_tracker().series(api);
+  const auto* series = analyzer.latency_series(api);
   if (series == nullptr || series->empty()) {
     std::printf("no samples for GET /v2.0/ports.json\n");
     return 1;

@@ -34,7 +34,7 @@ int main() {
 
   // Show the latency series GRETEL tracked for the API the paper plots.
   const auto api = scenario.catalog.well_known().neutron_get_ports;
-  if (const auto* series = analyzer->latency_tracker().series(api);
+  if (const auto* series = analyzer->latency_series(api);
       series && !series->empty()) {
     std::printf("\nGET /v2.0/ports.json latency (5s buckets):\n");
     double bucket = 0;

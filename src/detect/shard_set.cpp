@@ -1,0 +1,39 @@
+#include "detect/shard_set.h"
+
+#include "detect/level_shift.h"
+
+namespace gretel::detect {
+
+LatencyShardSet::LatencyShardSet(std::size_t num_shards,
+                                 LatencyTracker::Factory factory) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.emplace_back(factory);
+  }
+}
+
+LatencyShardSet::LatencyShardSet(std::size_t num_shards)
+    : LatencyShardSet(num_shards, [] { return make_level_shift(); }) {}
+
+std::size_t LatencyShardSet::shard_of(wire::ApiId api,
+                                      std::size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  // Knuth multiplicative hash; stable across platforms and shard counts.
+  const std::uint32_t h = api.value() * 2654435761u;
+  return static_cast<std::size_t>(h) % num_shards;
+}
+
+std::uint64_t LatencyShardSet::samples() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s.samples();
+  return total;
+}
+
+std::size_t LatencyShardSet::pending() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s.pending();
+  return total;
+}
+
+}  // namespace gretel::detect

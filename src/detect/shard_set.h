@@ -1,0 +1,60 @@
+// Shard-local latency/level-shift state for the concurrent analyzer.
+//
+// GRETEL's per-API independence (§5.3: every API's latency series feeds its
+// own outlier detector) makes anomaly detection trivially partitionable:
+// hash each API onto one of N shards and every request/response pairing,
+// latency series and level-shift detector for that API lives wholly inside
+// that shard.  Shards share no mutable state, so N shard workers can run
+// concurrently without locks, and the alarm stream per API is identical for
+// any shard count — the basis of the pipeline's determinism contract.
+//
+// Thread contract: shard(i) may be driven by at most one thread at a time;
+// distinct shards may be driven concurrently.  The aggregated accessors
+// (series / samples / pending) require the pipeline to be quiescent (all
+// shard workers drained or parked behind a barrier).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "detect/latency_tracker.h"
+
+namespace gretel::detect {
+
+class LatencyShardSet {
+ public:
+  // N shards, each minting its detectors from `factory` (the default is the
+  // level-shift detector, matching LatencyTracker's own default).
+  LatencyShardSet(std::size_t num_shards, LatencyTracker::Factory factory);
+  explicit LatencyShardSet(std::size_t num_shards = 1);
+
+  // Stable API → shard mapping (multiplicative hash so consecutively
+  // numbered APIs of one service spread across shards).
+  static std::size_t shard_of(wire::ApiId api, std::size_t num_shards);
+  std::size_t shard_of(wire::ApiId api) const {
+    return shard_of(api, shards_.size());
+  }
+
+  std::size_t num_shards() const { return shards_.size(); }
+  LatencyTracker& shard(std::size_t idx) { return shards_[idx]; }
+  const LatencyTracker& shard(std::size_t idx) const { return shards_[idx]; }
+
+  // Serial convenience: routes the event to its owning shard.  With one
+  // shard this is exactly a plain LatencyTracker.
+  std::optional<LatencyAlarm> observe(const wire::Event& event) {
+    return shards_[shard_of(event.api)].observe(event);
+  }
+
+  // Aggregated views over all shards (quiescent pipeline only).
+  const util::TimeSeries* series(wire::ApiId api) const {
+    return shards_[shard_of(api)].series(api);
+  }
+  std::uint64_t samples() const;
+  std::size_t pending() const;
+
+ private:
+  std::vector<LatencyTracker> shards_;
+};
+
+}  // namespace gretel::detect

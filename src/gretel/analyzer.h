@@ -6,11 +6,16 @@
 //   collectd metrics ─┐                       ▼
 //   dependency watch ─┴─────────────▶ RootCauseEngine ──▶ Diagnoses
 //
-// The analyzer is single-threaded and deterministic: on_wire()/on_event()
-// are called in capture order, faults are reported synchronously once their
-// future context arrives, and finish() flushes triggers still waiting at
-// end of stream.  Metrics must be populated (ResourceMonitor::sample_range)
-// before diagnoses that depend on them are read.
+// The analyzer's external contract is single-threaded and deterministic:
+// on_wire()/on_event() are called in capture order from one thread, faults
+// are reported synchronously (on that thread) once their future context
+// arrives, and finish() flushes triggers still waiting at end of stream.
+// Internally, Options::config.num_shards > 1 runs anomaly detection on a
+// sharded worker pipeline and num_match_workers > 0 fans fingerprint
+// scoring out over a worker pool — with identical reports for any shard or
+// worker count (docs/ARCHITECTURE.md, "Determinism").  Metrics must be
+// populated (ResourceMonitor::sample_range) before diagnoses that depend
+// on them are read.
 #pragma once
 
 #include <memory>
@@ -63,8 +68,14 @@ class Analyzer {
   }
 
   const GretelConfig& config() const { return detector_.config(); }
-  detect::LatencyTracker& latency_tracker() {
-    return detector_.latency_tracker();
+
+  // Latency series recorded for an API (sharded internally; safe to read
+  // between on_wire/on_event calls or after finish()).
+  const util::TimeSeries* latency_series(wire::ApiId api) const {
+    return detector_.latency_series(api);
+  }
+  const detect::LatencyShardSet& latency_shards() const {
+    return detector_.latency_shards();
   }
 
  private:

@@ -11,17 +11,36 @@ AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
       config_(config),
       callback_(std::move(callback)),
       detector_(db, catalog, config),
-      buffer_(config.alpha()) {}
+      buffer_(config.alpha()),
+      latency_(config.num_shards),
+      match_pool_(config.num_match_workers),
+      drain_interval_(config.drain_interval()) {
+  if (config_.num_shards > 1) {
+    // Ring sized so a whole drain interval fits even if every event hashes
+    // to one shard; submit() backpressure covers pathological imbalance.
+    pipeline_ = std::make_unique<ShardPipeline>(
+        &latency_, std::max<std::size_t>(64, 2 * drain_interval_));
+  }
+}
 
 void AnomalyDetector::on_event(wire::Event event) {
   const auto seq = buffer_.end_seq();
   event.seq = seq;
   ++stats_.events;
 
+  if (pipeline_) {
+    // Concurrent path: append to the shared window, hand the event to its
+    // shard, and periodically join to fold in discovered triggers.
+    buffer_.push(event);
+    pipeline_->submit(event);
+    if (++since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
+    return;
+  }
+
   if (event.is_error()) {
     if (event.kind == wire::ApiKind::Rest) {
       ++stats_.rest_errors;
-      maybe_trigger_operational(event);
+      maybe_trigger_operational(seq, event.api, event.ts);
     } else {
       ++stats_.rpc_errors;  // surfaces via the REST relay; no snapshot
     }
@@ -42,22 +61,47 @@ void AnomalyDetector::on_event(wire::Event event) {
   run_ready(/*force=*/false);
 }
 
-void AnomalyDetector::maybe_trigger_operational(const wire::Event& event) {
-  const auto seq = event.seq;
-  if (const auto it = last_trigger_.find(event.api);
+void AnomalyDetector::maybe_trigger_operational(std::uint64_t seq,
+                                                wire::ApiId api,
+                                                util::SimTime ts) {
+  if (const auto it = last_trigger_.find(api);
       it != last_trigger_.end() &&
       seq - it->second < config_.suppress_events) {
     ++stats_.suppressed_triggers;
     return;
   }
-  last_trigger_[event.api] = seq;
+  last_trigger_[api] = seq;
 
   PendingSnapshot p;
   p.center = seq;
-  p.api = event.api;
+  p.api = api;
   p.kind = FaultKind::Operational;
-  p.triggered_at = event.ts;
+  p.triggered_at = ts;
   pending_.push_back(std::move(p));
+}
+
+void AnomalyDetector::sync_shards(bool force) {
+  since_drain_ = 0;
+  std::vector<ShardTrigger> triggers;
+  pipeline_->drain(&triggers);
+  // Triggers arrive sorted by sequence, reproducing the serial detector's
+  // discovery order; suppression therefore resolves identically.
+  for (auto& t : triggers) {
+    if (t.kind == FaultKind::Operational) {
+      ++stats_.rest_errors;
+      maybe_trigger_operational(t.seq, t.api, t.ts);
+    } else {
+      PendingSnapshot p;
+      p.center = t.seq;
+      p.api = t.api;
+      p.kind = FaultKind::Performance;
+      p.triggered_at = t.ts;
+      p.alarm = std::move(t.alarm);
+      pending_.push_back(std::move(p));
+    }
+  }
+  stats_.rpc_errors = pipeline_->rpc_errors();
+  run_ready(force);
 }
 
 void AnomalyDetector::run_ready(bool force) {
@@ -106,7 +150,7 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
 
   const auto detection =
       detector_.detect(window, anchor_index, anchor,
-                       pending.kind == FaultKind::Operational);
+                       pending.kind == FaultKind::Operational, &match_pool_);
 
   FaultReport report;
   report.kind = pending.kind;
@@ -131,6 +175,12 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   if (callback_) callback_(report);
 }
 
-void AnomalyDetector::flush() { run_ready(/*force=*/true); }
+void AnomalyDetector::flush() {
+  if (pipeline_) {
+    sync_shards(/*force=*/true);
+    return;
+  }
+  run_ready(/*force=*/true);
+}
 
 }  // namespace gretel::core

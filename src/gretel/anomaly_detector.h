@@ -8,18 +8,37 @@
 // After a trigger, the detector waits for the future α/2 messages, freezes
 // the window between the dual buffer's two pointers, runs Algorithm 2, and
 // emits a FaultReport through the callback.
+//
+// Threading (config.num_shards / config.num_match_workers):
+//  * num_shards == 1 — fully serial, processing each event inline on the
+//    calling thread exactly as the original single-threaded detector.
+//  * num_shards > 1 — the front half (error scan + latency/level-shift
+//    detection) runs on shard worker threads fed through per-shard SPSC
+//    rings (ShardPipeline); the calling thread keeps the dual buffer,
+//    trigger suppression and snapshotting, draining the shards every
+//    config.drain_interval() events.  Trigger candidates are merged back in
+//    global sequence order, so the emitted reports are identical for any
+//    shard count (see docs/ARCHITECTURE.md, "Determinism").
+//  * num_match_workers > 0 — Algorithm 2 scores candidate fingerprints
+//    against the window snapshot on a fork-join pool; the reduction stays
+//    serial, so results are bit-identical to the inline matcher.
+// External API and callback discipline are unchanged: on_event()/flush()
+// must be called from one thread, and callbacks fire on that thread.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
-#include "detect/latency_tracker.h"
+#include "detect/shard_set.h"
 #include "gretel/config.h"
 #include "gretel/op_detector.h"
 #include "gretel/report.h"
+#include "gretel/shard_pipeline.h"
 #include "gretel/window.h"
+#include "util/thread_pool.h"
 
 namespace gretel::core {
 
@@ -35,6 +54,7 @@ class AnomalyDetector {
   void on_event(wire::Event event);
 
   // Runs any triggers still waiting for future context (end of stream).
+  // With shards, also joins the workers' in-flight work first.
   void flush();
 
   struct Stats {
@@ -48,7 +68,14 @@ class AnomalyDetector {
   const Stats& stats() const { return stats_; }
 
   const GretelConfig& config() const { return config_; }
-  detect::LatencyTracker& latency_tracker() { return latency_; }
+
+  // Sharded latency state.  The aggregated accessors are only safe when
+  // the pipeline is quiescent (between on_event calls / after flush).
+  detect::LatencyShardSet& latency_shards() { return latency_; }
+  const detect::LatencyShardSet& latency_shards() const { return latency_; }
+  const util::TimeSeries* latency_series(wire::ApiId api) const {
+    return latency_.series(api);
+  }
 
  private:
   struct PendingSnapshot {
@@ -59,7 +86,11 @@ class AnomalyDetector {
     std::optional<detect::LatencyAlarm> alarm;
   };
 
-  void maybe_trigger_operational(const wire::Event& event);
+  void maybe_trigger_operational(std::uint64_t seq, wire::ApiId api,
+                                 util::SimTime ts);
+  // Joins the shard workers, folds their trigger candidates into pending_
+  // in stream order, and runs snapshots that became ready.
+  void sync_shards(bool force);
   void run_ready(bool force);
   void run_snapshot(const PendingSnapshot& pending);
 
@@ -68,7 +99,11 @@ class AnomalyDetector {
   FaultCallback callback_;
   OperationDetector detector_;
   DualBuffer buffer_;
-  detect::LatencyTracker latency_;
+  detect::LatencyShardSet latency_;
+  util::ThreadPool match_pool_;
+  std::unique_ptr<ShardPipeline> pipeline_;  // null when num_shards == 1
+  std::size_t drain_interval_ = 0;
+  std::size_t since_drain_ = 0;
   std::vector<PendingSnapshot> pending_;
   // Last trigger sequence per API, for duplicate-relay suppression.
   std::unordered_map<wire::ApiId, std::uint64_t> last_trigger_;

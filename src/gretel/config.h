@@ -8,6 +8,9 @@
 // The paper's deployment: FPmax = 384, Prate ≈ 150 pps at 400 concurrent
 // operations, t = 1 s, c1 = 0.1, c2 = 0.04 → α = 768, β₀ = 80 (they round
 // c1·α up), δ = 30.
+//
+// Every knob is documented as: paper symbol (if any) · default · effect.
+// The same table, with tuning guidance, lives in docs/ARCHITECTURE.md.
 #pragma once
 
 #include <algorithm>
@@ -18,38 +21,87 @@
 namespace gretel::core {
 
 struct GretelConfig {
-  std::size_t fp_max = 384;   // largest fingerprint in the database
-  double p_rate = 150.0;      // observed message rate (packets per second)
-  double t_seconds = 1.0;     // window time horizon
-  double c1 = 0.1;            // initial context buffer fraction
-  double c2 = 0.04;           // context growth fraction
-  bool match_rpc = false;     // §6: prune RPC symbols from match literals
-  // Exploit OpenStack correlation ids when the deployment emits them
-  // (§5.3.1): the snapshot is reduced to the packets sharing the faulty
-  // message's correlation id before fingerprints are matched.
+  // FPmax · 384 · the longest fingerprint in the database, in messages.
+  // One of the two lower bounds on the window: a snapshot must be able to
+  // hold a whole operation, or truncated matching loses literals (Fig. 4).
+  std::size_t fp_max = 384;
+
+  // Prate · 150.0 · observed capture rate in packets per second.  The other
+  // window bound: α must cover at least t seconds of traffic at this rate.
+  double p_rate = 150.0;
+
+  // t · 1.0 · window time horizon in seconds; multiplies Prate in α.
+  double t_seconds = 1.0;
+
+  // c1 · 0.1 · initial context-buffer fraction: β₀ = c1·α messages around
+  // the fault are matched first.  Larger values start Algorithm 2 with more
+  // context (fewer growth iterations, more coincidental matches admitted
+  // up front).
+  double c1 = 0.1;
+
+  // c2 · 0.04 · context growth fraction: the buffer grows by δ = c2·α
+  // messages per iteration until the match set stabilizes or the window is
+  // covered.  Smaller values converge more precisely but iterate more.
+  double c2 = 0.04;
+
+  // (§6 optimization) · false · when false, RPC symbols are pruned from the
+  // match literals and REST state changes anchor the match; true keeps RPCs
+  // as literals (the Fig. 7c "with RPC" variant — slower, rarely better).
+  bool match_rpc = false;
+
+  // (§5.3.1 enhancement) · true · exploit OpenStack correlation ids when
+  // the deployment emits them: the snapshot is reduced to the packets
+  // sharing the faulty message's correlation id before fingerprints are
+  // matched.  No effect on captures without correlation ids.
   bool use_correlation_ids = true;
+
+  // (implementation) · SymbolSubsequence · fingerprint matching backend;
+  // StdRegex is the ablation analog of the paper's Perl offload.
   MatchBackend backend = MatchBackend::SymbolSubsequence;
-  // Minimum trailing literals that must be evidenced before the fault when
-  // the snapshot cannot reach back to the operation's start (the Fig. 4
-  // relaxation); candidates with fewer literals must show them all.
+
+  // (Fig. 4 relaxation) · 4 · minimum trailing literals that must be
+  // evidenced before the fault when the snapshot cannot reach back to the
+  // operation's start; candidates with fewer literals must show them all.
   std::size_t min_literal_suffix = 4;
-  // The faulty operation is executing *at* the fault, so its most recent
-  // state-change literal must have occurred within this many seconds before
-  // the fault; coincidental matches scattered across the window fail this
-  // anchoring requirement.
+
+  // (implementation) · 2.0 s · the faulty operation is executing *at* the
+  // fault, so its most recent state-change literal must have occurred
+  // within this many seconds before the fault; coincidental matches
+  // scattered across the window fail this anchoring requirement.
   double anchor_proximity_seconds = 2.0;
-  // Operational matching keeps the candidates whose anchored backward
-  // evidence (consumed literals) is within this fraction of the best
-  // candidate's: the faulty operation accumulates evidence as the context
-  // buffer grows while coincidental matches stay shallow.
+
+  // (implementation) · 0.5 · operational matching keeps the candidates
+  // whose anchored backward evidence (consumed literals) is within this
+  // fraction of the best candidate's: the faulty operation accumulates
+  // evidence as the context buffer grows while coincidental matches stay
+  // shallow.
   double evidence_ratio = 0.5;
-  // Growth of the context buffer stops early once the matched set and the
-  // deepest evidence have been stable for this many consecutive growths
-  // (further context could only admit coincidental matches and drop θ).
+
+  // (θ stopping rule) · 5 · growth of the context buffer stops early once
+  // the matched set and the deepest evidence have been stable for this many
+  // consecutive growths (further context could only admit coincidental
+  // matches and drop θ).
   int stable_growths_stop = 5;
-  // Two operational triggers for the same API closer than this many events
-  // are treated as one fault (duplicate REST error relays).
+
+  // (implementation) · 96 · two operational triggers for the same API
+  // closer than this many events are treated as one fault (duplicate REST
+  // error relays).
   std::size_t suppress_events = 96;
+
+  // (threading) · 1 · detection shards.  1 = the fully serial pipeline,
+  // byte-identical to the original single-threaded analyzer.  N > 1 runs
+  // the error scan and latency/level-shift detection on N worker threads,
+  // partitioned by API symbol; reports are identical for any value (see
+  // docs/ARCHITECTURE.md, "Determinism").  Size to physical cores minus
+  // one (the ingestion/snapshot thread).
+  std::size_t num_shards = 1;
+
+  // (threading) · 0 · worker threads for the fan-out fingerprint matcher
+  // in Algorithm 2.  0 scores candidates inline on the snapshotting
+  // thread; N > 0 fork-joins the per-candidate scoring loop over N threads
+  // (bit-identical results — the reduction stays serial).  Worth enabling
+  // when the fingerprint database is large or faults are frequent.
+  std::size_t num_match_workers = 0;
 
   std::size_t alpha() const {
     const auto rate_window =
@@ -63,6 +115,14 @@ struct GretelConfig {
   std::size_t delta() const {
     return std::max<std::size_t>(1,
                                  static_cast<std::size_t>(c2 * alpha()));
+  }
+
+  // How many events the sharded pipeline ingests between drains (the
+  // coordinator/worker join points).  Bounded by α/4 so a pending
+  // trigger's past half-window can never be evicted from the 2α dual
+  // buffer before its snapshot runs, whatever the drain backlog.
+  std::size_t drain_interval() const {
+    return std::clamp<std::size_t>(alpha() / 4, 1, 256);
   }
 };
 

@@ -7,6 +7,11 @@
 // subsequence check over symbols.  An equivalent std::regex backend (each
 // literal joined by ".*", the paper offloaded this to Perl) is kept behind
 // the same interface for the matcher ablation bench.
+//
+// Thread safety: a constructed Matcher is immutable — every query method
+// is const and keeps its scratch state on the stack (the regex backend
+// compiles its pattern locally per call) — so one instance may serve
+// concurrent match calls from the fan-out matcher pool without locking.
 #pragma once
 
 #include <span>

@@ -58,9 +58,18 @@ std::size_t backward_evidence(std::span<const wire::ApiId> literals,
 
 }  // namespace
 
+namespace {
+
+// Candidates below this count are scored inline: the fork-join handshake
+// costs more than the scoring itself.
+constexpr std::size_t kMinParallelCandidates = 4;
+
+}  // namespace
+
 DetectionResult OperationDetector::detect(
     std::span<const wire::Event> window, std::size_t fault_index,
-    wire::ApiId offending, bool truncate) const {
+    wire::ApiId offending, bool truncate,
+    util::ThreadPool* match_pool) const {
   DetectionResult result;
 
   // Candidate fingerprints containing the offending API (inverted index).
@@ -174,10 +183,14 @@ DetectionResult OperationDetector::detect(
     // fault has little history by definition).
     std::vector<FingerprintDb::Index> matched;
     std::size_t best = 0;
+    const bool fan_out = match_pool && match_pool->size() > 0 &&
+                         candidates.size() >= kMinParallelCandidates;
     if (truncate && config_.backend != MatchBackend::StdRegex) {
+      // Each worker owns slot ci; the reduction below is serial, so the
+      // matched set is identical with or without the pool.
       std::vector<std::size_t> evidence(candidates.size(), 0);
-      std::vector<bool> complete(candidates.size(), false);
-      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      std::vector<char> complete(candidates.size(), 0);
+      const auto score = [&](std::size_t ci) {
         for (const auto& literals : candidates[ci].variants) {
           const auto consumed = backward_evidence(
               literals, snapshot, snapshot_ts, fault_in_slice, fault_ts,
@@ -188,9 +201,16 @@ DetectionResult OperationDetector::detect(
           // trivially-short prefixes must clear the depth cutoff instead.
           if (consumed >= config_.min_literal_suffix &&
               consumed == literals.size()) {
-            complete[ci] = true;
+            complete[ci] = 1;
           }
         }
+      };
+      if (fan_out) {
+        match_pool->parallel_for(candidates.size(), score);
+      } else {
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) score(ci);
+      }
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
         best = std::max(best, evidence[ci]);
       }
       const auto cutoff = static_cast<std::size_t>(
@@ -202,13 +222,22 @@ DetectionResult OperationDetector::detect(
     } else {
       // Performance faults and the regex ablation backend: forward match
       // over the slice.
-      for (const auto& c : candidates) {
-        for (const auto& literals : c.variants) {
+      std::vector<char> hit(candidates.size(), 0);
+      const auto score = [&](std::size_t ci) {
+        for (const auto& literals : candidates[ci].variants) {
           if (matcher_.matches(literals, snapshot)) {
-            matched.push_back(c.index);
+            hit[ci] = 1;
             break;
           }
         }
+      };
+      if (fan_out) {
+        match_pool->parallel_for(candidates.size(), score);
+      } else {
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) score(ci);
+      }
+      for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+        if (hit[ci]) matched.push_back(candidates[ci].index);
       }
       best = matched.size();
     }

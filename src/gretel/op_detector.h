@@ -11,6 +11,13 @@
 //     soon as precision θ = (N−n)/(N−1) would drop (with subsequence
 //     matching, n grows monotonically in β, so the first increase after a
 //     non-empty match is the stopping point).
+//
+// Candidate scoring is embarrassingly parallel — each fingerprint is
+// matched against the snapshot independently — so detect() optionally
+// fans the per-candidate loop out over a util::ThreadPool.  Workers write
+// disjoint slots of the evidence arrays and the reduction (deepest
+// evidence, cutoff, matched set, θ) stays on the calling thread, making
+// the result bit-identical to the serial loop for any pool size.
 #pragma once
 
 #include <span>
@@ -20,6 +27,7 @@
 #include "gretel/fingerprint_db.h"
 #include "gretel/matcher.h"
 #include "gretel/report.h"
+#include "util/thread_pool.h"
 #include "wire/message.h"
 
 namespace gretel::core {
@@ -38,9 +46,12 @@ class OperationDetector {
 
   // `window` is the frozen snapshot; `fault_index` locates the faulty
   // message inside it; `truncate` selects the operational-fault behaviour.
+  // `match_pool` (optional) fans candidate scoring out over its workers;
+  // a null or empty pool scores inline.
   DetectionResult detect(std::span<const wire::Event> window,
                          std::size_t fault_index, wire::ApiId offending,
-                         bool truncate) const;
+                         bool truncate,
+                         util::ThreadPool* match_pool = nullptr) const;
 
   // θ for a given matched-count n against this database's N.
   double theta(std::size_t n) const;

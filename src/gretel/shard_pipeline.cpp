@@ -1,0 +1,137 @@
+#include "gretel/shard_pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace gretel::core {
+
+ShardPipeline::ShardPipeline(detect::LatencyShardSet* latency,
+                             std::size_t ring_capacity)
+    : latency_(latency) {
+  shards_.reserve(latency_->num_shards());
+  for (std::size_t i = 0; i < latency_->num_shards(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(ring_capacity));
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+ShardPipeline::~ShardPipeline() {
+  for (auto& sp : shards_) {
+    {
+      std::lock_guard<std::mutex> lock(sp->mutex);
+      sp->stop = true;
+    }
+    sp->cv.notify_all();
+  }
+  for (auto& sp : shards_) sp->worker.join();
+}
+
+void ShardPipeline::submit(const wire::Event& event) {
+  auto& shard = *shards_[latency_->shard_of(event.api)];
+  if (!shard.ring.try_push(event)) {
+    // Ring full: the worker is behind.  Park until it makes room; the
+    // worker notifies after every pop while producer_waiting is set, and
+    // the timeout guards the notify/wait race without spinning.
+    shard.producer_waiting.store(true, std::memory_order_relaxed);
+    for (;;) {
+      if (shard.ring.try_push(event)) break;
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      shard.cv.wait_for(lock, std::chrono::microseconds(100));
+    }
+    shard.producer_waiting.store(false, std::memory_order_relaxed);
+  }
+  ++shard.submitted;
+  // Wake the worker if it parked on an empty ring.  The fence pairs with
+  // the one in worker_loop: either this thread observes worker_idle and
+  // notifies, or the worker observes the pushed element and never sleeps —
+  // the store-buffering outcome where both miss is excluded.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  if (shard.worker_idle.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cv.notify_all();
+  }
+}
+
+void ShardPipeline::worker_loop(std::size_t shard_idx) {
+  auto& shard = *shards_[shard_idx];
+  auto& tracker = latency_->shard(shard_idx);
+  wire::Event event;
+  for (;;) {
+    if (shard.ring.try_pop(event)) {
+      if (shard.producer_waiting.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.cv.notify_all();
+      }
+
+      // Stage 2: shard-local anomaly detection.  Operational scan first,
+      // then the latency pairing — the same per-event order as the serial
+      // detector, preserved through the seq-stable trigger merge.
+      const bool rest_error =
+          event.is_error() && event.kind == wire::ApiKind::Rest;
+      const bool rpc_error = event.is_error() && !rest_error;
+      const auto alarm = tracker.observe(event);
+      if (rest_error || rpc_error || alarm) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (rest_error) {
+          shard.triggers.push_back({event.seq, event.api,
+                                    FaultKind::Operational, event.ts,
+                                    std::nullopt});
+        }
+        if (rpc_error) ++shard.rpc_errors;
+        if (alarm) {
+          shard.triggers.push_back({event.seq, alarm->api,
+                                    FaultKind::Performance, event.ts, alarm});
+        }
+      }
+      shard.consumed.fetch_add(1, std::memory_order_release);
+      continue;
+    }
+
+    // Ring empty: we are caught up.  Tell any drain() waiter, then park
+    // until more work or shutdown.  Fence as in submit(): the predicate's
+    // first evaluation happens after the idle flag is published.
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.worker_idle.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    shard.cv.notify_all();
+    shard.cv.wait(lock, [&] { return shard.stop || !shard.ring.empty(); });
+    shard.worker_idle.store(false, std::memory_order_relaxed);
+    if (shard.stop && shard.ring.empty()) return;
+  }
+}
+
+void ShardPipeline::drain(std::vector<ShardTrigger>* out) {
+  const auto base = static_cast<std::ptrdiff_t>(out->size());
+  for (auto& sp : shards_) {
+    auto& shard = *sp;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait(lock, [&] {
+      return shard.consumed.load(std::memory_order_acquire) ==
+             shard.submitted;
+    });
+    out->insert(out->end(),
+                std::make_move_iterator(shard.triggers.begin()),
+                std::make_move_iterator(shard.triggers.end()));
+    shard.triggers.clear();
+  }
+  // Global stream order.  One event lives on exactly one shard, so equal
+  // seqs only arise within a shard (operational + performance from the same
+  // event); stable sort keeps that pair's discovery order.
+  std::stable_sort(out->begin() + base, out->end(),
+                   [](const ShardTrigger& a, const ShardTrigger& b) {
+                     return a.seq < b.seq;
+                   });
+}
+
+std::uint64_t ShardPipeline::rpc_errors() const {
+  std::uint64_t total = 0;
+  for (const auto& sp : shards_) {
+    std::lock_guard<std::mutex> lock(sp->mutex);
+    total += sp->rpc_errors;
+  }
+  return total;
+}
+
+}  // namespace gretel::core

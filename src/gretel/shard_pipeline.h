@@ -1,0 +1,101 @@
+// The concurrent front half of the anomaly detector (stages 1–2 of the
+// sharded analysis pipeline).
+//
+//                      ┌─ SpscRing ─▶ shard worker 0 ─┐
+//   ingestion thread ──┼─ SpscRing ─▶ shard worker 1 ─┼──▶ triggers
+//   (decode + route)   └─ SpscRing ─▶ shard worker N ─┘   (merged by seq)
+//
+// The ingestion (coordinator) thread assigns each event its global sequence
+// number, appends it to the shared dual buffer, and routes a copy to the
+// shard owning the event's API.  Each shard worker scans its substream for
+// REST error statuses and runs the shard-local latency tracker /
+// level-shift detectors; trigger candidates it discovers are queued for the
+// coordinator.  drain() is the synchronization point: it blocks until every
+// shard has consumed everything submitted so far, then hands back the
+// accumulated triggers sorted into global stream order.  Because APIs are
+// partitioned (detect::LatencyShardSet) and request/response pairs share an
+// API, every shard observes exactly the per-API substream the serial
+// detector would, so the merged trigger sequence — and therefore the
+// detection output — is invariant under the shard count.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "detect/shard_set.h"
+#include "gretel/report.h"
+#include "util/ring_buffer.h"
+#include "wire/message.h"
+
+namespace gretel::core {
+
+// A trigger candidate discovered by a shard worker.  Suppression and
+// snapshotting stay with the coordinator so their outcome is independent of
+// worker interleaving.
+struct ShardTrigger {
+  std::uint64_t seq = 0;  // global sequence of the triggering event
+  wire::ApiId api;
+  FaultKind kind = FaultKind::Operational;
+  util::SimTime ts;
+  std::optional<detect::LatencyAlarm> alarm;  // performance triggers only
+};
+
+class ShardPipeline {
+ public:
+  // `latency` must outlive the pipeline and hold one tracker per shard;
+  // shard i's worker is the sole writer of latency->shard(i).
+  ShardPipeline(detect::LatencyShardSet* latency, std::size_t ring_capacity);
+  ~ShardPipeline();
+
+  ShardPipeline(const ShardPipeline&) = delete;
+  ShardPipeline& operator=(const ShardPipeline&) = delete;
+
+  // Coordinator thread: routes one event (seq already assigned) to its
+  // shard.  Applies backpressure — blocks while the shard's ring is full —
+  // so a trigger's past α/2 window can never be evicted from the dual
+  // buffer before its snapshot runs.
+  void submit(const wire::Event& event);
+
+  // Coordinator thread: blocks until every shard has consumed everything
+  // submitted so far, then appends all triggers discovered since the last
+  // drain to `out`, sorted by global sequence (ties keep per-shard
+  // discovery order: one event belongs to exactly one shard).
+  void drain(std::vector<ShardTrigger>* out);
+
+  // RPC error responses seen by the shard workers (quiescent: call after
+  // drain()).  Serial-path parity for AnomalyDetector::Stats.
+  std::uint64_t rpc_errors() const;
+
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
+
+    util::SpscRing<wire::Event> ring;
+    std::uint64_t submitted = 0;  // coordinator-side push count
+
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    bool stop = false;
+    std::vector<ShardTrigger> triggers;       // guarded by mutex
+    std::uint64_t rpc_errors = 0;             // guarded by mutex
+    std::atomic<std::uint64_t> consumed{0};   // worker-side pop count
+    std::atomic<bool> producer_waiting{false};
+    std::atomic<bool> worker_idle{false};
+
+    std::thread worker;
+  };
+
+  void worker_loop(std::size_t shard_idx);
+
+  detect::LatencyShardSet* latency_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gretel::core

@@ -1,10 +1,17 @@
-// Fixed-capacity ring buffer.
+// Fixed-capacity ring buffers.
 //
-// Backs GRETEL's dual-buffer event receiver (§6 of the paper): events are
-// appended at line rate and the anomaly detector freezes windows of the most
-// recent α entries by index, without copying.
+// RingBuffer backs GRETEL's dual-buffer event receiver (§6 of the paper):
+// events are appended at line rate and the anomaly detector freezes windows
+// of the most recent α entries by index, without copying.  It is
+// single-threaded by design.
+//
+// SpscRing is the concurrent sibling used by the sharded analysis pipeline:
+// a bounded lock-free single-producer/single-consumer queue, one per
+// detection shard, carrying events from the ingestion thread to the shard's
+// worker.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -66,6 +73,75 @@ class RingBuffer {
   std::size_t capacity_;
   std::vector<T> data_;
   std::uint64_t next_seq_ = 0;
+};
+
+// Bounded wait-free single-producer/single-consumer queue.
+//
+// Exactly one thread may call try_push() and exactly one thread may call
+// try_pop(); under that contract every operation is a handful of relaxed
+// loads plus one acquire load and one release store.  Capacity is rounded
+// up to a power of two so slot lookup is a mask.  empty() is safe from the
+// consumer, full() from the producer; size() is an estimate from any
+// thread.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side.  False when the ring is full.
+  bool try_push(T value) {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ > mask_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ > mask_) return false;
+    }
+    slots_[static_cast<std::size_t>(tail) & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  False when the ring is empty.
+  bool try_pop(T& out) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[static_cast<std::size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer-side emptiness check (exact for the consumer: items can only
+  // be added behind its back, never removed).
+  bool empty() const {
+    return head_.load(std::memory_order_relaxed) ==
+           tail_.load(std::memory_order_acquire);
+  }
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines to avoid
+  // ping-ponging the line between the two threads.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next write position
+  std::uint64_t head_cache_ = 0;                    // producer's view of head
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next read position
+  std::uint64_t tail_cache_ = 0;                    // consumer's view of tail
 };
 
 }  // namespace gretel::util

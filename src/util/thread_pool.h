@@ -1,0 +1,62 @@
+// Fork-join worker pool for the fan-out fingerprint matcher.
+//
+// One coordinator thread repeatedly issues index-parallel jobs; the workers
+// are persistent so a job costs two condition-variable round trips, not N
+// thread spawns.  parallel_for() blocks until every index has run, and the
+// calling thread participates, so a pool of W threads applies W+1 cores to
+// the job.  Determinism contract: the pool only changes *which thread* runs
+// fn(i), never whether or how often — callers that write disjoint outputs
+// indexed by i and reduce serially afterwards get bit-identical results for
+// any pool size, including zero (a pool with 0 threads runs everything
+// inline on the caller).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gretel::util {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers; 0 is valid and makes parallel_for inline.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // Runs fn(i) exactly once for every i in [0, n), spread across the
+  // workers and the calling thread; returns once all n calls completed.
+  // Only one thread may call parallel_for at a time (the coordinator).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void work_on_job(const std::function<void(std::size_t)>& fn,
+                   std::size_t n);
+
+  std::mutex mutex_;
+  std::condition_variable job_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;  // coordinator waits for completion
+  bool stop_ = false;
+
+  // Current job, published under mutex_ with a generation bump.
+  std::uint64_t generation_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::atomic<std::size_t> next_{0};  // next unclaimed index
+  std::atomic<std::size_t> done_{0};  // indices completed
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gretel::util

@@ -1,0 +1,154 @@
+// Stress the concurrent pipeline with the hardest mix: operational faults
+// (REST errors anchoring Algorithm 2) interleaved with an injected latency
+// fault (level-shift alarms) inside one heavily concurrent capture.  The
+// sharded run must surface both fault kinds and agree with the serial path
+// report-for-report.  This file owns its environment because it mutates the
+// deployment with a latency injection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gretel/analyzer.h"
+#include "gretel/training.h"
+#include "tempest/workload.h"
+
+namespace gretel::core {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+
+struct Env {
+  tempest::TempestCatalog catalog = tempest::TempestCatalog::build(33, 0.05);
+  stack::Deployment deployment = stack::Deployment::standard(3);
+  TrainingReport training = learn_fingerprints(catalog, deployment);
+
+  // One capture shared by every configuration: ~60 concurrent Tempest
+  // operations over four minutes, three injected operational faults, and
+  // 60 ms of extra link latency on the Glance server for the second half.
+  std::vector<net::WireRecord> records = [this] {
+    tempest::WorkloadSpec spec;
+    spec.concurrent_tests = 60;
+    spec.faults = 3;
+    spec.seed = 41;
+    spec.window = SimDuration::seconds(240);
+    const auto w = make_parallel_workload(catalog, spec);
+    deployment.inject_link_latency(
+        wire::ServiceKind::Glance,
+        SimTime::epoch() + SimDuration::seconds(120),
+        SimTime::epoch() + SimDuration::seconds(260),
+        SimDuration::millis(60));
+    stack::WorkflowExecutor executor(&deployment, &catalog.apis(),
+                                     &catalog.infra(), 410);
+    return executor.execute(w.launches);
+  }();
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+std::unique_ptr<Analyzer> replay(std::size_t num_shards,
+                                 std::size_t num_match_workers) {
+  auto& e = env();
+  Analyzer::Options opt;
+  opt.config.fp_max = e.training.fp_max;
+  opt.config.p_rate = 150.0;
+  opt.config.num_shards = num_shards;
+  opt.config.num_match_workers = num_match_workers;
+  auto analyzer = std::make_unique<Analyzer>(
+      &e.training.db, &e.catalog.apis(), &e.deployment, opt);
+  for (const auto& r : e.records) analyzer->on_wire(r);
+  analyzer->finish();
+  return analyzer;
+}
+
+TEST(ConcurrentStress, SerialReferenceSeesBothFaultKinds) {
+  const auto analyzer = replay(1, 0);
+  const auto& stats = analyzer->detector_stats();
+  EXPECT_GE(stats.operational_reports, 1u);
+  EXPECT_GE(stats.performance_reports, 1u);
+  bool operational = false;
+  bool performance = false;
+  for (const auto& d : analyzer->diagnoses()) {
+    operational = operational || d.fault.kind == FaultKind::Operational;
+    performance = performance || d.fault.kind == FaultKind::Performance;
+  }
+  EXPECT_TRUE(operational);
+  EXPECT_TRUE(performance);
+}
+
+TEST(ConcurrentStress, ShardedRunMatchesSerialReportForReport) {
+  const auto reference = replay(1, 0);
+  ASSERT_FALSE(reference->diagnoses().empty());
+
+  for (std::size_t shards : {2u, 4u}) {
+    SCOPED_TRACE("num_shards=" + std::to_string(shards));
+    const auto run = replay(shards, 2);
+    const auto& a = reference->diagnoses();
+    const auto& b = run->diagnoses();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE("diagnosis " + std::to_string(i));
+      EXPECT_EQ(a[i].fault.kind, b[i].fault.kind);
+      EXPECT_EQ(a[i].fault.offending_api, b[i].fault.offending_api);
+      EXPECT_EQ(a[i].fault.detected_at, b[i].fault.detected_at);
+      EXPECT_EQ(a[i].fault.matched_fingerprints,
+                b[i].fault.matched_fingerprints);
+      EXPECT_EQ(a[i].fault.theta, b[i].fault.theta);
+      EXPECT_EQ(a[i].fault.error_events.size(),
+                b[i].fault.error_events.size());
+      ASSERT_EQ(a[i].fault.latency.has_value(),
+                b[i].fault.latency.has_value());
+      if (a[i].fault.latency) {
+        EXPECT_EQ(a[i].fault.latency->api, b[i].fault.latency->api);
+        EXPECT_EQ(a[i].fault.latency->when, b[i].fault.latency->when);
+      }
+    }
+    const auto& sa = reference->detector_stats();
+    const auto& sb = run->detector_stats();
+    EXPECT_EQ(sa.events, sb.events);
+    EXPECT_EQ(sa.rest_errors, sb.rest_errors);
+    EXPECT_EQ(sa.rpc_errors, sb.rpc_errors);
+    EXPECT_EQ(sa.operational_reports, sb.operational_reports);
+    EXPECT_EQ(sa.performance_reports, sb.performance_reports);
+    EXPECT_EQ(sa.suppressed_triggers, sb.suppressed_triggers);
+  }
+}
+
+TEST(ConcurrentStress, PerformanceAlarmsConfinedToInjectionWindow) {
+  // §7.3 item 4: level shifts alarm when the injected latency starts, not
+  // on clean traffic.  Under sharding, every performance diagnosis must
+  // still fall after the injection point (t = 120 s).
+  const auto analyzer = replay(4, 2);
+  std::size_t performance = 0;
+  for (const auto& d : analyzer->diagnoses()) {
+    if (d.fault.kind != FaultKind::Performance) continue;
+    ++performance;
+    ASSERT_TRUE(d.fault.latency.has_value());
+    EXPECT_GE(d.fault.latency->alarm.t_seconds, 120.0);
+  }
+  EXPECT_GE(performance, 1u);
+}
+
+TEST(ConcurrentStress, RepeatedShardedRunsAreStable) {
+  // Thread scheduling must not leak into results: two identical sharded
+  // runs of the same capture produce identical report streams.
+  const auto first = replay(4, 2);
+  const auto second = replay(4, 2);
+  const auto& a = first->diagnoses();
+  const auto& b = second->diagnoses();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fault.kind, b[i].fault.kind);
+    EXPECT_EQ(a[i].fault.offending_api, b[i].fault.offending_api);
+    EXPECT_EQ(a[i].fault.detected_at, b[i].fault.detected_at);
+    EXPECT_EQ(a[i].fault.theta, b[i].fault.theta);
+  }
+}
+
+}  // namespace
+}  // namespace gretel::core
