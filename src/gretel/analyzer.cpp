@@ -1,10 +1,13 @@
 #include "gretel/analyzer.h"
 
+#include <algorithm>
+
 namespace gretel::core {
 
 Analyzer::Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
                    const stack::Deployment* deployment, Options options)
-    : tap_(catalog, deployment->service_by_port()),
+    : tap_(catalog, deployment->service_by_port(),
+           std::max<std::size_t>(1, options.config.decode_arena_kb) * 1024),
       watcher_(deployment),
       rca_(db, catalog, deployment, &metrics_, &watcher_),
       detector_(db, catalog, options.config,
@@ -22,6 +25,29 @@ void Analyzer::on_wire(const net::WireRecord& record) {
 
 void Analyzer::on_event(const wire::Event& event) {
   detector_.on_event(event);
+}
+
+void Analyzer::on_wire_batch(std::span<const net::WireRecord> records) {
+  const std::size_t chunk =
+      std::max<std::size_t>(1, detector_.config().ingest_batch);
+  std::size_t i = 0;
+  while (i < records.size()) {
+    const auto take = std::min(chunk, records.size() - i);
+    event_scratch_.clear();
+    for (std::size_t k = 0; k < take; ++k) {
+      // decode() resets the tap arena per record, but the Event copies out
+      // everything it keeps, so accumulating across resets is safe.
+      if (auto event = tap_.decode(records[i + k])) {
+        event_scratch_.push_back(std::move(*event));
+      }
+    }
+    detector_.on_events(event_scratch_);
+    i += take;
+  }
+}
+
+void Analyzer::on_events(std::span<const wire::Event> events) {
+  detector_.on_events(events);
 }
 
 void Analyzer::on_metric(wire::NodeId node, net::ResourceKind kind,

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "gretel/anomaly_detector.h"
@@ -44,6 +45,16 @@ class Analyzer {
 
   // Pre-decoded entry point (replay of event captures).
   void on_event(const wire::Event& event);
+
+  // Batched wire-level entry point: decodes config.ingest_batch records at
+  // a time into a reusable event buffer and feeds the detector's batched
+  // path.  Byte-identical reports to calling on_wire() per record; the
+  // batching only amortizes per-event synchronization on the sharded
+  // pipeline.
+  void on_wire_batch(std::span<const net::WireRecord> records);
+
+  // Pre-decoded batched entry point.
+  void on_events(std::span<const wire::Event> events);
 
   // Flushes pending snapshots at end of stream.
   void finish();
@@ -87,6 +98,9 @@ class Analyzer {
   AnomalyDetector detector_;
   bool run_root_cause_;
   std::vector<Diagnosis> diagnoses_;
+  // Decoded-event buffer for on_wire_batch (capacity retained across
+  // batches; bounded by config.ingest_batch).
+  std::vector<wire::Event> event_scratch_;
 };
 
 }  // namespace gretel::core

@@ -24,18 +24,54 @@ AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
 }
 
 void AnomalyDetector::on_event(wire::Event event) {
-  const auto seq = buffer_.end_seq();
-  event.seq = seq;
-  ++stats_.events;
-
   if (pipeline_) {
     // Concurrent path: append to the shared window, hand the event to its
     // shard, and periodically join to fold in discovered triggers.
+    event.seq = buffer_.end_seq();
+    ++stats_.events;
     buffer_.push(event);
     pipeline_->submit(event);
     if (++since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
     return;
   }
+
+  ingest_serial(event);
+}
+
+void AnomalyDetector::on_events(std::span<const wire::Event> events) {
+  if (!pipeline_) {
+    for (const auto& event : events) ingest_serial(event);
+    return;
+  }
+
+  // Concurrent path: split the batch so no chunk crosses a drain boundary.
+  // The serial-equivalence argument for the per-event path hinges on
+  // sync_shards() running at fixed event counts; chunking at exactly those
+  // counts keeps the join points — and the seq-ordered trigger merge —
+  // identical to per-event ingestion for any batch size.
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const std::size_t room = drain_interval_ - since_drain_;
+    const std::size_t take = std::min(room, events.size() - i);
+    batch_scratch_.clear();
+    for (std::size_t k = 0; k < take; ++k) {
+      auto& ev = batch_scratch_.emplace_back(events[i + k]);
+      ev.seq = buffer_.end_seq();
+      ++stats_.events;
+      buffer_.push(ev);
+    }
+    pipeline_->submit_batch(batch_scratch_);
+    since_drain_ += take;
+    if (since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
+    i += take;
+  }
+}
+
+void AnomalyDetector::ingest_serial(const wire::Event& source) {
+  wire::Event event = source;
+  const auto seq = buffer_.end_seq();
+  event.seq = seq;
+  ++stats_.events;
 
   if (event.is_error()) {
     if (event.kind == wire::ApiKind::Rest) {

@@ -29,6 +29,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,15 @@ class AnomalyDetector {
   // Feeds one decoded event; may synchronously emit fault reports for
   // earlier triggers whose future context just completed.
   void on_event(wire::Event event);
+
+  // Feeds a batch of decoded events.  Produces byte-identical reports to
+  // calling on_event() per element: the serial path processes each event
+  // inline exactly as before, and the sharded path splits the batch at the
+  // same drain boundaries per-event ingestion would hit, so shard joins —
+  // and therefore trigger merge order and suppression — land at identical
+  // event counts.  What batching buys is amortization: one ring wake-up
+  // fence per chunk instead of per event.
+  void on_events(std::span<const wire::Event> events);
 
   // Runs any triggers still waiting for future context (end of stream).
   // With shards, also joins the workers' in-flight work first.
@@ -86,6 +96,9 @@ class AnomalyDetector {
     std::optional<detect::LatencyAlarm> alarm;
   };
 
+  // Serial (num_shards == 1) ingestion of one event, inline on the calling
+  // thread; the single-event and batched entry points both funnel here.
+  void ingest_serial(const wire::Event& source);
   void maybe_trigger_operational(std::uint64_t seq, wire::ApiId api,
                                  util::SimTime ts);
   // Joins the shard workers, folds their trigger candidates into pending_
@@ -104,6 +117,9 @@ class AnomalyDetector {
   std::unique_ptr<ShardPipeline> pipeline_;  // null when num_shards == 1
   std::size_t drain_interval_ = 0;
   std::size_t since_drain_ = 0;
+  // Seq-stamped copies of the current chunk for submit_batch (capacity is
+  // retained across batches; bounded by drain_interval_).
+  std::vector<wire::Event> batch_scratch_;
   std::vector<PendingSnapshot> pending_;
   // Last trigger sequence per API, for duplicate-relay suppression.
   std::unordered_map<wire::ApiId, std::uint64_t> last_trigger_;

@@ -96,6 +96,21 @@ struct GretelConfig {
   // one (the ingestion/snapshot thread).
   std::size_t num_shards = 1;
 
+  // (hot path) · 64 · slab size, in KiB, of the capture-tap decode arena.
+  // Every decode batch parses into string_views over arena-backed scratch
+  // and the arena resets (retaining its slabs) per batch, so after warmup
+  // the decode path performs zero heap allocations.  Raise it if captures
+  // carry unusually large header blocks; one slab must fit the parsed
+  // header array plus the normalized URI of a single record.
+  std::size_t decode_arena_kb = 64;
+
+  // (hot path) · 128 · events per ingestion batch when callers use the
+  // batched entry points (Analyzer::on_wire_batch / on_events).  Larger
+  // batches amortize the sharded pipeline's wake-up fence over more
+  // events; reports are byte-identical for any value (batches are split
+  // internally at drain boundaries).  Purely a throughput knob.
+  std::size_t ingest_batch = 128;
+
   // (threading) · 0 · worker threads for the fan-out fingerprint matcher
   // in Algorithm 2.  0 scores candidates inline on the snapshotting
   // thread; N > 0 fork-joins the per-candidate scoring loop over N threads

@@ -1,6 +1,7 @@
 #include "gretel/fingerprint_db.h"
 
 #include <algorithm>
+#include <span>
 
 namespace gretel::core {
 
@@ -23,6 +24,59 @@ const std::vector<FingerprintDb::Index>& FingerprintDb::containing(
     wire::ApiId api) const {
   const auto it = by_api_.find(api);
   return it == by_api_.end() ? empty_ : it->second;
+}
+
+VariantCache::VariantCache(const FingerprintDb& db, const Matcher& matcher)
+    : options_(matcher.options()) {
+  per_fp_.resize(db.size());
+  for (FingerprintDb::Index idx = 0; idx < db.size(); ++idx) {
+    const auto& fp = db.get(idx);
+    auto full_literals = matcher.required_literals(fp.sequence);
+
+    std::vector<wire::ApiId> seen;
+    for (auto api : fp.sequence) {
+      if (std::find(seen.begin(), seen.end(), api) != seen.end()) continue;
+      seen.push_back(api);
+
+      Variants v;
+      // Truncated prefixes at each occurrence of `api`, last occurrence
+      // first; lengths are non-increasing, so dropping consecutive
+      // duplicates keeps exactly the distinct lengths.
+      std::size_t prev_len = static_cast<std::size_t>(-1);
+      for (std::size_t pos = fp.sequence.size(); pos-- > 0;) {
+        if (fp.sequence[pos] != api) continue;
+        auto literals = matcher.required_literals(
+            std::span<const wire::ApiId>(fp.sequence.data(), pos + 1));
+        if (literals.size() != prev_len) {
+          prev_len = literals.size();
+          v.truncated.push_back(std::move(literals));
+        }
+      }
+      std::erase_if(v.truncated, [](const std::vector<wire::ApiId>& lits) {
+        return lits.empty();
+      });
+      // If nothing anchors (e.g. the offending API is the leading read-only
+      // call), fall back to the offending API itself.
+      if (v.truncated.empty()) v.truncated.push_back({api});
+
+      if (full_literals.empty()) {
+        v.full.push_back({api});
+      } else {
+        v.full.push_back(full_literals);
+      }
+      per_fp_[idx].emplace(api, std::move(v));
+    }
+  }
+}
+
+std::span<const std::vector<wire::ApiId>> VariantCache::truncated(
+    FingerprintDb::Index idx, wire::ApiId api) const {
+  return per_fp_[idx].at(api).truncated;
+}
+
+std::span<const std::vector<wire::ApiId>> VariantCache::full(
+    FingerprintDb::Index idx, wire::ApiId api) const {
+  return per_fp_[idx].at(api).full;
 }
 
 }  // namespace gretel::core

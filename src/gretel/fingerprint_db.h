@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "gretel/fingerprint.h"
+#include "gretel/matcher.h"
 
 namespace gretel::core {
 
@@ -35,6 +37,49 @@ class FingerprintDb {
   std::unordered_map<wire::ApiId, std::vector<Index>> by_api_;
   std::vector<Index> empty_;
   std::size_t max_size_ = 0;
+};
+
+// Precomputed candidate literal variants, built once from a loaded database.
+//
+// Algorithm 2 probes, for every candidate fingerprint, the required-literal
+// lists of its prefixes truncated at each occurrence of the offending API.
+// Those lists depend only on (fingerprint, offending api, matcher options) —
+// never on the snapshot — yet the detector used to rebuild them on every
+// snapshot.  VariantCache materializes them at load time; detect() then
+// borrows spans and allocates nothing.
+//
+// Variant order and contents replicate the detector's original on-the-fly
+// construction exactly (occurrences scanned last-to-first, consecutive
+// duplicate lengths dropped, empty variants erased, `{api}` fallback when
+// nothing anchors), so cached detection results are bit-identical.
+class VariantCache {
+ public:
+  // Builds the full cache: one entry per (fingerprint, distinct api in its
+  // sequence).  `matcher` supplies required_literals and pins the options
+  // the cache is valid for.
+  VariantCache(const FingerprintDb& db, const Matcher& matcher);
+
+  // Truncated-prefix variants for operational faults, deepest first.
+  // Never empty for an api contained in fingerprint `idx`.
+  std::span<const std::vector<wire::ApiId>> truncated(
+      FingerprintDb::Index idx, wire::ApiId api) const;
+
+  // The single full-fingerprint variant for performance faults (the `{api}`
+  // fallback applied when the fingerprint has no required literals at all).
+  std::span<const std::vector<wire::ApiId>> full(FingerprintDb::Index idx,
+                                                 wire::ApiId api) const;
+
+  const Matcher::Options& options() const { return options_; }
+
+ private:
+  struct Variants {
+    std::vector<std::vector<wire::ApiId>> truncated;
+    std::vector<std::vector<wire::ApiId>> full;  // exactly one entry
+  };
+
+  // per_fp_[idx][api] — flat vector outer layer keeps lookups cheap.
+  std::vector<std::unordered_map<wire::ApiId, Variants>> per_fp_;
+  Matcher::Options options_;
 };
 
 }  // namespace gretel::core

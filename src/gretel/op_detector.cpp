@@ -12,7 +12,8 @@ OperationDetector::OperationDetector(const FingerprintDb* db,
     : db_(db),
       catalog_(catalog),
       config_(config),
-      matcher_(catalog, {config.match_rpc, config.backend}) {
+      matcher_(catalog, {config.match_rpc, config.backend}),
+      variants_(*db, matcher_) {
   assert(db_ && catalog_);
 }
 
@@ -80,38 +81,21 @@ DetectionResult OperationDetector::detect(
   // The offending API may occur several times inside a fingerprint and the
   // detector cannot know which occurrence failed, so each occurrence's
   // truncated prefix is a separate literal variant to try (they are
-  // prefixes of one another; only distinct lengths are kept).
+  // prefixes of one another; only distinct lengths are kept).  All variants
+  // were precomputed at load time (VariantCache); candidates here are just
+  // borrowed spans — operational faults probe the truncated prefixes,
+  // performance faults the whole fingerprint, which runs to completion and
+  // is matched against the entire context buffer (§5.3.1).
   struct Candidate {
     FingerprintDb::Index index;
-    std::vector<std::vector<wire::ApiId>> variants;
+    std::span<const std::vector<wire::ApiId>> variants;
   };
   std::vector<Candidate> candidates;
   candidates.reserve(candidate_idx.size());
   for (auto idx : candidate_idx) {
-    const auto& fp = db_->get(idx);
-    Candidate c{idx, {}};
-    if (!truncate) {
-      // Performance faults: the operation runs to completion and the whole
-      // fingerprint is matched against the entire context buffer (§5.3.1).
-      c.variants.push_back(matcher_.required_literals(fp.sequence));
-    } else {
-      std::size_t prev_len = static_cast<std::size_t>(-1);
-      for (std::size_t pos = fp.sequence.size(); pos-- > 0;) {
-        if (fp.sequence[pos] != offending) continue;
-        auto literals = matcher_.required_literals(
-            std::span<const wire::ApiId>(fp.sequence.data(), pos + 1));
-        if (literals.size() != prev_len) {
-          prev_len = literals.size();
-          c.variants.push_back(std::move(literals));
-        }
-      }
-    }
-    // Drop empty variants; if nothing anchors (e.g. the offending API is
-    // the leading read-only call), fall back to the offending API itself.
-    std::erase_if(c.variants,
-                  [](const std::vector<wire::ApiId>& v) { return v.empty(); });
-    if (c.variants.empty()) c.variants.push_back({offending});
-    candidates.push_back(std::move(c));
+    candidates.push_back(
+        Candidate{idx, truncate ? variants_.truncated(idx, offending)
+                                : variants_.full(idx, offending)});
   }
 
   // When the deployment emits correlation ids and the faulty message

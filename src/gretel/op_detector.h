@@ -57,12 +57,16 @@ class OperationDetector {
   double theta(std::size_t n) const;
 
   const Matcher& matcher() const { return matcher_; }
+  const VariantCache& variants() const { return variants_; }
 
  private:
   const FingerprintDb* db_;
   const wire::ApiCatalog* catalog_;
   GretelConfig config_;
   Matcher matcher_;
+  // Candidate literal variants precomputed at construction (load time);
+  // detect() borrows spans from it and rebuilds nothing per snapshot.
+  VariantCache variants_;
 };
 
 }  // namespace gretel::core

@@ -28,20 +28,23 @@ ShardPipeline::~ShardPipeline() {
   for (auto& sp : shards_) sp->worker.join();
 }
 
+void ShardPipeline::push_blocking(Shard& shard, const wire::Event& event) {
+  if (shard.ring.try_push(event)) return;
+  // Ring full: the worker is behind.  Park until it makes room; the
+  // worker notifies after every pop while producer_waiting is set, and
+  // the timeout guards the notify/wait race without spinning.
+  shard.producer_waiting.store(true, std::memory_order_relaxed);
+  for (;;) {
+    if (shard.ring.try_push(event)) break;
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait_for(lock, std::chrono::microseconds(100));
+  }
+  shard.producer_waiting.store(false, std::memory_order_relaxed);
+}
+
 void ShardPipeline::submit(const wire::Event& event) {
   auto& shard = *shards_[latency_->shard_of(event.api)];
-  if (!shard.ring.try_push(event)) {
-    // Ring full: the worker is behind.  Park until it makes room; the
-    // worker notifies after every pop while producer_waiting is set, and
-    // the timeout guards the notify/wait race without spinning.
-    shard.producer_waiting.store(true, std::memory_order_relaxed);
-    for (;;) {
-      if (shard.ring.try_push(event)) break;
-      std::unique_lock<std::mutex> lock(shard.mutex);
-      shard.cv.wait_for(lock, std::chrono::microseconds(100));
-    }
-    shard.producer_waiting.store(false, std::memory_order_relaxed);
-  }
+  push_blocking(shard, event);
   ++shard.submitted;
   // Wake the worker if it parked on an empty ring.  The fence pairs with
   // the one in worker_loop: either this thread observes worker_idle and
@@ -51,6 +54,50 @@ void ShardPipeline::submit(const wire::Event& event) {
   if (shard.worker_idle.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.cv.notify_all();
+  }
+}
+
+void ShardPipeline::submit_batch(std::span<const wire::Event> events) {
+  if (events.empty()) return;
+  if (touched_.size() != shards_.size()) touched_.assign(shards_.size(), 0);
+  bool any_touched = false;
+  for (const auto& event : events) {
+    const auto si = latency_->shard_of(event.api);
+    auto& shard = *shards_[si];
+    if (!shard.ring.try_push(event)) {
+      // This ring is full, so we are about to block on its worker.  First
+      // publish and wake everything pushed so far: a worker parked before
+      // this batch would otherwise sleep on pending work while we wait
+      // here, and the full ring's own worker may have been parked too.
+      if (any_touched) {
+        flush_wakes();
+        any_touched = false;
+      }
+      push_blocking(shard, event);
+    }
+    ++shard.submitted;
+    if (!touched_[si]) {
+      touched_[si] = 1;
+      any_touched = true;
+    }
+  }
+  if (any_touched) flush_wakes();
+}
+
+void ShardPipeline::flush_wakes() {
+  // One trailing fence covers every preceding push: for each touched
+  // shard, either this thread observes worker_idle and notifies, or the
+  // worker's fenced empty-check observes the pushed elements (the same
+  // store-buffering exclusion as submit(), amortized over the batch).
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (!touched_[i]) continue;
+    touched_[i] = 0;
+    auto& shard = *shards_[i];
+    if (shard.worker_idle.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cv.notify_all();
+    }
   }
 }
 

@@ -24,6 +24,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -61,6 +62,13 @@ class ShardPipeline {
   // buffer before its snapshot runs.
   void submit(const wire::Event& event);
 
+  // Coordinator thread: routes a batch of events (seqs already assigned).
+  // Semantically identical to calling submit() per element — same routing,
+  // same FIFO order per shard, same backpressure — but the wake-up
+  // publication (seq_cst fence + idle-worker notify) is deferred to one
+  // pass over the shards the batch touched, amortizing the per-event cost.
+  void submit_batch(std::span<const wire::Event> events);
+
   // Coordinator thread: blocks until every shard has consumed everything
   // submitted so far, then appends all triggers discovered since the last
   // drain to `out`, sorted by global sequence (ties keep per-shard
@@ -93,9 +101,16 @@ class ShardPipeline {
   };
 
   void worker_loop(std::size_t shard_idx);
+  // Blocks until the shard's ring accepts `event`; the caller still owns
+  // the submitted count and the wake-up publication.
+  void push_blocking(Shard& shard, const wire::Event& event);
+  // Publishes all pushes since the last call (one seq_cst fence) and wakes
+  // every touched shard whose worker parked.  Clears the touched flags.
+  void flush_wakes();
 
   detect::LatencyShardSet* latency_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<char> touched_;  // submit_batch scratch: shards pushed to
 };
 
 }  // namespace gretel::core

@@ -42,8 +42,18 @@ class DualBuffer {
 
   // Freezes the α messages centred on `center`: [center-α/2, center+α/2).
   // Also reports where `center` landed inside the snapshot.
+  //
+  // If ingestion has run so far ahead that the ring already evicted
+  // `center` itself, there is no meaningful window left: return an empty
+  // snapshot (counted in stale_freezes()) instead of letting
+  // `center - first` wrap to a huge index.
   std::vector<wire::Event> freeze(std::uint64_t center,
                                   std::size_t* center_index) const {
+    if (center_index) *center_index = 0;
+    if (ring_.first_seq() > center) {
+      ++stale_freezes_;
+      return {};
+    }
     const auto lo = center > alpha_ / 2 ? center - alpha_ / 2 : 0;
     const auto hi = center + alpha_ / 2;
     auto snap = ring_.snapshot(lo, hi);
@@ -55,9 +65,14 @@ class DualBuffer {
     return snap;
   }
 
+  // Freezes requested after their center was evicted (each yielded an
+  // empty snapshot and no report).
+  std::uint64_t stale_freezes() const { return stale_freezes_; }
+
  private:
   std::size_t alpha_;
   util::RingBuffer<wire::Event> ring_;
+  mutable std::uint64_t stale_freezes_ = 0;
 };
 
 }  // namespace gretel::core

@@ -1,6 +1,8 @@
 #include "net/capture.h"
 
 #include <cctype>
+#include <cstdint>
+#include <limits>
 
 #include "wire/amqp_codec.h"
 #include "wire/http_codec.h"
@@ -10,43 +12,46 @@ namespace gretel::net {
 namespace {
 
 // Heuristic: a path segment is a concrete identifier if it is a UUID-like
-// hex/dash token of length >= 8 or a pure number.
+// hex/dash token of length >= 8 or a pure number.  URI characters are ASCII,
+// so classify with range checks rather than locale-aware ctype calls — this
+// runs for every path segment of every captured request.
+inline bool ascii_digit(char c) { return c >= '0' && c <= '9'; }
+inline bool ascii_hex(char c) {
+  return ascii_digit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F');
+}
+
 bool looks_like_identifier(std::string_view seg) {
   if (seg.empty()) return false;
   bool all_digits = true;
   std::size_t hexish = 0;
   for (char c : seg) {
-    const auto uc = static_cast<unsigned char>(c);
-    if (!std::isdigit(uc)) all_digits = false;
-    if (std::isxdigit(uc) || c == '-') ++hexish;
+    if (!ascii_digit(c)) all_digits = false;
+    if (ascii_hex(c) || c == '-') ++hexish;
   }
   if (all_digits) return true;
   return seg.size() >= 8 && hexish == seg.size() &&
          seg.find('-') != std::string_view::npos;
 }
 
-// Parses OpenStack's "X-Openstack-Request-Id: req-<n>" correlation header;
-// 0 when absent or malformed.
-std::uint32_t parse_correlation(const wire::HttpHeaders& headers) {
-  const auto value = headers.get("X-Openstack-Request-Id");
-  if (!value || !value->starts_with("req-")) return 0;
-  std::uint32_t id = 0;
-  for (char c : value->substr(4)) {
-    if (c < '0' || c > '9') return 0;
-    id = id * 10 + static_cast<std::uint32_t>(c - '0');
-  }
-  return id;
+// Worst case the output grows by 3 bytes per rewritten segment ("<ID>" for
+// a 1-char stem); non-empty segments need at least one input byte plus a
+// separator, so this bound is safe for any target.
+std::size_t normalized_bound(std::size_t target_size) {
+  return target_size + 3 * (target_size / 2 + 2) + 4;
 }
 
-}  // namespace
-
-std::string normalize_uri(std::string_view target) {
+// Core of URI normalization, writing into a caller-sized buffer (at least
+// normalized_bound(target.size()) bytes).  Returns the output length.
+std::size_t normalize_uri_write(std::string_view target, char* out) {
   // Drop the query string.
   if (const auto q = target.find('?'); q != std::string_view::npos)
     target = target.substr(0, q);
 
-  std::string out;
-  out.reserve(target.size());
+  char* w = out;
+  const auto append = [&w](std::string_view s) {
+    for (char c : s) *w++ = c;
+  };
+
   std::size_t pos = 0;
   while (pos <= target.size()) {
     const auto slash = target.find('/', pos);
@@ -65,26 +70,62 @@ std::string normalize_uri(std::string_view target) {
       ext = seg.substr(dot);
     }
     if (looks_like_identifier(stem)) {
-      out += "<ID>";
-      out += ext;
+      append("<ID>");
+      append(ext);
     } else {
-      out += seg;
+      append(seg);
     }
 
     if (slash == std::string_view::npos) break;
-    out += '/';
+    *w++ = '/';
     pos = slash + 1;
   }
+  return static_cast<std::size_t>(w - out);
+}
+
+}  // namespace
+
+std::string normalize_uri(std::string_view target) {
+  std::string out;
+  out.resize(normalized_bound(target.size()));
+  out.resize(normalize_uri_write(target, out.data()));
   return out;
+}
+
+std::string_view normalize_uri(std::string_view target, util::Arena& arena) {
+  char* buf =
+      static_cast<char*>(arena.allocate(normalized_bound(target.size()), 1));
+  return {buf, normalize_uri_write(target, buf)};
+}
+
+std::uint32_t parse_correlation_id(std::optional<std::string_view> value) {
+  if (!value || !value->starts_with("req-")) return 0;
+  const std::string_view digits = value->substr(4);
+  if (digits.empty()) return 0;
+  std::uint32_t id = 0;
+  constexpr std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+  for (char c : digits) {
+    if (c < '0' || c > '9') return 0;
+    const auto d = static_cast<std::uint32_t>(c - '0');
+    // Reject rather than wrap: an aliased id would merge two unrelated
+    // operations during snapshot reduction.
+    if (id > (kMax - d) / 10) return 0;
+    id = id * 10 + d;
+  }
+  return id;
 }
 
 CaptureTap::CaptureTap(
     const wire::ApiCatalog* catalog,
-    std::unordered_map<std::uint16_t, wire::ServiceKind> service_by_port)
-    : catalog_(catalog), service_by_port_(std::move(service_by_port)) {}
+    std::unordered_map<std::uint16_t, wire::ServiceKind> service_by_port,
+    std::size_t arena_slab_bytes)
+    : catalog_(catalog),
+      service_by_port_(std::move(service_by_port)),
+      arena_(arena_slab_bytes) {}
 
 std::optional<wire::Event> CaptureTap::decode(const WireRecord& record) {
   stats_.bytes_seen += record.bytes.size();
+  arena_.reset();  // previous record's parse scratch dies here
   auto event = record.is_amqp ? decode_amqp(record) : decode_rest(record);
   if (event) {
     // Transport metadata and ground-truth labels common to both paths.
@@ -108,8 +149,8 @@ std::optional<wire::Event> CaptureTap::decode_rest(const WireRecord& record) {
   ev.kind = wire::ApiKind::Rest;
   ev.conn_id = record.conn_id;
 
-  if (record.bytes.starts_with("HTTP/")) {
-    auto resp = wire::parse_http_response(record.bytes);
+  if (std::string_view(record.bytes).starts_with("HTTP/")) {
+    const auto resp = wire::parse_http_response(record.bytes, arena_);
     if (!resp) {
       ++stats_.decode_failures;
       return std::nullopt;
@@ -123,12 +164,16 @@ std::optional<wire::Event> CaptureTap::decode_rest(const WireRecord& record) {
     ev.dir = wire::Direction::Response;
     ev.api = it->second;
     ev.status = resp->status;
-    ev.correlation_id = parse_correlation(resp->headers);
-    if (wire::is_error_status(resp->status)) ev.error_text = resp->reason;
+    ev.correlation_id =
+        parse_correlation_id(resp->headers.get("X-Openstack-Request-Id"));
+    // Error text outlives the batch (it rides in the FaultReport), so this
+    // is the one copy the error path pays.
+    if (wire::is_error_status(resp->status))
+      ev.error_text = std::string(resp->reason);
     return ev;
   }
 
-  auto req = wire::parse_http_request(record.bytes);
+  const auto req = wire::parse_http_request(record.bytes, arena_);
   if (!req) {
     ++stats_.decode_failures;
     return std::nullopt;
@@ -139,20 +184,21 @@ std::optional<wire::Event> CaptureTap::decode_rest(const WireRecord& record) {
     return std::nullopt;
   }
   const auto api = catalog_->find_rest(svc_it->second, req->method,
-                                       normalize_uri(req->target));
+                                       normalize_uri(req->target, arena_));
   if (!api) {
     ++stats_.unknown_api;
     return std::nullopt;
   }
   ev.dir = wire::Direction::Request;
   ev.api = *api;
-  ev.correlation_id = parse_correlation(req->headers);
+  ev.correlation_id =
+      parse_correlation_id(req->headers.get("X-Openstack-Request-Id"));
   conn_last_api_[record.conn_id] = *api;
   return ev;
 }
 
 std::optional<wire::Event> CaptureTap::decode_amqp(const WireRecord& record) {
-  auto frame = wire::parse_amqp_frame(record.bytes);
+  const auto frame = wire::parse_amqp_frame_view(record.bytes);
   if (!frame) {
     ++stats_.decode_failures;
     return std::nullopt;
@@ -187,7 +233,7 @@ std::optional<wire::Event> CaptureTap::decode_amqp(const WireRecord& record) {
     ev.dir = wire::Direction::Response;
     if (wire::rpc_payload_has_error(frame->payload)) {
       ev.status = 500;
-      ev.error_text = frame->payload;
+      ev.error_text = std::string(frame->payload);
     } else {
       ev.status = wire::kStatusOk;
     }

@@ -11,9 +11,11 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "util/arena.h"
 #include "wire/api.h"
 #include "wire/message.h"
 
@@ -43,6 +45,16 @@ struct WireRecord {
 // are dropped.  Exposed for tests.
 std::string normalize_uri(std::string_view target);
 
+// Hot-path variant: writes the normalized URI into `arena` scratch and
+// returns a view that dies at the arena's next reset().  Byte-identical
+// output to normalize_uri.
+std::string_view normalize_uri(std::string_view target, util::Arena& arena);
+
+// Parses OpenStack's "req-<n>" correlation value; 0 when absent, malformed,
+// or too large for 32 bits (a wrapped id would silently alias another
+// operation's snapshot reduction).  Exposed for tests.
+std::uint32_t parse_correlation_id(std::optional<std::string_view> value);
+
 struct TapStats {
   std::uint64_t decoded = 0;
   std::uint64_t decode_failures = 0;
@@ -54,16 +66,27 @@ class CaptureTap {
  public:
   // The tap needs the API catalog to resolve symbols and the node->service
   // map to attribute a REST request to the service exposing the endpoint.
+  // `arena_slab_bytes` sizes the decode scratch arena's slabs
+  // (GretelConfig::decode_arena_kb upstream).
   CaptureTap(const wire::ApiCatalog* catalog,
              std::unordered_map<std::uint16_t, wire::ServiceKind>
-                 service_by_port);
+                 service_by_port,
+             std::size_t arena_slab_bytes = util::Arena::kDefaultSlabBytes);
 
   // Decodes one captured message.  Returns nullopt for undecodable bytes or
   // APIs missing from the catalog (counted in stats).
+  //
+  // Zero-allocation steady state: headers, the normalized URI, and all
+  // parse scratch live in the tap's arena (reset per call); the returned
+  // Event owns no heap memory unless the record carries ground-truth
+  // identifiers or an error payload that must outlive the batch.
   std::optional<wire::Event> decode(const WireRecord& record);
 
   const TapStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TapStats{}; }
+
+  // Decode scratch introspection (bench / tests).
+  const util::Arena& arena() const { return arena_; }
 
  private:
   std::optional<wire::Event> decode_rest(const WireRecord& record);
@@ -74,6 +97,7 @@ class CaptureTap {
   // Per-TCP-stream last request API, so responses resolve to the same API
   // (Bro pairs them the same way).
   std::unordered_map<std::uint32_t, wire::ApiId> conn_last_api_;
+  util::Arena arena_;  // per-record parse scratch, reset every decode()
   TapStats stats_;
 };
 

@@ -58,11 +58,11 @@ bool get_u64(std::string_view& in, std::uint64_t& v) {
   return true;
 }
 
-bool get_short_string(std::string_view& in, std::string& out) {
+bool get_short_string(std::string_view& in, std::string_view& out) {
   std::uint8_t len = 0;
   if (!get_u8(in, len)) return false;
   if (in.size() < len) return false;
-  out = std::string(in.substr(0, len));
+  out = in.substr(0, len);
   in.remove_prefix(len);
   return true;
 }
@@ -88,13 +88,13 @@ std::string serialize(const AmqpFrame& frame) {
   return out;
 }
 
-std::optional<AmqpFrame> parse_amqp_frame(std::string_view bytes) {
+std::optional<AmqpFrameView> parse_amqp_frame_view(std::string_view bytes) {
   std::string_view in = bytes;
   std::uint8_t magic = 0;
   if (!get_u8(in, magic) || magic != static_cast<std::uint8_t>(kMagic))
     return std::nullopt;
 
-  AmqpFrame frame;
+  AmqpFrameView frame;
   std::uint8_t type = 0;
   if (!get_u8(in, type)) return std::nullopt;
   if (type != static_cast<std::uint8_t>(AmqpFrameType::Publish) &&
@@ -110,14 +110,30 @@ std::optional<AmqpFrame> parse_amqp_frame(std::string_view bytes) {
 
   std::uint32_t payload_len = 0;
   if (!get_u32(in, payload_len)) return std::nullopt;
-  if (in.size() < payload_len + 1u) return std::nullopt;  // payload + end
-  frame.payload = std::string(in.substr(0, payload_len));
+  // 64-bit compare: payload_len + 1 would wrap to 0 at UINT32_MAX.
+  if (in.size() < static_cast<std::uint64_t>(payload_len) + 1)
+    return std::nullopt;  // payload + end
+  frame.payload = in.substr(0, payload_len);
   in.remove_prefix(payload_len);
 
   std::uint8_t end = 0;
   if (!get_u8(in, end) || end != static_cast<std::uint8_t>(kFrameEnd))
     return std::nullopt;
   if (!in.empty()) return std::nullopt;  // trailing garbage
+  return frame;
+}
+
+std::optional<AmqpFrame> parse_amqp_frame(std::string_view bytes) {
+  const auto view = parse_amqp_frame_view(bytes);
+  if (!view) return std::nullopt;
+  AmqpFrame frame;
+  frame.type = view->type;
+  frame.channel = view->channel;
+  frame.routing_key = std::string(view->routing_key);
+  frame.method_name = std::string(view->method_name);
+  frame.msg_id = view->msg_id;
+  frame.correlation_id = view->correlation_id;
+  frame.payload = std::string(view->payload);
   return frame;
 }
 

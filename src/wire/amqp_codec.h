@@ -52,6 +52,21 @@ std::string serialize(const AmqpFrame& frame);
 // or trailing garbage.
 std::optional<AmqpFrame> parse_amqp_frame(std::string_view bytes);
 
+// Zero-copy variant for the capture hot path: the string fields are views
+// into `bytes`, valid only while the input buffer lives.  Accepts and
+// rejects exactly the same inputs as parse_amqp_frame (which wraps it).
+struct AmqpFrameView {
+  AmqpFrameType type = AmqpFrameType::Publish;
+  std::uint16_t channel = 1;
+  std::string_view routing_key;
+  std::string_view method_name;
+  std::uint64_t msg_id = 0;
+  std::uint32_t correlation_id = 0;
+  std::string_view payload;
+};
+
+std::optional<AmqpFrameView> parse_amqp_frame_view(std::string_view bytes);
+
 // Builds the oslo-style error payload for a failed RPC; the detector's regex
 // looks for the "_error" / "failure" markers this emits.
 std::string make_rpc_error_payload(std::string_view exception_class,

@@ -81,49 +81,84 @@ std::string ApiDescriptor::display_name() const {
   return out;
 }
 
+namespace {
+
+// FNV-1a over the discriminating bytes; string_view and string keys hash
+// identically, which is what makes the transparent probe sound.
+constexpr std::size_t kFnvOffset = 14695981039346656037ull;
+constexpr std::size_t kFnvPrime = 1099511628211ull;
+
+std::size_t fnv1a(std::size_t h, unsigned char byte) {
+  return (h ^ byte) * kFnvPrime;
+}
+
+std::size_t fnv1a(std::size_t h, std::string_view bytes) {
+  for (char c : bytes) h = fnv1a(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+}  // namespace
+
+std::size_t ApiCatalog::KeyHash::operator()(const RestKeyView& k) const {
+  std::size_t h = kFnvOffset;
+  h = fnv1a(h, static_cast<unsigned char>(k.service));
+  h = fnv1a(h, static_cast<unsigned char>(k.method));
+  return fnv1a(h, k.path);
+}
+
+std::size_t ApiCatalog::KeyHash::operator()(const RpcKeyView& k) const {
+  std::size_t h = kFnvOffset;
+  h = fnv1a(h, static_cast<unsigned char>(k.service));
+  return fnv1a(h, k.method);
+}
+
 ApiId ApiCatalog::add_rest(ServiceKind service, HttpMethod method,
                            std::string path) {
-  const std::string key = rest_key(service, method, path);
-  if (auto it = by_rest_.find(key); it != by_rest_.end()) return it->second;
+  if (auto it = by_rest_.find(RestKeyView{service, method, path});
+      it != by_rest_.end()) {
+    return it->second;
+  }
   ApiId id(static_cast<std::uint16_t>(apis_.size()));
   ApiDescriptor d;
   d.id = id;
   d.kind = ApiKind::Rest;
   d.service = service;
   d.method = method;
-  d.path = std::move(path);
+  d.path = path;
   apis_.push_back(std::move(d));
-  by_rest_.emplace(key, id);
+  by_rest_.emplace(RestKey{service, method, std::move(path)}, id);
   return id;
 }
 
 ApiId ApiCatalog::add_rpc(ServiceKind service, std::string topic,
                           std::string rpc_method) {
-  const std::string key = rpc_key(service, rpc_method);
-  if (auto it = by_rpc_.find(key); it != by_rpc_.end()) return it->second;
+  if (auto it = by_rpc_.find(RpcKeyView{service, rpc_method});
+      it != by_rpc_.end()) {
+    return it->second;
+  }
   ApiId id(static_cast<std::uint16_t>(apis_.size()));
   ApiDescriptor d;
   d.id = id;
   d.kind = ApiKind::Rpc;
   d.service = service;
   d.path = std::move(topic);
-  d.rpc_method = std::move(rpc_method);
+  d.rpc_method = rpc_method;
   apis_.push_back(std::move(d));
-  by_rpc_.emplace(key, id);
+  by_rpc_.emplace(RpcKey{service, std::move(rpc_method)}, id);
   return id;
 }
 
 std::optional<ApiId> ApiCatalog::find_rest(ServiceKind service,
                                            HttpMethod method,
                                            std::string_view path) const {
-  const auto it = by_rest_.find(rest_key(service, method, path));
+  const auto it = by_rest_.find(RestKeyView{service, method, path});
   if (it == by_rest_.end()) return std::nullopt;
   return it->second;
 }
 
 std::optional<ApiId> ApiCatalog::find_rpc(ServiceKind service,
                                           std::string_view rpc_method) const {
-  const auto it = by_rpc_.find(rpc_key(service, rpc_method));
+  const auto it = by_rpc_.find(RpcKeyView{service, rpc_method});
   if (it == by_rpc_.end()) return std::nullopt;
   return it->second;
 }
@@ -140,23 +175,6 @@ std::size_t ApiCatalog::count(ApiKind kind, ServiceKind service) const {
     n += (a.kind == kind && a.service == service) ? 1 : 0;
   }
   return n;
-}
-
-std::string ApiCatalog::rest_key(ServiceKind service, HttpMethod method,
-                                 std::string_view path) const {
-  std::string key;
-  key += static_cast<char>('A' + static_cast<int>(service));
-  key += static_cast<char>('0' + static_cast<int>(method));
-  key += path;
-  return key;
-}
-
-std::string ApiCatalog::rpc_key(ServiceKind service,
-                                std::string_view method) const {
-  std::string key;
-  key += static_cast<char>('A' + static_cast<int>(service));
-  key += method;
-  return key;
 }
 
 }  // namespace gretel::wire

@@ -70,6 +70,12 @@ struct ApiDescriptor {
 
 // Registry of every known API.  Append-only; ids are dense indices, which
 // lets downstream tables (symbols, per-API latency series) be flat vectors.
+//
+// Resolution is on the per-message hot path, so the lookup tables use
+// heterogeneous (transparent) hashing: find_rest/find_rpc probe with a
+// string_view-keyed struct and never materialize a key string.  The owning
+// map keys double as the interned copy of each resolved URI template / RPC
+// method name.
 class ApiCatalog {
  public:
   ApiId add_rest(ServiceKind service, HttpMethod method, std::string path);
@@ -81,6 +87,7 @@ class ApiCatalog {
   const std::vector<ApiDescriptor>& all() const { return apis_; }
 
   // Wire-side resolution: maps a parsed message back to its ApiId.
+  // Allocation-free — `path` / `rpc_method` may view into a capture buffer.
   std::optional<ApiId> find_rest(ServiceKind service, HttpMethod method,
                                  std::string_view path) const;
   std::optional<ApiId> find_rpc(ServiceKind service,
@@ -91,13 +98,54 @@ class ApiCatalog {
   std::size_t count(ApiKind kind, ServiceKind service) const;
 
  private:
-  std::string rest_key(ServiceKind service, HttpMethod method,
-                       std::string_view path) const;
-  std::string rpc_key(ServiceKind service, std::string_view method) const;
+  // Probe key: views the path/method, owning nothing.
+  struct RestKeyView {
+    ServiceKind service;
+    HttpMethod method;
+    std::string_view path;
+  };
+  struct RpcKeyView {
+    ServiceKind service;
+    std::string_view method;
+  };
+  // Owning keys (the interned template / method strings), implicitly
+  // comparable with the views through the transparent hash/eq below.
+  struct RestKey {
+    ServiceKind service;
+    HttpMethod method;
+    std::string path;
+    operator RestKeyView() const { return {service, method, path}; }
+  };
+  struct RpcKey {
+    ServiceKind service;
+    std::string method;
+    operator RpcKeyView() const { return {service, method}; }
+  };
+  struct KeyHash {
+    using is_transparent = void;
+    std::size_t operator()(const RestKeyView& k) const;
+    std::size_t operator()(const RpcKeyView& k) const;
+    std::size_t operator()(const RestKey& k) const {
+      return (*this)(RestKeyView(k));
+    }
+    std::size_t operator()(const RpcKey& k) const {
+      return (*this)(RpcKeyView(k));
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    bool operator()(const RestKeyView& a, const RestKeyView& b) const {
+      return a.service == b.service && a.method == b.method &&
+             a.path == b.path;
+    }
+    bool operator()(const RpcKeyView& a, const RpcKeyView& b) const {
+      return a.service == b.service && a.method == b.method;
+    }
+  };
 
   std::vector<ApiDescriptor> apis_;
-  std::unordered_map<std::string, ApiId> by_rest_;
-  std::unordered_map<std::string, ApiId> by_rpc_;
+  std::unordered_map<RestKey, ApiId, KeyHash, KeyEq> by_rest_;
+  std::unordered_map<RpcKey, ApiId, KeyHash, KeyEq> by_rpc_;
 };
 
 }  // namespace gretel::wire

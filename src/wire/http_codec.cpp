@@ -11,12 +11,18 @@ namespace {
 constexpr std::string_view kCrlf = "\r\n";
 constexpr std::string_view kVersion = "HTTP/1.1";
 
+// Header names are ASCII; a locale-aware tolower per character is measurable
+// overhead on the capture hot path, so lower-case the ASCII range directly.
+inline char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+
 bool iequals(std::string_view a, std::string_view b) {
-  return a.size() == b.size() &&
-         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
-           return std::tolower(static_cast<unsigned char>(x)) ==
-                  std::tolower(static_cast<unsigned char>(y));
-         });
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  }
+  return true;
 }
 
 // Consumes one CRLF-terminated line from `rest`; nullopt when no CRLF found.
@@ -28,25 +34,69 @@ std::optional<std::string_view> take_line(std::string_view& rest) {
   return line;
 }
 
-// Parses "Name: value" header lines until the blank line; false on malformed
-// input or missing terminator.
-bool parse_headers(std::string_view& rest, HttpHeaders& out) {
+// Splits one "Name: value" line; false on malformed input.
+bool split_header_line(std::string_view line, HttpHeaderView& out) {
+  const auto colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  std::string_view value = line.substr(colon + 1);
+  while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+  out = HttpHeaderView{line.substr(0, colon), value};
+  return true;
+}
+
+// Parses "Name: value" header lines until the blank line into an
+// arena-backed view array; false on malformed input or missing terminator.
+// Single pass through a stack buffer sized for real-world messages, then one
+// exact-size arena copy; messages with more headers fall back to a counting
+// pass so the array is still allocated exactly once.
+bool parse_headers(std::string_view& rest, util::Arena& arena,
+                   HttpHeadersView& out) {
+  constexpr std::size_t kInline = 32;
+  HttpHeaderView local[kInline];
+  const std::string_view saved = rest;
+  std::size_t count = 0;
   while (true) {
     auto line = take_line(rest);
     if (!line) return false;
-    if (line->empty()) return true;  // end of header block
-    const auto colon = line->find(':');
-    if (colon == std::string_view::npos || colon == 0) return false;
-    std::string_view name = line->substr(0, colon);
-    std::string_view value = line->substr(colon + 1);
-    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-    out.set(std::string(name), std::string(value));
+    if (line->empty()) {
+      HttpHeaderView* fields =
+          count == 0 ? nullptr : arena.allocate_array<HttpHeaderView>(count);
+      for (std::size_t i = 0; i < count; ++i) fields[i] = local[i];
+      out.fields = std::span<const HttpHeaderView>(fields, count);
+      return true;
+    }
+    if (count == kInline) break;  // rare: fall back to two passes
+    if (!split_header_line(*line, local[count])) return false;
+    ++count;
   }
+
+  // Overflow path: count the remaining lines, then fill from the start.
+  rest = saved;
+  count = 0;
+  {
+    std::string_view scan = rest;
+    while (true) {
+      auto line = take_line(scan);
+      if (!line) return false;
+      if (line->empty()) break;
+      const auto colon = line->find(':');
+      if (colon == std::string_view::npos || colon == 0) return false;
+      ++count;
+    }
+  }
+  HttpHeaderView* fields = arena.allocate_array<HttpHeaderView>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto line = take_line(rest);
+    if (!split_header_line(*line, fields[i])) return false;
+  }
+  take_line(rest);  // the blank terminator, verified by the counting pass
+  out.fields = std::span<const HttpHeaderView>(fields, count);
+  return true;
 }
 
 // Reads the body per Content-Length; strict about truncation.
-std::optional<std::string> read_body(std::string_view rest,
-                                     const HttpHeaders& headers) {
+std::optional<std::string_view> read_body(std::string_view rest,
+                                          const HttpHeadersView& headers) {
   std::size_t length = 0;
   if (auto cl = headers.get("Content-Length")) {
     const auto* begin = cl->data();
@@ -55,7 +105,7 @@ std::optional<std::string> read_body(std::string_view rest,
     if (ec != std::errc{} || ptr != end) return std::nullopt;
   }
   if (rest.size() < length) return std::nullopt;  // truncated capture
-  return std::string(rest.substr(0, length));
+  return rest.substr(0, length);
 }
 
 void append_headers(std::string& out, const HttpHeaders& headers,
@@ -81,6 +131,14 @@ void append_headers(std::string& out, const HttpHeaders& headers,
 std::optional<std::string_view> HttpHeaders::get(std::string_view name) const {
   for (const auto& [n, v] : fields) {
     if (iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> HttpHeadersView::get(
+    std::string_view name) const {
+  for (const auto& [n, v] : fields) {
+    if (iequals(n, name)) return v;
   }
   return std::nullopt;
 }
@@ -147,7 +205,8 @@ std::string serialize(const HttpResponse& resp) {
   return out;
 }
 
-std::optional<HttpRequest> parse_http_request(std::string_view bytes) {
+std::optional<HttpRequestView> parse_http_request(std::string_view bytes,
+                                                  util::Arena& arena) {
   std::string_view rest = bytes;
   auto line = take_line(rest);
   if (!line) return std::nullopt;
@@ -163,17 +222,18 @@ std::optional<HttpRequest> parse_http_request(std::string_view bytes) {
   if (target.empty() || line->substr(sp2 + 1) != kVersion)
     return std::nullopt;
 
-  HttpRequest req;
+  HttpRequestView req;
   req.method = *method;
-  req.target = std::string(target);
-  if (!parse_headers(rest, req.headers)) return std::nullopt;
+  req.target = target;
+  if (!parse_headers(rest, arena, req.headers)) return std::nullopt;
   auto body = read_body(rest, req.headers);
   if (!body) return std::nullopt;
-  req.body = std::move(*body);
+  req.body = *body;
   return req;
 }
 
-std::optional<HttpResponse> parse_http_response(std::string_view bytes) {
+std::optional<HttpResponseView> parse_http_response(std::string_view bytes,
+                                                    util::Arena& arena) {
   std::string_view rest = bytes;
   auto line = take_line(rest);
   if (!line) return std::nullopt;
@@ -194,13 +254,41 @@ std::optional<HttpResponse> parse_http_response(std::string_view bytes) {
   }
   if (status < 100 || status > 599) return std::nullopt;
 
-  HttpResponse resp;
+  HttpResponseView resp;
   resp.status = status;
-  resp.reason = std::string(line->substr(sp2 + 1));
-  if (!parse_headers(rest, resp.headers)) return std::nullopt;
+  resp.reason = line->substr(sp2 + 1);
+  if (!parse_headers(rest, arena, resp.headers)) return std::nullopt;
   auto body = read_body(rest, resp.headers);
   if (!body) return std::nullopt;
-  resp.body = std::move(*body);
+  resp.body = *body;
+  return resp;
+}
+
+std::optional<HttpRequest> parse_http_request(std::string_view bytes) {
+  thread_local util::Arena arena(4096);
+  arena.reset();
+  const auto view = parse_http_request(bytes, arena);
+  if (!view) return std::nullopt;
+  HttpRequest req;
+  req.method = view->method;
+  req.target = std::string(view->target);
+  for (const auto& [name, value] : view->headers.fields)
+    req.headers.set(std::string(name), std::string(value));
+  req.body = std::string(view->body);
+  return req;
+}
+
+std::optional<HttpResponse> parse_http_response(std::string_view bytes) {
+  thread_local util::Arena arena(4096);
+  arena.reset();
+  const auto view = parse_http_response(bytes, arena);
+  if (!view) return std::nullopt;
+  HttpResponse resp;
+  resp.status = view->status;
+  resp.reason = std::string(view->reason);
+  for (const auto& [name, value] : view->headers.fields)
+    resp.headers.set(std::string(name), std::string(value));
+  resp.body = std::string(view->body);
   return resp;
 }
 

@@ -9,11 +9,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "util/arena.h"
 #include "wire/api.h"
 
 namespace gretel::wire {
@@ -53,5 +55,50 @@ std::string serialize(const HttpResponse& resp);
 // input rather than guessing.
 std::optional<HttpRequest> parse_http_request(std::string_view bytes);
 std::optional<HttpResponse> parse_http_response(std::string_view bytes);
+
+// --- Zero-copy view parsers (the capture hot path) ---
+//
+// The view variants parse into string_views over the caller's byte buffer:
+// no header copies, no body copy, no per-field strings.  The only storage
+// they need — the header field array — comes from the caller's arena, so a
+// warmed-up decode loop performs zero heap allocations per message.
+//
+// Lifetime: every view is valid only while BOTH the input buffer and the
+// arena generation (until its next reset()) are alive.  Anything that must
+// outlive the capture batch has to be copied out (see docs/ARCHITECTURE.md,
+// "Hot path & memory model").
+
+struct HttpHeaderView {
+  std::string_view name;
+  std::string_view value;
+};
+
+struct HttpHeadersView {
+  std::span<const HttpHeaderView> fields;
+
+  // Case-insensitive lookup of the first matching header.
+  std::optional<std::string_view> get(std::string_view name) const;
+};
+
+struct HttpRequestView {
+  HttpMethod method = HttpMethod::Get;
+  std::string_view target;
+  HttpHeadersView headers;
+  std::string_view body;
+};
+
+struct HttpResponseView {
+  std::uint16_t status = 200;
+  std::string_view reason;
+  HttpHeadersView headers;
+  std::string_view body;
+};
+
+// Accept the same inputs (and reject the same malformed ones) as the owning
+// parsers above; the owning parsers are thin copies of these.
+std::optional<HttpRequestView> parse_http_request(std::string_view bytes,
+                                                  util::Arena& arena);
+std::optional<HttpResponseView> parse_http_response(std::string_view bytes,
+                                                    util::Arena& arena);
 
 }  // namespace gretel::wire

@@ -100,6 +100,25 @@ TEST(DualBuffer, NullCenterIndexAccepted) {
   EXPECT_EQ(buf.freeze(4, nullptr).size(), 4u);
 }
 
+TEST(DualBuffer, StaleFreezeReturnsEmptyInsteadOfWrapping) {
+  DualBuffer buf(4);  // ring capacity 8
+  for (std::uint16_t i = 0; i < 100; ++i) buf.push(event_with(i));
+  // Residents: 92..99.  Center 10 was evicted long ago; `center - first`
+  // would wrap to a huge index without the clamp.
+  std::size_t center_index = 123;
+  const auto snap = buf.freeze(10, &center_index);
+  EXPECT_TRUE(snap.empty());
+  EXPECT_EQ(center_index, 0u);
+  EXPECT_EQ(buf.stale_freezes(), 1u);
+
+  // A resident center still freezes normally and is not counted.
+  EXPECT_FALSE(buf.freeze(95, &center_index).empty());
+  EXPECT_EQ(buf.stale_freezes(), 1u);
+
+  buf.freeze(0, nullptr);
+  EXPECT_EQ(buf.stale_freezes(), 2u);
+}
+
 // Property: for any α and stream length, the frozen window contains at most
 // α events and always includes the center (when resident).
 class DualBufferProperty

@@ -1,0 +1,93 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gretel::util {
+namespace {
+
+TEST(Arena, CopyReturnsIdenticalBytesInArenaStorage) {
+  Arena arena(256);
+  const std::string src = "GET /v2.1/servers/detail HTTP/1.1";
+  const auto view = arena.copy(src);
+  EXPECT_EQ(view, src);
+  EXPECT_NE(view.data(), src.data());  // really copied
+  EXPECT_EQ(arena.bytes_used(), src.size());
+}
+
+TEST(Arena, CopyEmptyAllocatesNothing) {
+  Arena arena(256);
+  const auto view = arena.copy("");
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  EXPECT_EQ(arena.slab_count(), 0u);
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena arena(64);
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 100; ++i) {
+    views.push_back(arena.copy(std::string(7, static_cast<char>('a' + i % 26))));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(views[i], std::string(7, static_cast<char>('a' + i % 26)));
+  }
+}
+
+TEST(Arena, AllocateArrayIsAligned) {
+  Arena arena(128);
+  arena.copy("x");  // misalign the cursor
+  auto* p = arena.allocate_array<std::uint64_t>(4);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % alignof(std::uint64_t), 0u);
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint64_t>(i);
+  EXPECT_EQ(p[3], 3u);
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedSlab) {
+  Arena arena(64);
+  const std::string big(1000, 'B');
+  const auto view = arena.copy(big);
+  EXPECT_EQ(view, big);
+  EXPECT_GE(arena.slab_count(), 1u);
+}
+
+TEST(Arena, ResetRetainsSlabsAndReusesThem) {
+  Arena arena(128);
+  for (int i = 0; i < 50; ++i) arena.copy("some header value to store");
+  const auto warm_slabs = arena.slab_count();
+  EXPECT_GT(warm_slabs, 1u);
+
+  // A same-shaped batch after reset must not grow the slab list.
+  for (int round = 0; round < 10; ++round) {
+    arena.reset();
+    EXPECT_EQ(arena.bytes_used(), 0u);
+    for (int i = 0; i < 50; ++i) arena.copy("some header value to store");
+    EXPECT_EQ(arena.slab_count(), warm_slabs);
+  }
+  EXPECT_EQ(arena.resets(), 10u);
+}
+
+TEST(Arena, ReleaseDropsAllStorage) {
+  Arena arena(128);
+  arena.copy("payload");
+  arena.release();
+  EXPECT_EQ(arena.slab_count(), 0u);
+  EXPECT_EQ(arena.bytes_used(), 0u);
+  // Still usable afterwards.
+  EXPECT_EQ(arena.copy("again"), "again");
+}
+
+TEST(Arena, ZeroSlabBytesFallsBackToDefault) {
+  Arena arena(0);
+  const std::string s(Arena::kDefaultSlabBytes / 2, 'z');
+  EXPECT_EQ(arena.copy(s), s);
+  EXPECT_EQ(arena.slab_count(), 1u);
+}
+
+}  // namespace
+}  // namespace gretel::util

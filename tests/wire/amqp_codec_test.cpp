@@ -104,5 +104,60 @@ TEST(RpcErrorPayload, FailureKeyAloneDetected) {
   EXPECT_TRUE(rpc_payload_has_error(R"({"failure": "timeout"})"));
 }
 
+// --- Zero-copy view parser ---
+
+TEST(AmqpCodecView, ViewMatchesOwningParse) {
+  const auto bytes = serialize(sample_frame());
+  const auto view = parse_amqp_frame_view(bytes);
+  const auto owned = parse_amqp_frame(bytes);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_TRUE(owned.has_value());
+  EXPECT_EQ(view->type, owned->type);
+  EXPECT_EQ(view->channel, owned->channel);
+  EXPECT_EQ(view->routing_key, owned->routing_key);
+  EXPECT_EQ(view->method_name, owned->method_name);
+  EXPECT_EQ(view->msg_id, owned->msg_id);
+  EXPECT_EQ(view->correlation_id, owned->correlation_id);
+  EXPECT_EQ(view->payload, owned->payload);
+}
+
+TEST(AmqpCodecView, ViewsPointIntoInputBuffer) {
+  const auto bytes = serialize(sample_frame());
+  const auto view = parse_amqp_frame_view(bytes);
+  ASSERT_TRUE(view.has_value());
+  const auto inside = [&](std::string_view v) {
+    return v.data() >= bytes.data() &&
+           v.data() + v.size() <= bytes.data() + bytes.size();
+  };
+  EXPECT_TRUE(inside(view->routing_key));
+  EXPECT_TRUE(inside(view->method_name));
+  EXPECT_TRUE(inside(view->payload));
+}
+
+TEST(AmqpCodecView, RejectsSameMalformedInputs) {
+  EXPECT_FALSE(parse_amqp_frame_view("").has_value());
+  auto bytes = serialize(sample_frame());
+  bytes[0] = 0x00;  // bad magic
+  EXPECT_FALSE(parse_amqp_frame_view(bytes).has_value());
+  bytes = serialize(sample_frame());
+  bytes.back() = 0x00;  // missing frame-end octet
+  EXPECT_FALSE(parse_amqp_frame_view(bytes).has_value());
+  bytes = serialize(sample_frame());
+  EXPECT_FALSE(
+      parse_amqp_frame_view(std::string_view(bytes).substr(0, 10)));
+}
+
+TEST(AmqpCodecView, HugeDeclaredPayloadLengthRejectedWithoutWrap) {
+  // A frame whose u32 payload-length field claims UINT32_MAX must be
+  // rejected cleanly: the bounds check `size < payload_len + 1` wrapped to
+  // zero before the 64-bit fix and walked off the buffer.
+  auto bytes = serialize(sample_frame());
+  const auto end = bytes.size() - 2;  // last payload byte | frame-end
+  const auto len_at = end - sample_frame().payload.size() - 3;
+  for (int i = 0; i < 4; ++i) bytes[len_at + i] = '\xFF';
+  EXPECT_FALSE(parse_amqp_frame_view(bytes).has_value());
+  EXPECT_FALSE(parse_amqp_frame(bytes).has_value());
+}
+
 }  // namespace
 }  // namespace gretel::wire

@@ -46,6 +46,73 @@ TEST(NormalizeUri, VersionSegmentsNotIds) {
   EXPECT_EQ(normalize_uri("/v3/auth/tokens"), "/v3/auth/tokens");
 }
 
+TEST(NormalizeUri, EmptySegmentsPreserved) {
+  EXPECT_EQ(normalize_uri("//v2.0/ports"), "//v2.0/ports");
+  EXPECT_EQ(normalize_uri("/v2.0//ports"), "/v2.0//ports");
+}
+
+TEST(NormalizeUri, TrailingSlashPreserved) {
+  EXPECT_EQ(normalize_uri("/v2.1/servers/"), "/v2.1/servers/");
+  EXPECT_EQ(normalize_uri("/v2.1/servers/12345/"), "/v2.1/servers/<ID>/");
+}
+
+TEST(NormalizeUri, QueryOnlyTarget) {
+  EXPECT_EQ(normalize_uri("?tenant_id=77"), "");
+  EXPECT_EQ(normalize_uri("/?tenant_id=77"), "/");
+}
+
+TEST(NormalizeUri, XmlExtensionOnUuidSegment) {
+  EXPECT_EQ(normalize_uri("/v2.0/ports/0a1b2c3d-4e5f-6071-8293-a4b5.xml"),
+            "/v2.0/ports/<ID>.xml");
+}
+
+TEST(NormalizeUri, PureNumericShortSegmentsAreIds) {
+  EXPECT_EQ(normalize_uri("/v2/servers/7"), "/v2/servers/<ID>");
+  EXPECT_EQ(normalize_uri("/v2/servers/7/action"), "/v2/servers/<ID>/action");
+}
+
+TEST(NormalizeUri, LeadingDotSegmentKept) {
+  // ".json" alone has no stem to rewrite (dot at position 0 is no
+  // extension split).
+  EXPECT_EQ(normalize_uri("/v2.0/.json"), "/v2.0/.json");
+}
+
+TEST(NormalizeUri, ArenaVariantMatchesAllocatingVariant) {
+  util::Arena arena;
+  for (const auto* target :
+       {"/v2/images/0a1b2c3d-4e5f-6071-8293-a4b5c6d7e8f9/file",
+        "/v2.0/ports.json?tenant_id=77", "//v2.0//", "?q=1", "",
+        "/v2.1/servers/12345/", "/v2.0/ports/0a1b-2c3d4e5f.json"}) {
+    EXPECT_EQ(normalize_uri(target, arena), normalize_uri(target))
+        << "target: " << target;
+  }
+}
+
+TEST(ParseCorrelationId, AcceptsPlainReqIds) {
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-1")), 1u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-4294967295")),
+            4294967295u);
+}
+
+TEST(ParseCorrelationId, RejectsOverflowInsteadOfWrapping) {
+  // 2^32 would wrap to 0..., 2^32+6 to 6 — either silently aliases another
+  // operation during snapshot reduction.
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-4294967296")), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-4294967302")), 0u);
+  EXPECT_EQ(parse_correlation_id(
+                std::string_view("req-99999999999999999999999999")),
+            0u);
+}
+
+TEST(ParseCorrelationId, RejectsMalformedValues) {
+  EXPECT_EQ(parse_correlation_id(std::nullopt), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("")), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-")), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("req-12x")), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("REQ-12")), 0u);
+  EXPECT_EQ(parse_correlation_id(std::string_view("12")), 0u);
+}
+
 class CaptureTapTest : public ::testing::Test {
  protected:
   CaptureTapTest()

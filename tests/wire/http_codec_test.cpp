@@ -142,5 +142,95 @@ INSTANTIATE_TEST_SUITE_P(Statuses, HttpStatusRoundTrip,
                          ::testing::Values(200, 201, 202, 204, 400, 401, 403,
                                            404, 409, 413, 500, 503, 504));
 
+// --- Zero-copy view parsers ---
+
+bool inside(std::string_view view, std::string_view buffer) {
+  if (view.empty()) return true;
+  return view.data() >= buffer.data() &&
+         view.data() + view.size() <= buffer.data() + buffer.size();
+}
+
+TEST(HttpCodecView, RequestViewMatchesOwningParse) {
+  const auto bytes = serialize(sample_request());
+  util::Arena arena;
+  const auto view = parse_http_request(bytes, arena);
+  const auto owned = parse_http_request(bytes);
+  ASSERT_TRUE(view.has_value());
+  ASSERT_TRUE(owned.has_value());
+  EXPECT_EQ(view->method, owned->method);
+  EXPECT_EQ(view->target, owned->target);
+  EXPECT_EQ(view->body, owned->body);
+  ASSERT_EQ(view->headers.fields.size(), owned->headers.fields.size());
+  for (std::size_t i = 0; i < view->headers.fields.size(); ++i) {
+    EXPECT_EQ(view->headers.fields[i].name, owned->headers.fields[i].first);
+    EXPECT_EQ(view->headers.fields[i].value, owned->headers.fields[i].second);
+  }
+}
+
+TEST(HttpCodecView, ViewsPointIntoInputBuffer) {
+  const auto bytes = serialize(sample_request());
+  util::Arena arena;
+  const auto view = parse_http_request(bytes, arena);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_TRUE(inside(view->target, bytes));
+  EXPECT_TRUE(inside(view->body, bytes));
+  for (const auto& h : view->headers.fields) {
+    EXPECT_TRUE(inside(h.name, bytes));
+    EXPECT_TRUE(inside(h.value, bytes));
+  }
+}
+
+TEST(HttpCodecView, ResponseViewMatchesOwningParse) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.body = R"({"error": "Service Unavailable"})";
+  const auto bytes = serialize(resp);
+  util::Arena arena;
+  const auto view = parse_http_response(bytes, arena);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->status, 503);
+  EXPECT_EQ(view->reason, "Service Unavailable");
+  EXPECT_EQ(view->body, resp.body);
+  EXPECT_EQ(view->headers.get("content-length"),
+            std::to_string(resp.body.size()));
+}
+
+TEST(HttpCodecView, RejectsSameMalformedInputs) {
+  util::Arena arena;
+  EXPECT_FALSE(parse_http_request("", arena).has_value());
+  EXPECT_FALSE(parse_http_request("BOGUS / HTTP/1.1\r\n\r\n", arena));
+  EXPECT_FALSE(parse_http_request("GET /x HTTP/1.1\r\nNoColon\r\n\r\n", arena));
+  EXPECT_FALSE(
+      parse_http_request("GET /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nab",
+                         arena));
+  EXPECT_FALSE(parse_http_response("HTTP/1.1 99 Bad\r\n\r\n", arena));
+}
+
+TEST(HttpCodecView, ManyHeadersStayDistinctAcrossArenaGrowth) {
+  HttpRequest req;
+  req.method = HttpMethod::Get;
+  req.target = "/v2.1/servers";
+  const auto name_of = [](int i) {
+    std::string name = "X-H";
+    name += std::to_string(i);
+    return name;
+  };
+  const auto value_of = [](int i) {
+    std::string value = "v";
+    value += std::to_string(i);
+    return value;
+  };
+  for (int i = 0; i < 64; ++i) {
+    req.headers.set(name_of(i), value_of(i));
+  }
+  const auto bytes = serialize(req);
+  util::Arena arena(64);  // tiny slabs force mid-parse slab growth
+  const auto view = parse_http_request(bytes, arena);
+  ASSERT_TRUE(view.has_value());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(view->headers.get(name_of(i)), value_of(i));
+  }
+}
+
 }  // namespace
 }  // namespace gretel::wire
