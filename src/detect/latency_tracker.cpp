@@ -1,8 +1,17 @@
 #include "detect/latency_tracker.h"
 
+#include <cmath>
+
 #include "detect/level_shift.h"
 
 namespace gretel::detect {
+
+namespace {
+// Pending-map sweep cadence, in observe() calls.  The sweep only reclaims
+// memory (admission is decided at pairing time), so the cadence affects
+// footprint, never output.
+constexpr std::uint32_t kSweepStride = 64;
+}  // namespace
 
 LatencyTracker::LatencyTracker(Factory factory)
     : factory_(std::move(factory)) {}
@@ -18,7 +27,35 @@ LatencyTracker::PerApi& LatencyTracker::per_api(wire::ApiId api) {
   return it->second;
 }
 
+void LatencyTracker::sweep_orphans(util::SimTime now) {
+  const auto expired = [&](util::SimTime req_ts) {
+    return (now - req_ts).to_seconds() > orphan_timeout_seconds_;
+  };
+  for (auto it = pending_rest_.begin(); it != pending_rest_.end();) {
+    if (expired(it->second)) {
+      it = pending_rest_.erase(it);
+      ++guards_.orphans_reaped;
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = pending_rpc_.begin(); it != pending_rpc_.end();) {
+    if (expired(it->second)) {
+      it = pending_rpc_.erase(it);
+      ++guards_.orphans_reaped;
+    } else {
+      ++it;
+    }
+  }
+}
+
 std::optional<LatencyAlarm> LatencyTracker::observe(const wire::Event& event) {
+  if (orphan_timeout_seconds_ > 0.0 &&
+      ++observes_since_sweep_ >= kSweepStride) {
+    observes_since_sweep_ = 0;
+    sweep_orphans(event.ts);
+  }
+
   if (event.is_request()) {
     if (event.kind == wire::ApiKind::Rest) {
       pending_rest_[event.conn_id] = event.ts;
@@ -42,7 +79,28 @@ std::optional<LatencyAlarm> LatencyTracker::observe(const wire::Event& event) {
     pending_rpc_.erase(it);
   }
 
-  const double latency_ms = (event.ts - req_ts).to_millis();
+  // Pairing-time admission: a response past the orphan timeout is the tail
+  // of an exchange the tap effectively lost — its latency reflects the
+  // degradation, not the service.  Decided here (never in the sweep) so
+  // output is independent of sweep cadence and shard layout.
+  if (orphan_timeout_seconds_ > 0.0 &&
+      (event.ts - req_ts).to_seconds() > orphan_timeout_seconds_) {
+    ++guards_.orphans_reaped;
+    return std::nullopt;
+  }
+
+  double latency_ms = (event.ts - req_ts).to_millis();
+  if (!std::isfinite(latency_ms)) {
+    ++guards_.rejected_nonfinite;
+    return std::nullopt;
+  }
+  if (latency_ms < 0.0) {
+    // Capture clock skew between the tapped nodes.  The exchange is real, so
+    // keep the sample, but clamp the impossible gap rather than feeding a
+    // negative level into the baseline.
+    latency_ms = 0.0;
+    ++guards_.clamped_negative;
+  }
   const double t_s = event.ts.to_seconds();
   auto& pa = per_api(event.api);
   pa.series.add(t_s, latency_ms);

@@ -26,6 +26,23 @@ struct LatencyAlarm {
   util::SimTime when;   // response timestamp
 };
 
+// Degraded-telemetry accounting: what the tracker refused to feed into the
+// per-API series because the telemetry substrate lied about time or lost
+// the closing half of an exchange.
+struct LatencyGuardStats {
+  // Negative request→response gaps (capture clock skew between the tapped
+  // nodes); the sample is clamped to 0 ms rather than poisoning the
+  // baseline with a nonsense level.
+  std::uint64_t clamped_negative = 0;
+  // NaN / infinite gaps (should be impossible with integer sim time, but
+  // the detectors also consume operator-supplied series); rejected.
+  std::uint64_t rejected_nonfinite = 0;
+  // Requests whose response never arrived within the orphan timeout: swept
+  // from the pending maps, or rejected when the response finally limped in
+  // past the deadline.  Each lost exchange is counted exactly once.
+  std::uint64_t orphans_reaped = 0;
+};
+
 class LatencyTracker {
  public:
   using Factory = std::function<std::unique_ptr<OutlierDetector>()>;
@@ -36,6 +53,16 @@ class LatencyTracker {
   // Feeds one captured event.  Responses that close a pending request
   // produce a latency sample; a confirmed anomaly returns a LatencyAlarm.
   std::optional<LatencyAlarm> observe(const wire::Event& event);
+
+  // Orphan-request reaper (0 = off).  Whether a pairing is admitted depends
+  // only on the response−request gap vs the timeout — never on sweep
+  // timing — so detection output is identical for any shard layout; the
+  // periodic sweep merely reclaims the pending-map memory a lossy tap
+  // would otherwise leak.
+  void set_orphan_timeout_seconds(double seconds) {
+    orphan_timeout_seconds_ = seconds;
+  }
+  const LatencyGuardStats& guard_stats() const { return guards_; }
 
   // Latency series recorded so far for an API (milliseconds).
   const util::TimeSeries* series(wire::ApiId api) const;
@@ -53,12 +80,16 @@ class LatencyTracker {
   };
 
   PerApi& per_api(wire::ApiId api);
+  void sweep_orphans(util::SimTime now);
 
   Factory factory_;
   std::unordered_map<std::uint32_t, util::SimTime> pending_rest_;  // conn_id
   std::unordered_map<std::uint64_t, util::SimTime> pending_rpc_;   // msg_id
   std::unordered_map<wire::ApiId, PerApi> state_;
   std::uint64_t samples_ = 0;
+  double orphan_timeout_seconds_ = 0.0;
+  std::uint32_t observes_since_sweep_ = 0;
+  LatencyGuardStats guards_;
 };
 
 }  // namespace gretel::detect

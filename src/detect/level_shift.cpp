@@ -21,6 +21,10 @@ double LevelShiftDetector::level() {
 
 std::optional<Alarm> LevelShiftDetector::observe(double t_seconds,
                                                  double value) {
+  if (!std::isfinite(value)) {
+    ++rejected_nonfinite_;
+    return std::nullopt;
+  }
   if (!armed()) {
     window_.push_back(value);
     if (armed()) refresh_baseline();

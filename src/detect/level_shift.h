@@ -8,6 +8,7 @@
 // confirmation rule, with re-baselining on confirmation.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -40,6 +41,11 @@ class LevelShiftDetector final : public OutlierDetector {
   double level();
   bool armed() const { return window_.size() >= params_.min_baseline; }
 
+  // NaN / ±inf samples rejected before touching the baseline.  One such
+  // value in the window would make every subsequent median/MAD NaN and
+  // silently disarm the detector forever.
+  std::uint64_t rejected_nonfinite() const { return rejected_nonfinite_; }
+
  private:
   // Recomputes the cached robust baseline (median / MAD-sigma).  The exact
   // estimates only need to track the window loosely — deviations are judged
@@ -56,6 +62,7 @@ class LevelShiftDetector final : public OutlierDetector {
   double cached_median_ = 0.0;
   double cached_sigma_ = 0.0;
   int stale_ = 0;  // absorptions since the last refresh
+  std::uint64_t rejected_nonfinite_ = 0;
 };
 
 std::unique_ptr<OutlierDetector> make_level_shift();

@@ -46,12 +46,29 @@ class LatencyShardSet {
     return shards_[shard_of(event.api)].observe(event);
   }
 
+  // Arms the orphan-request reaper on every shard (0 = off).  Admission is
+  // decided at pairing time inside each tracker, so detection output stays
+  // shard-count-invariant (see LatencyTracker).
+  void set_orphan_timeout_seconds(double seconds) {
+    for (auto& s : shards_) s.set_orphan_timeout_seconds(seconds);
+  }
+
   // Aggregated views over all shards (quiescent pipeline only).
   const util::TimeSeries* series(wire::ApiId api) const {
     return shards_[shard_of(api)].series(api);
   }
   std::uint64_t samples() const;
   std::size_t pending() const;
+  LatencyGuardStats guards_total() const {
+    LatencyGuardStats total;
+    for (const auto& s : shards_) {
+      const auto& g = s.guard_stats();
+      total.clamped_negative += g.clamped_negative;
+      total.rejected_nonfinite += g.rejected_nonfinite;
+      total.orphans_reaped += g.orphans_reaped;
+    }
+    return total;
+  }
 
  private:
   std::vector<LatencyTracker> shards_;

@@ -20,7 +20,14 @@ Analyzer::Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
       run_root_cause_(options.run_root_cause) {}
 
 void Analyzer::on_wire(const net::WireRecord& record) {
-  if (auto event = tap_.decode(record)) detector_.on_event(*event);
+  const auto failures_before = tap_.stats().decode_failures;
+  auto event = tap_.decode(record);
+  // A quarantined frame is a hole in the stream the detector will window
+  // over: annotate the loss so reports spanning it carry degraded
+  // confidence.  (unknown_api records are deliberate filtering, not loss.)
+  if (const auto delta = tap_.stats().decode_failures - failures_before)
+    detector_.record_loss(delta);
+  if (event) detector_.on_event(*event);
 }
 
 void Analyzer::on_event(const wire::Event& event) {
@@ -37,9 +44,18 @@ void Analyzer::on_wire_batch(std::span<const net::WireRecord> records) {
     for (std::size_t k = 0; k < take; ++k) {
       // decode() resets the tap arena per record, but the Event copies out
       // everything it keeps, so accumulating across resets is safe.
-      if (auto event = tap_.decode(records[i + k])) {
-        event_scratch_.push_back(std::move(*event));
+      const auto failures_before = tap_.stats().decode_failures;
+      auto event = tap_.decode(records[i + k]);
+      if (const auto delta =
+              tap_.stats().decode_failures - failures_before) {
+        // Keep loss attribution at the exact stream position: hand the
+        // events decoded so far to the detector before recording the loss,
+        // so the per-record and batched paths annotate windows identically.
+        detector_.on_events(event_scratch_);
+        event_scratch_.clear();
+        detector_.record_loss(delta);
       }
+      if (event) event_scratch_.push_back(std::move(*event));
     }
     detector_.on_events(event_scratch_);
     i += take;
@@ -57,5 +73,24 @@ void Analyzer::on_metric(wire::NodeId node, net::ResourceKind kind,
 }
 
 void Analyzer::finish() { detector_.flush(); }
+
+monitor::PipelineHealthCounters Analyzer::health() const {
+  const auto& tap = tap_.stats();
+  const auto& det = detector_.stats();
+  monitor::PipelineHealthCounters h;
+  h.frames_decoded = tap.decoded;
+  h.frames_quarantined = tap.decode_failures;
+  h.frames_unknown_api = tap.unknown_api;
+  h.frames_non_monotonic = tap.non_monotonic;
+  h.losses_recorded = det.losses_recorded;
+  h.overflow_drops = det.overflow_drops;
+  h.watchdog_trips = det.watchdog_trips;
+  h.orphans_reaped = det.orphans_reaped;
+  h.latency_clamped = det.latency_clamped;
+  h.latency_rejected = det.latency_rejected;
+  h.stale_freezes = det.stale_freezes;
+  h.degraded_reports = det.degraded_reports;
+  return h;
+}
 
 }  // namespace gretel::core

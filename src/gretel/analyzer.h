@@ -65,6 +65,12 @@ class Analyzer {
   }
   const net::TapStats& tap_stats() const { return tap_.stats(); }
 
+  // Flat degraded-telemetry counter snapshot for operator export (see
+  // monitor::PipelineHealthCounters).  The detector-side totals are
+  // aggregated at quiescent points, so call after finish() for exact
+  // values.
+  monitor::PipelineHealthCounters health() const;
+
   // Monitoring-side stores feeding the root-cause engine.
   monitor::MetricsStore& metrics() { return metrics_; }
   const monitor::MetricsStore& metrics() const { return metrics_; }

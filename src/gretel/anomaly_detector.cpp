@@ -15,11 +15,17 @@ AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
       latency_(config.num_shards),
       match_pool_(config.num_match_workers),
       drain_interval_(config.drain_interval()) {
+  latency_.set_orphan_timeout_seconds(config_.orphan_timeout_seconds);
   if (config_.num_shards > 1) {
     // Ring sized so a whole drain interval fits even if every event hashes
     // to one shard; submit() backpressure covers pathological imbalance.
+    ResilienceOptions resilience;
+    resilience.overflow_policy = config_.overflow_policy;
+    resilience.spill_capacity = config_.overflow_spill;
+    resilience.watchdog_ms = config_.watchdog_ms;
     pipeline_ = std::make_unique<ShardPipeline>(
-        &latency_, std::max<std::size_t>(64, 2 * drain_interval_));
+        &latency_, std::max<std::size_t>(64, 2 * drain_interval_),
+        resilience);
   }
 }
 
@@ -29,8 +35,9 @@ void AnomalyDetector::on_event(wire::Event event) {
     // shard, and periodically join to fold in discovered triggers.
     event.seq = buffer_.end_seq();
     ++stats_.events;
-    buffer_.push(event);
+    buffer_.push(event, loss_count_);
     pipeline_->submit(event);
+    fold_overflow_losses();
     if (++since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
     return;
   }
@@ -58,9 +65,10 @@ void AnomalyDetector::on_events(std::span<const wire::Event> events) {
       auto& ev = batch_scratch_.emplace_back(events[i + k]);
       ev.seq = buffer_.end_seq();
       ++stats_.events;
-      buffer_.push(ev);
+      buffer_.push(ev, loss_count_);
     }
     pipeline_->submit_batch(batch_scratch_);
+    fold_overflow_losses();
     since_drain_ += take;
     if (since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
     i += take;
@@ -93,8 +101,17 @@ void AnomalyDetector::ingest_serial(const wire::Event& source) {
     pending_.push_back(std::move(p));
   }
 
-  buffer_.push(event);
+  buffer_.push(event, loss_count_);
   run_ready(/*force=*/false);
+}
+
+void AnomalyDetector::fold_overflow_losses() {
+  if (!pipeline_) return;
+  const auto dropped = pipeline_->overflow_dropped();
+  if (dropped != overflow_folded_) {
+    loss_count_ += dropped - overflow_folded_;
+    overflow_folded_ = dropped;
+  }
 }
 
 void AnomalyDetector::maybe_trigger_operational(std::uint64_t seq,
@@ -137,6 +154,11 @@ void AnomalyDetector::sync_shards(bool force) {
     }
   }
   stats_.rpc_errors = pipeline_->rpc_errors();
+  // Drain may have shed spill under a tripped watchdog; fold those drops
+  // before anything freezes a window over the gap.
+  fold_overflow_losses();
+  stats_.overflow_drops = pipeline_->overflow_dropped();
+  stats_.watchdog_trips = pipeline_->watchdog_trips();
   run_ready(force);
 }
 
@@ -153,10 +175,12 @@ void AnomalyDetector::run_ready(bool force) {
 }
 
 void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
-  std::size_t center_index = 0;
-  const auto window = buffer_.freeze(pending.center, &center_index);
+  FreezeInfo freeze_info;
+  const auto window = buffer_.freeze(pending.center, &freeze_info);
+  stats_.stale_freezes = buffer_.stale_freezes();
   if (window.empty()) return;
-  center_index = std::min(center_index, window.size() - 1);
+  const auto center_index =
+      std::min(freeze_info.center_index, window.size() - 1);
 
   // Re-anchor operational faults on the true failing API: "all REST and RPC
   // errors present in the snapshot are together analyzed" (§5.3.1).  An RPC
@@ -199,6 +223,8 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   report.window_start = window.front().ts;
   report.window_end = window.back().ts;
   report.latency = pending.alarm;
+  report.window_losses = freeze_info.losses;
+  report.degraded_confidence = freeze_info.losses > 0;
   for (const auto& ev : window) {
     if (ev.is_error()) report.error_events.push_back(ev);
   }
@@ -208,15 +234,25 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   } else {
     ++stats_.performance_reports;
   }
+  if (report.degraded_confidence) ++stats_.degraded_reports;
   if (callback_) callback_(report);
 }
 
 void AnomalyDetector::flush() {
   if (pipeline_) {
     sync_shards(/*force=*/true);
-    return;
+  } else {
+    run_ready(/*force=*/true);
   }
-  run_ready(/*force=*/true);
+  // Quiescent point: snapshot the degraded-telemetry accounting.  The
+  // latency guard totals are only aggregated here because reading shard
+  // trackers requires the workers to be parked.
+  stats_.losses_recorded = loss_count_;
+  stats_.stale_freezes = buffer_.stale_freezes();
+  const auto guards = latency_.guards_total();
+  stats_.orphans_reaped = guards.orphans_reaped;
+  stats_.latency_clamped = guards.clamped_negative;
+  stats_.latency_rejected = guards.rejected_nonfinite;
 }
 
 }  // namespace gretel::core

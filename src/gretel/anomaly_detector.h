@@ -67,6 +67,13 @@ class AnomalyDetector {
   // With shards, also joins the workers' in-flight work first.
   void flush();
 
+  // Telemetry-loss notification from the ingestion layer: `count` frames
+  // between the previous event and the next one were lost before decoding
+  // (quarantined as malformed, dropped by a lossy tap, ...).  Folded into
+  // the running loss count that annotates frozen windows, so reports whose
+  // snapshot spans the gap carry degraded_confidence.
+  void record_loss(std::uint64_t count) { loss_count_ += count; }
+
   struct Stats {
     std::uint64_t events = 0;
     std::uint64_t rest_errors = 0;
@@ -74,6 +81,17 @@ class AnomalyDetector {
     std::uint64_t operational_reports = 0;
     std::uint64_t performance_reports = 0;
     std::uint64_t suppressed_triggers = 0;
+    // Degraded-telemetry accounting.  overflow_drops / watchdog_trips come
+    // from the sharded pipeline (0 on the serial path); the latency guard
+    // totals are snapshotted from the shard trackers at quiescent points.
+    std::uint64_t losses_recorded = 0;      // record_loss + overflow drops
+    std::uint64_t overflow_drops = 0;
+    std::uint64_t watchdog_trips = 0;
+    std::uint64_t orphans_reaped = 0;
+    std::uint64_t latency_clamped = 0;      // negative gaps clamped to 0
+    std::uint64_t latency_rejected = 0;     // non-finite samples rejected
+    std::uint64_t stale_freezes = 0;
+    std::uint64_t degraded_reports = 0;     // reports with window losses
   };
   const Stats& stats() const { return stats_; }
 
@@ -106,6 +124,9 @@ class AnomalyDetector {
   void sync_shards(bool force);
   void run_ready(bool force);
   void run_snapshot(const PendingSnapshot& pending);
+  // Folds pipeline overflow drops accrued since the last call into the
+  // window loss count (each dropped event is a gap the snapshot can't see).
+  void fold_overflow_losses();
 
   const wire::ApiCatalog* catalog_;
   GretelConfig config_;
@@ -117,6 +138,10 @@ class AnomalyDetector {
   std::unique_ptr<ShardPipeline> pipeline_;  // null when num_shards == 1
   std::size_t drain_interval_ = 0;
   std::size_t since_drain_ = 0;
+  // Cumulative telemetry losses (record_loss + pipeline overflow drops) and
+  // the portion of the pipeline's overflow counter already folded in.
+  std::uint64_t loss_count_ = 0;
+  std::uint64_t overflow_folded_ = 0;
   // Seq-stamped copies of the current chunk for submit_batch (capacity is
   // retained across batches; bounded by drain_interval_).
   std::vector<wire::Event> batch_scratch_;

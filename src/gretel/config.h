@@ -15,10 +15,25 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 
 #include "gretel/matcher.h"
 
 namespace gretel::core {
+
+// What the sharded pipeline does when a shard's ring (plus its spill
+// queue) is full — i.e. one shard worker has fallen far behind ingestion.
+enum class OverflowPolicy : std::uint8_t {
+  // Backpressure: block ingestion until the worker catches up (the
+  // original behavior; lossless, but a wedged worker wedges ingestion
+  // unless the watchdog is armed).
+  Block,
+  // Keep ingesting: overflow spills into a bounded coordinator-side queue
+  // and, beyond that, the oldest waiting event is dropped and accounted
+  // (overflow_drops counter + window loss annotation).  Never engages
+  // below capacity, so it is a strict no-op on a keeping-up pipeline.
+  DropOldestWithAccounting,
+};
 
 struct GretelConfig {
   // FPmax · 384 · the longest fingerprint in the database, in messages.
@@ -117,6 +132,35 @@ struct GretelConfig {
   // (bit-identical results — the reduction stays serial).  Worth enabling
   // when the fingerprint database is large or faults are frequent.
   std::size_t num_match_workers = 0;
+
+  // (resilience) · 0.0 = off · seconds after which a request whose response
+  // was never captured is reaped from the latency tracker.  Lossy taps
+  // orphan requests; without a reaper the pending-request maps leak and a
+  // response arriving after aeons would register a bogus latency sample.
+  // Admission is decided at pairing time (response−request gap vs this
+  // timeout), so results are independent of shard count; the periodic sweep
+  // only reclaims memory.  0 keeps the exact pre-resilience behavior.
+  double orphan_timeout_seconds = 0.0;
+
+  // (resilience) · Block · what ingestion does when a detection shard falls
+  // behind: Block applies backpressure (lossless), DropOldestWithAccounting
+  // keeps ingesting and accounts the loss (see OverflowPolicy).  Only
+  // meaningful when num_shards > 1.
+  OverflowPolicy overflow_policy = OverflowPolicy::Block;
+
+  // (resilience) · 0 = ring capacity · bounded coordinator-side spill queue
+  // per shard, in events, used by DropOldestWithAccounting before anything
+  // is dropped.
+  std::size_t overflow_spill = 0;
+
+  // (resilience) · 0.0 = off · stall watchdog for the sharded pipeline, in
+  // milliseconds of *no shard progress*.  When armed, a blocked submit or
+  // drain stops waiting on a shard whose worker has made no progress for
+  // this long: the event is dropped with accounting (submit) or the join is
+  // abandoned (drain), and watchdog_trips increments — one wedged shard
+  // can no longer deadlock ingestion.  A slow-but-alive worker never trips
+  // it (progress resets the clock).  0 keeps the unbounded waits.
+  double watchdog_ms = 0.0;
 
   std::size_t alpha() const {
     const auto rate_window =

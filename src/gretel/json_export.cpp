@@ -89,8 +89,15 @@ std::string to_json(const Diagnosis& d, const wire::ApiCatalog& catalog,
   out += ", \"error_events\": ";
   out += std::to_string(d.fault.error_events.size());
 
+  out += ", \"window_losses\": ";
+  out += std::to_string(d.fault.window_losses);
+  out += ", \"degraded_confidence\": ";
+  out += d.fault.degraded_confidence ? "true" : "false";
+
   out += ", \"root_cause\": {\"expanded_search\": ";
   out += d.root_cause.expanded_search ? "true" : "false";
+  out += ", \"degraded\": ";
+  out += d.root_cause.degraded ? "true" : "false";
   out += ", \"causes\": [";
   for (std::size_t i = 0; i < d.root_cause.causes.size(); ++i) {
     const auto& c = d.root_cause.causes[i];

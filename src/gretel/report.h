@@ -36,6 +36,13 @@ struct FaultReport {
 
   // Performance faults carry the triggering latency alarm.
   std::optional<detect::LatencyAlarm> latency;
+
+  // Degraded-telemetry annotation: how many telemetry losses (quarantined
+  // frames, overflow drops) fell inside the frozen window, and the derived
+  // confidence flag.  A degraded report is still actionable — the matcher
+  // ran on what survived — but its θ and match set may be understated.
+  std::uint64_t window_losses = 0;
+  bool degraded_confidence = false;
 };
 
 enum class CauseKind : std::uint8_t { ResourceAnomaly, SoftwareFailure };
@@ -52,6 +59,10 @@ struct RootCauseReport {
   // True when the error-endpoint nodes were clean and the search expanded
   // to the remaining nodes of the operation (upstream root cause).
   bool expanded_search = false;
+  // Propagated from FaultReport::degraded_confidence: the underlying
+  // snapshot had telemetry gaps, so absence of a cause is weaker evidence
+  // than usual.
+  bool degraded = false;
 };
 
 struct Diagnosis {

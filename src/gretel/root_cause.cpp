@@ -105,6 +105,9 @@ std::vector<Cause> RootCauseEngine::find_causes(
 
 RootCauseReport RootCauseEngine::analyze(const FaultReport& fault) const {
   RootCauseReport report;
+  // A lossy snapshot weakens negative evidence (a clean node may simply be
+  // one whose telemetry was lost); carry the flag through to the diagnosis.
+  report.degraded = fault.degraded_confidence;
   const auto from = fault.window_start - options_.window_pad;
   const auto to = fault.window_end + options_.window_pad;
 

@@ -5,9 +5,25 @@
 
 namespace gretel::core {
 
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration watchdog_duration(double watchdog_ms) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(watchdog_ms));
+}
+
+}  // namespace
+
 ShardPipeline::ShardPipeline(detect::LatencyShardSet* latency,
-                             std::size_t ring_capacity)
-    : latency_(latency) {
+                             std::size_t ring_capacity,
+                             ResilienceOptions resilience)
+    : latency_(latency),
+      resilience_(resilience),
+      spill_capacity_(resilience.spill_capacity == 0 ? ring_capacity
+                                                     : resilience.spill_capacity),
+      spill_(latency->num_shards()) {
   shards_.reserve(latency_->num_shards());
   for (std::size_t i = 0; i < latency_->num_shards(); ++i) {
     shards_.push_back(std::make_unique<Shard>(ring_capacity));
@@ -28,28 +44,19 @@ ShardPipeline::~ShardPipeline() {
   for (auto& sp : shards_) sp->worker.join();
 }
 
-void ShardPipeline::push_blocking(Shard& shard, const wire::Event& event) {
-  if (shard.ring.try_push(event)) return;
-  // Ring full: the worker is behind.  Park until it makes room; the
-  // worker notifies after every pop while producer_waiting is set, and
-  // the timeout guards the notify/wait race without spinning.
-  shard.producer_waiting.store(true, std::memory_order_relaxed);
-  for (;;) {
-    if (shard.ring.try_push(event)) break;
-    std::unique_lock<std::mutex> lock(shard.mutex);
-    shard.cv.wait_for(lock, std::chrono::microseconds(100));
+void ShardPipeline::debug_pause_shard(std::size_t idx, bool paused) {
+  auto& shard = *shards_[idx];
+  shard.paused.store(paused, std::memory_order_release);
+  if (!paused) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cv.notify_all();
   }
-  shard.producer_waiting.store(false, std::memory_order_relaxed);
 }
 
-void ShardPipeline::submit(const wire::Event& event) {
-  auto& shard = *shards_[latency_->shard_of(event.api)];
-  push_blocking(shard, event);
-  ++shard.submitted;
-  // Wake the worker if it parked on an empty ring.  The fence pairs with
-  // the one in worker_loop: either this thread observes worker_idle and
-  // notifies, or the worker observes the pushed element and never sleeps —
-  // the store-buffering outcome where both miss is excluded.
+void ShardPipeline::wake(Shard& shard) {
+  // Fence pairs with the one in worker_loop: either this thread observes
+  // worker_idle and notifies, or the worker observes the pushed element and
+  // never sleeps — the store-buffering outcome where both miss is excluded.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (shard.worker_idle.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -57,25 +64,103 @@ void ShardPipeline::submit(const wire::Event& event) {
   }
 }
 
+bool ShardPipeline::push_blocking(Shard& shard, const wire::Event& event) {
+  if (shard.ring.try_push(event)) return true;
+  // Ring full: the worker is behind.  Park until it makes room; the
+  // worker notifies after every pop while producer_waiting is set, and
+  // the timeout guards the notify/wait race without spinning.
+  shard.producer_waiting.store(true, std::memory_order_relaxed);
+  const bool watchdog = resilience_.watchdog_ms > 0.0;
+  const auto grace = watchdog_duration(resilience_.watchdog_ms);
+  auto last_consumed = shard.consumed.load(std::memory_order_acquire);
+  auto deadline = Clock::now() + grace;
+  bool pushed = false;
+  for (;;) {
+    if (shard.ring.try_push(event)) {
+      pushed = true;
+      break;
+    }
+    if (watchdog) {
+      const auto consumed = shard.consumed.load(std::memory_order_acquire);
+      if (consumed != last_consumed) {
+        // Slow but alive: progress resets the clock, so the watchdog only
+        // ever fires on a genuinely wedged worker.
+        last_consumed = consumed;
+        deadline = Clock::now() + grace;
+      } else if (Clock::now() >= deadline) {
+        ++watchdog_trips_;
+        ++overflow_dropped_;  // the event never enters the ring
+        break;
+      }
+    }
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait_for(lock, std::chrono::microseconds(100));
+  }
+  shard.producer_waiting.store(false, std::memory_order_relaxed);
+  return pushed;
+}
+
+void ShardPipeline::enqueue_drop_oldest(std::size_t shard_idx,
+                                        const wire::Event& event) {
+  auto& shard = *shards_[shard_idx];
+  auto& spill = spill_[shard_idx];
+  // FIFO order per shard is part of the determinism contract, so waiting
+  // spill always enters the ring ahead of the new event.
+  while (!spill.empty() && shard.ring.try_push(spill.front())) {
+    spill.pop_front();
+    ++shard.submitted;
+  }
+  if (spill.empty() && shard.ring.try_push(event)) {
+    ++shard.submitted;
+    return;
+  }
+  spill.push_back(event);
+  if (spill.size() > spill_capacity_) {
+    // Ring and spill both full: shed the *oldest* waiting event — its
+    // detection value decays fastest — and account the gap.
+    spill.pop_front();
+    ++overflow_dropped_;
+  }
+}
+
+void ShardPipeline::submit(const wire::Event& event) {
+  const auto si = latency_->shard_of(event.api);
+  auto& shard = *shards_[si];
+  if (resilience_.overflow_policy == OverflowPolicy::DropOldestWithAccounting) {
+    enqueue_drop_oldest(si, event);
+  } else if (push_blocking(shard, event)) {
+    ++shard.submitted;
+  }
+  wake(shard);
+}
+
 void ShardPipeline::submit_batch(std::span<const wire::Event> events) {
   if (events.empty()) return;
   if (touched_.size() != shards_.size()) touched_.assign(shards_.size(), 0);
   bool any_touched = false;
+  const bool drop_oldest =
+      resilience_.overflow_policy == OverflowPolicy::DropOldestWithAccounting;
   for (const auto& event : events) {
     const auto si = latency_->shard_of(event.api);
     auto& shard = *shards_[si];
-    if (!shard.ring.try_push(event)) {
-      // This ring is full, so we are about to block on its worker.  First
-      // publish and wake everything pushed so far: a worker parked before
-      // this batch would otherwise sleep on pending work while we wait
-      // here, and the full ring's own worker may have been parked too.
-      if (any_touched) {
-        flush_wakes();
-        any_touched = false;
+    if (drop_oldest) {
+      enqueue_drop_oldest(si, event);
+    } else {
+      bool entered = shard.ring.try_push(event);
+      if (!entered) {
+        // This ring is full, so we are about to block on its worker.  First
+        // publish and wake everything pushed so far: a worker parked before
+        // this batch would otherwise sleep on pending work while we wait
+        // here, and the full ring's own worker may have been parked too.
+        if (any_touched) {
+          flush_wakes();
+          any_touched = false;
+        }
+        entered = push_blocking(shard, event);
       }
-      push_blocking(shard, event);
+      if (!entered) continue;  // watchdog drop, already accounted
+      ++shard.submitted;
     }
-    ++shard.submitted;
     if (!touched_[si]) {
       touched_[si] = 1;
       any_touched = true;
@@ -106,6 +191,14 @@ void ShardPipeline::worker_loop(std::size_t shard_idx) {
   auto& tracker = latency_->shard(shard_idx);
   wire::Event event;
   for (;;) {
+    if (shard.paused.load(std::memory_order_acquire)) {
+      // Test-hook wedge: consume nothing, but keep servicing shutdown so
+      // the destructor's join can't hang on a paused shard.
+      std::unique_lock<std::mutex> lock(shard.mutex);
+      if (shard.stop) return;
+      shard.cv.wait_for(lock, std::chrono::microseconds(100));
+      continue;
+    }
     if (shard.ring.try_pop(event)) {
       if (shard.producer_waiting.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lock(shard.mutex);
@@ -143,21 +236,84 @@ void ShardPipeline::worker_loop(std::size_t shard_idx) {
     shard.worker_idle.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     shard.cv.notify_all();
-    shard.cv.wait(lock, [&] { return shard.stop || !shard.ring.empty(); });
+    shard.cv.wait(lock, [&] {
+      return shard.stop || shard.paused.load(std::memory_order_relaxed) ||
+             !shard.ring.empty();
+    });
     shard.worker_idle.store(false, std::memory_order_relaxed);
     if (shard.stop && shard.ring.empty()) return;
   }
 }
 
+void ShardPipeline::flush_spill(std::size_t shard_idx) {
+  auto& shard = *shards_[shard_idx];
+  auto& spill = spill_[shard_idx];
+  if (spill.empty()) return;
+  const bool watchdog = resilience_.watchdog_ms > 0.0;
+  const auto grace = watchdog_duration(resilience_.watchdog_ms);
+  auto last_consumed = shard.consumed.load(std::memory_order_acquire);
+  auto deadline = Clock::now() + grace;
+  shard.producer_waiting.store(true, std::memory_order_relaxed);
+  for (;;) {
+    bool pushed_any = false;
+    while (!spill.empty() && shard.ring.try_push(spill.front())) {
+      spill.pop_front();
+      ++shard.submitted;
+      pushed_any = true;
+    }
+    if (pushed_any) wake(shard);
+    if (spill.empty()) break;
+    if (watchdog) {
+      const auto consumed = shard.consumed.load(std::memory_order_acquire);
+      if (consumed != last_consumed) {
+        last_consumed = consumed;
+        deadline = Clock::now() + grace;
+      } else if (Clock::now() >= deadline) {
+        // Wedged worker mid-drain: shed the rest of the backlog with
+        // accounting rather than hold the snapshot thread hostage.
+        ++watchdog_trips_;
+        overflow_dropped_ += spill.size();
+        spill.clear();
+        break;
+      }
+    }
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    shard.cv.wait_for(lock, std::chrono::microseconds(100));
+  }
+  shard.producer_waiting.store(false, std::memory_order_relaxed);
+}
+
 void ShardPipeline::drain(std::vector<ShardTrigger>* out) {
   const auto base = static_cast<std::ptrdiff_t>(out->size());
-  for (auto& sp : shards_) {
-    auto& shard = *sp;
+  const bool watchdog = resilience_.watchdog_ms > 0.0;
+  const auto grace = watchdog_duration(resilience_.watchdog_ms);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    flush_spill(i);
+    auto& shard = *shards_[i];
     std::unique_lock<std::mutex> lock(shard.mutex);
-    shard.cv.wait(lock, [&] {
-      return shard.consumed.load(std::memory_order_acquire) ==
-             shard.submitted;
-    });
+    if (!watchdog) {
+      shard.cv.wait(lock, [&] {
+        return shard.consumed.load(std::memory_order_acquire) ==
+               shard.submitted;
+      });
+    } else {
+      auto last_consumed = shard.consumed.load(std::memory_order_acquire);
+      auto deadline = Clock::now() + grace;
+      while (shard.consumed.load(std::memory_order_acquire) !=
+             shard.submitted) {
+        shard.cv.wait_for(lock, std::chrono::microseconds(100));
+        const auto consumed = shard.consumed.load(std::memory_order_acquire);
+        if (consumed != last_consumed) {
+          last_consumed = consumed;
+          deadline = Clock::now() + grace;
+        } else if (Clock::now() >= deadline) {
+          // Abandon the join: collect what this shard produced so far and
+          // let a later drain pick up the stragglers if the worker revives.
+          ++watchdog_trips_;
+          break;
+        }
+      }
+    }
     out->insert(out->end(),
                 std::make_move_iterator(shard.triggers.begin()),
                 std::make_move_iterator(shard.triggers.end()));

@@ -21,6 +21,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,11 +30,25 @@
 #include <vector>
 
 #include "detect/shard_set.h"
+#include "gretel/config.h"
 #include "gretel/report.h"
 #include "util/ring_buffer.h"
 #include "wire/message.h"
 
 namespace gretel::core {
+
+// Degraded-mode behavior of the pipeline (all defaults preserve the exact
+// legacy semantics: lossless backpressure, unbounded waits).
+struct ResilienceOptions {
+  OverflowPolicy overflow_policy = OverflowPolicy::Block;
+  // Coordinator-side spill queue bound per shard, in events, used by
+  // DropOldestWithAccounting before anything is dropped.  0 → ring capacity.
+  std::size_t spill_capacity = 0;
+  // Stall watchdog: milliseconds of *no worker progress* (consumed count
+  // unchanged) after which a blocked submit drops the event with accounting
+  // and a blocked drain abandons the join.  0 → unbounded waits.
+  double watchdog_ms = 0.0;
+};
 
 // A trigger candidate discovered by a shard worker.  Suppression and
 // snapshotting stay with the coordinator so their outcome is independent of
@@ -50,7 +65,8 @@ class ShardPipeline {
  public:
   // `latency` must outlive the pipeline and hold one tracker per shard;
   // shard i's worker is the sole writer of latency->shard(i).
-  ShardPipeline(detect::LatencyShardSet* latency, std::size_t ring_capacity);
+  ShardPipeline(detect::LatencyShardSet* latency, std::size_t ring_capacity,
+                ResilienceOptions resilience = {});
   ~ShardPipeline();
 
   ShardPipeline(const ShardPipeline&) = delete;
@@ -81,6 +97,19 @@ class ShardPipeline {
 
   std::size_t num_shards() const { return shards_.size(); }
 
+  // Degraded-mode accounting (coordinator thread only, like submit/drain).
+  // Events lost to DropOldestWithAccounting or a watchdog-abandoned submit;
+  // each is a detection gap the caller should fold into its loss annotation.
+  std::uint64_t overflow_dropped() const { return overflow_dropped_; }
+  // Times the stall watchdog fired (submit drop, spill abandon, or drain
+  // abandon).
+  std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+
+  // Test hook: wedge / un-wedge shard `idx`'s worker (it stops consuming
+  // but keeps servicing shutdown).  Exercises the overflow and watchdog
+  // paths without relying on scheduler luck.
+  void debug_pause_shard(std::size_t idx, bool paused);
+
  private:
   struct Shard {
     explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
@@ -96,21 +125,43 @@ class ShardPipeline {
     std::atomic<std::uint64_t> consumed{0};   // worker-side pop count
     std::atomic<bool> producer_waiting{false};
     std::atomic<bool> worker_idle{false};
+    std::atomic<bool> paused{false};          // debug_pause_shard test hook
 
     std::thread worker;
   };
 
   void worker_loop(std::size_t shard_idx);
-  // Blocks until the shard's ring accepts `event`; the caller still owns
-  // the submitted count and the wake-up publication.
-  void push_blocking(Shard& shard, const wire::Event& event);
+  // Blocks until the shard's ring accepts `event` — or, with the watchdog
+  // armed, until the worker makes no progress for watchdog_ms, in which
+  // case the event is dropped with accounting.  Returns whether the event
+  // entered the ring; the caller still owns the submitted count and the
+  // wake-up publication.
+  bool push_blocking(Shard& shard, const wire::Event& event);
+  // DropOldestWithAccounting admission: drains waiting spill into freed
+  // ring slots (oldest first), then rings or spills `event`; past the spill
+  // bound the oldest waiting event is dropped and accounted.  Never blocks.
+  // Owns the submitted count for everything it rings.
+  void enqueue_drop_oldest(std::size_t shard_idx, const wire::Event& event);
+  // Pushes a shard's remaining spill into its ring ahead of a drain join,
+  // waiting for worker progress as slots free up (watchdog-bounded).
+  void flush_spill(std::size_t shard_idx);
   // Publishes all pushes since the last call (one seq_cst fence) and wakes
   // every touched shard whose worker parked.  Clears the touched flags.
   void flush_wakes();
+  // Post-push wake for a single shard (fence + parked-worker notify).
+  void wake(Shard& shard);
 
   detect::LatencyShardSet* latency_;
+  ResilienceOptions resilience_;
+  std::size_t spill_capacity_ = 0;  // resolved (0 in options → ring capacity)
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Per-shard overflow spill, oldest in front.  Coordinator-owned: the SPSC
+  // ring cannot be popped from the producer side, so drop-oldest evicts
+  // from here, before events are published to the worker at all.
+  std::vector<std::deque<wire::Event>> spill_;
   std::vector<char> touched_;  // submit_batch scratch: shards pushed to
+  std::uint64_t overflow_dropped_ = 0;
+  std::uint64_t watchdog_trips_ = 0;
 };
 
 }  // namespace gretel::core

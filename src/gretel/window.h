@@ -11,6 +11,7 @@
 // α/2 of the faulty message are available when the snapshot freezes.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -19,13 +20,36 @@
 
 namespace gretel::core {
 
+// What a freeze saw beyond the events themselves: where the center landed,
+// and how degraded the telemetry under the window was.
+struct FreezeInfo {
+  std::size_t center_index = 0;
+  // Telemetry losses (quarantined frames, overflow drops) that occurred
+  // inside the snapshot's span.  Non-zero means the snapshot has gaps the
+  // matcher cannot see, so downstream confidence should be degraded.
+  std::uint64_t losses = 0;
+  // True when ring eviction truncated the requested past half-window.
+  bool clamped_front = false;
+};
+
 class DualBuffer {
  public:
   explicit DualBuffer(std::size_t alpha)
-      : alpha_(alpha), ring_(2 * alpha) {}
+      : alpha_(alpha), ring_(2 * alpha), loss_ring_(2 * alpha) {}
 
   // Appends an event; returns its global sequence number.
-  std::uint64_t push(const wire::Event& event) { return ring_.push(event); }
+  // `cumulative_loss` is the caller's running count of telemetry losses
+  // (decode quarantines + overflow drops) observed *before* this event; it
+  // rides in a parallel ring so a freeze can report how many losses fell
+  // inside its window.  The overload without it reuses the last value.
+  std::uint64_t push(const wire::Event& event) {
+    return push(event, last_loss_);
+  }
+  std::uint64_t push(const wire::Event& event, std::uint64_t cumulative_loss) {
+    last_loss_ = cumulative_loss;
+    loss_ring_.push(cumulative_loss);
+    return ring_.push(event);
+  }
 
   std::size_t alpha() const { return alpha_; }
   std::uint64_t end_seq() const { return ring_.end_seq(); }
@@ -49,7 +73,21 @@ class DualBuffer {
   // `center - first` wrap to a huge index.
   std::vector<wire::Event> freeze(std::uint64_t center,
                                   std::size_t* center_index) const {
-    if (center_index) *center_index = 0;
+    FreezeInfo info;
+    auto snap = freeze(center, &info);
+    if (center_index) *center_index = info.center_index;
+    return snap;
+  }
+  // Disambiguates freeze(center, nullptr) between the two pointer overloads.
+  std::vector<wire::Event> freeze(std::uint64_t center, std::nullptr_t) const {
+    return freeze(center, static_cast<FreezeInfo*>(nullptr));
+  }
+
+  // Same freeze, but also reports the window's telemetry-loss count and
+  // whether eviction clamped the past half (see FreezeInfo).
+  std::vector<wire::Event> freeze(std::uint64_t center,
+                                  FreezeInfo* info) const {
+    if (info) *info = FreezeInfo{};
     if (ring_.first_seq() > center) {
       ++stale_freezes_;
       return {};
@@ -57,10 +95,18 @@ class DualBuffer {
     const auto lo = center > alpha_ / 2 ? center - alpha_ / 2 : 0;
     const auto hi = center + alpha_ / 2;
     auto snap = ring_.snapshot(lo, hi);
-    if (center_index) {
+    if (info) {
       // The snapshot may have been clamped at the front.
       const auto first = std::max(lo, ring_.first_seq());
-      *center_index = static_cast<std::size_t>(center - first);
+      info->center_index = static_cast<std::size_t>(center - first);
+      info->clamped_front = first > lo;
+      if (!snap.empty()) {
+        // The loss ring is pushed in lockstep with the event ring, so the
+        // same sequence numbers are resident in both.  In-window losses are
+        // the cumulative count at the last event minus at the first.
+        const auto last = std::min(hi, ring_.end_seq()) - 1;
+        info->losses = loss_ring_.at(last) - loss_ring_.at(first);
+      }
     }
     return snap;
   }
@@ -72,6 +118,10 @@ class DualBuffer {
  private:
   std::size_t alpha_;
   util::RingBuffer<wire::Event> ring_;
+  // Cumulative telemetry-loss count at each event, same capacity and seq
+  // numbering as ring_.
+  util::RingBuffer<std::uint64_t> loss_ring_;
+  std::uint64_t last_loss_ = 0;
   mutable std::uint64_t stale_freezes_ = 0;
 };
 

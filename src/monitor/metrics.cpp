@@ -2,6 +2,31 @@
 
 namespace gretel::monitor {
 
+std::string PipelineHealthCounters::to_json() const {
+  std::string out = "{";
+  const auto field = [&out](const char* name, std::uint64_t v) {
+    if (out.size() > 1) out += ", ";
+    out += '"';
+    out += name;
+    out += "\": ";
+    out += std::to_string(v);
+  };
+  field("frames_decoded", frames_decoded);
+  field("frames_quarantined", frames_quarantined);
+  field("frames_unknown_api", frames_unknown_api);
+  field("frames_non_monotonic", frames_non_monotonic);
+  field("losses_recorded", losses_recorded);
+  field("overflow_drops", overflow_drops);
+  field("watchdog_trips", watchdog_trips);
+  field("orphans_reaped", orphans_reaped);
+  field("latency_clamped", latency_clamped);
+  field("latency_rejected", latency_rejected);
+  field("stale_freezes", stale_freezes);
+  field("degraded_reports", degraded_reports);
+  out += '}';
+  return out;
+}
+
 void MetricsStore::record(wire::NodeId node, net::ResourceKind kind,
                           double t_seconds, double value) {
   series_[key(node, kind)].add(t_seconds, value);

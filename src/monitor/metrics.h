@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
 
 #include "net/node.h"
@@ -19,6 +20,28 @@
 #include "wire/endpoint.h"
 
 namespace gretel::monitor {
+
+// One flat snapshot of the analyzer's degraded-telemetry counters, suitable
+// for export to an operator dashboard.  Assembled by Analyzer::health();
+// exact totals require a quiescent pipeline (after finish()).
+struct PipelineHealthCounters {
+  // Capture tap.
+  std::uint64_t frames_decoded = 0;
+  std::uint64_t frames_quarantined = 0;     // malformed (decode failures)
+  std::uint64_t frames_unknown_api = 0;
+  std::uint64_t frames_non_monotonic = 0;
+  // Detection pipeline.
+  std::uint64_t losses_recorded = 0;        // quarantines + overflow drops
+  std::uint64_t overflow_drops = 0;
+  std::uint64_t watchdog_trips = 0;
+  std::uint64_t orphans_reaped = 0;
+  std::uint64_t latency_clamped = 0;        // negative gaps clamped to 0
+  std::uint64_t latency_rejected = 0;       // non-finite samples rejected
+  std::uint64_t stale_freezes = 0;
+  std::uint64_t degraded_reports = 0;
+
+  std::string to_json() const;
+};
 
 class MetricsStore {
  public:

@@ -1,5 +1,6 @@
 #include "net/capture.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdint>
 #include <limits>
@@ -123,10 +124,47 @@ CaptureTap::CaptureTap(
       service_by_port_(std::move(service_by_port)),
       arena_(arena_slab_bytes) {}
 
+void CaptureTap::quarantine_record(const WireRecord& record) {
+  QuarantinedFrame q;
+  q.ts = record.ts;
+  q.src_node = record.src_node;
+  q.dst_node = record.dst_node;
+  q.is_amqp = record.is_amqp;
+  q.wire_bytes = static_cast<std::uint32_t>(record.bytes.size());
+  q.prefix = record.bytes.substr(
+      0, std::min(record.bytes.size(), kQuarantinePrefixBytes));
+  if (quarantine_ring_.size() < kQuarantineRingCapacity) {
+    quarantine_ring_.push_back(std::move(q));
+  } else {
+    quarantine_ring_[quarantine_next_] = std::move(q);
+  }
+  quarantine_next_ = (quarantine_next_ + 1) % kQuarantineRingCapacity;
+}
+
+std::vector<QuarantinedFrame> CaptureTap::quarantine() const {
+  if (quarantine_ring_.size() < kQuarantineRingCapacity) {
+    return quarantine_ring_;
+  }
+  std::vector<QuarantinedFrame> out;
+  out.reserve(quarantine_ring_.size());
+  for (std::size_t i = 0; i < quarantine_ring_.size(); ++i) {
+    out.push_back(
+        quarantine_ring_[(quarantine_next_ + i) % kQuarantineRingCapacity]);
+  }
+  return out;
+}
+
 std::optional<wire::Event> CaptureTap::decode(const WireRecord& record) {
   stats_.bytes_seen += record.bytes.size();
+  if (record.ts < last_ts_) {
+    ++stats_.non_monotonic;
+  } else {
+    last_ts_ = record.ts;
+  }
   arena_.reset();  // previous record's parse scratch dies here
+  const auto failures_before = stats_.decode_failures;
   auto event = record.is_amqp ? decode_amqp(record) : decode_rest(record);
+  if (stats_.decode_failures != failures_before) quarantine_record(record);
   if (event) {
     // Transport metadata and ground-truth labels common to both paths.
     event->ts = record.ts;

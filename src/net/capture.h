@@ -57,10 +57,30 @@ std::uint32_t parse_correlation_id(std::optional<std::string_view> value);
 
 struct TapStats {
   std::uint64_t decoded = 0;
+  // Malformed frames (truncated / corrupted / garbage).  Every one is also
+  // quarantined: counted here and sampled into the tap's postmortem ring.
   std::uint64_t decode_failures = 0;
   std::uint64_t unknown_api = 0;
   std::uint64_t bytes_seen = 0;
+  // Frames whose capture timestamp regressed behind an earlier frame's
+  // (clock skew between tapped nodes, or a reordering tap).
+  std::uint64_t non_monotonic = 0;
 };
+
+// Postmortem sample of a malformed frame: enough transport metadata and
+// leading bytes to identify the emitter and failure shape without retaining
+// the whole (possibly large, possibly hostile) payload.
+struct QuarantinedFrame {
+  util::SimTime ts;
+  wire::NodeId src_node;
+  wire::NodeId dst_node;
+  bool is_amqp = false;
+  std::uint32_t wire_bytes = 0;
+  std::string prefix;  // first bytes of the frame (kQuarantinePrefixBytes)
+};
+
+inline constexpr std::size_t kQuarantinePrefixBytes = 48;
+inline constexpr std::size_t kQuarantineRingCapacity = 16;
 
 class CaptureTap {
  public:
@@ -85,6 +105,11 @@ class CaptureTap {
   const TapStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TapStats{}; }
 
+  // Most recent malformed frames (up to kQuarantineRingCapacity), oldest
+  // first.  stats().decode_failures counts every quarantined frame; the
+  // ring keeps a bounded sample for postmortem.
+  std::vector<QuarantinedFrame> quarantine() const;
+
   // Decode scratch introspection (bench / tests).
   const util::Arena& arena() const { return arena_; }
 
@@ -97,8 +122,15 @@ class CaptureTap {
   // Per-TCP-stream last request API, so responses resolve to the same API
   // (Bro pairs them the same way).
   std::unordered_map<std::uint32_t, wire::ApiId> conn_last_api_;
+  void quarantine_record(const WireRecord& record);
+
   util::Arena arena_;  // per-record parse scratch, reset every decode()
   TapStats stats_;
+  util::SimTime last_ts_;
+  // Fixed-capacity quarantine ring: slot i of the latest samples, oldest
+  // overwritten first.
+  std::vector<QuarantinedFrame> quarantine_ring_;
+  std::size_t quarantine_next_ = 0;
 };
 
 }  // namespace gretel::net

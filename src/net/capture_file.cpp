@@ -52,6 +52,53 @@ bool get_u64(std::string_view& in, std::uint64_t& v) {
   return true;
 }
 
+// Decodes one record at the cursor, consuming it on success.  On failure
+// the cursor is partially consumed; callers that keep going must account
+// from a saved copy.
+bool decode_one_record(std::string_view& data, WireRecord& r) {
+  std::uint64_t ts = 0;
+  std::uint8_t src_node = 0;
+  std::uint8_t dst_node = 0;
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t truth_instance = 0;
+  std::uint32_t truth_template = 0;
+  std::uint16_t ident_count = 0;
+  std::uint32_t byte_len = 0;
+
+  if (!get_u64(data, ts) || !get_u8(data, src_node) ||
+      !get_u8(data, dst_node) || !get_u32(data, src_ip) ||
+      !get_u16(data, r.src.port) || !get_u32(data, dst_ip) ||
+      !get_u16(data, r.dst.port) || !get_u32(data, r.conn_id) ||
+      !get_u8(data, flags) || !get_u32(data, truth_instance) ||
+      !get_u32(data, truth_template) || !get_u16(data, ident_count)) {
+    return false;
+  }
+  r.ts = util::SimTime(static_cast<std::int64_t>(ts));
+  r.src_node = wire::NodeId(src_node);
+  r.dst_node = wire::NodeId(dst_node);
+  r.src.ip = wire::Ipv4(src_ip);
+  r.dst.ip = wire::Ipv4(dst_ip);
+  r.is_amqp = (flags & 1) != 0;
+  r.truth_noise = (flags & 2) != 0;
+  if (truth_instance != kNoTruth)
+    r.truth_instance = wire::OpInstanceId(truth_instance);
+  if (truth_template != kNoTruth)
+    r.truth_template = wire::OpTemplateId(truth_template);
+
+  r.identifiers.reserve(ident_count);
+  for (std::uint16_t k = 0; k < ident_count; ++k) {
+    std::uint32_t ident = 0;
+    if (!get_u32(data, ident)) return false;
+    r.identifiers.push_back(ident);
+  }
+  if (!get_u32(data, byte_len) || data.size() < byte_len) return false;
+  r.bytes = std::string(data.substr(0, byte_len));
+  data.remove_prefix(byte_len);
+  return true;
+}
+
 }  // namespace
 
 std::string encode_capture(std::span<const WireRecord> records) {
@@ -98,50 +145,47 @@ std::optional<std::vector<WireRecord>> decode_capture(std::string_view data) {
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     WireRecord r;
-    std::uint64_t ts = 0;
-    std::uint8_t src_node = 0;
-    std::uint8_t dst_node = 0;
-    std::uint32_t src_ip = 0;
-    std::uint32_t dst_ip = 0;
-    std::uint8_t flags = 0;
-    std::uint32_t truth_instance = 0;
-    std::uint32_t truth_template = 0;
-    std::uint16_t ident_count = 0;
-    std::uint32_t byte_len = 0;
-
-    if (!get_u64(data, ts) || !get_u8(data, src_node) ||
-        !get_u8(data, dst_node) || !get_u32(data, src_ip) ||
-        !get_u16(data, r.src.port) || !get_u32(data, dst_ip) ||
-        !get_u16(data, r.dst.port) || !get_u32(data, r.conn_id) ||
-        !get_u8(data, flags) || !get_u32(data, truth_instance) ||
-        !get_u32(data, truth_template) || !get_u16(data, ident_count)) {
-      return std::nullopt;
-    }
-    r.ts = util::SimTime(static_cast<std::int64_t>(ts));
-    r.src_node = wire::NodeId(src_node);
-    r.dst_node = wire::NodeId(dst_node);
-    r.src.ip = wire::Ipv4(src_ip);
-    r.dst.ip = wire::Ipv4(dst_ip);
-    r.is_amqp = (flags & 1) != 0;
-    r.truth_noise = (flags & 2) != 0;
-    if (truth_instance != kNoTruth)
-      r.truth_instance = wire::OpInstanceId(truth_instance);
-    if (truth_template != kNoTruth)
-      r.truth_template = wire::OpTemplateId(truth_template);
-
-    r.identifiers.reserve(ident_count);
-    for (std::uint16_t k = 0; k < ident_count; ++k) {
-      std::uint32_t ident = 0;
-      if (!get_u32(data, ident)) return std::nullopt;
-      r.identifiers.push_back(ident);
-    }
-    if (!get_u32(data, byte_len) || data.size() < byte_len)
-      return std::nullopt;
-    r.bytes = std::string(data.substr(0, byte_len));
-    data.remove_prefix(byte_len);
+    if (!decode_one_record(data, r)) return std::nullopt;
     out.push_back(std::move(r));
   }
   if (!data.empty()) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+LenientCapture decode_capture_lenient(std::string_view data) {
+  LenientCapture out;
+  if (!data.starts_with(kMagic)) {
+    // Wrong format entirely: nothing salvageable.
+    out.error_count = 1;
+    out.bytes_discarded = data.size();
+    out.truncated = true;
+    return out;
+  }
+  data.remove_prefix(kMagic.size());
+
+  std::uint32_t count = 0;
+  if (!get_u32(data, count)) {
+    out.bytes_discarded = data.size();
+    out.truncated = true;
+    return out;
+  }
+
+  out.records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto before = data;
+    WireRecord r;
+    if (!decode_one_record(data, r)) {
+      // Cut mid-record: everything from the last clean boundary is lost,
+      // along with every record the header still promised.
+      out.error_count = count - i;
+      out.bytes_discarded = before.size();
+      out.truncated = true;
+      return out;
+    }
+    out.records.push_back(std::move(r));
+  }
+  // Full count decoded; any tail is garbage appended after the capture.
+  out.bytes_discarded = data.size();
   return out;
 }
 
@@ -154,8 +198,9 @@ bool write_capture_file(const std::string& path,
   return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
 }
 
-std::optional<std::vector<WireRecord>> read_capture_file(
-    const std::string& path) {
+namespace {
+
+std::optional<std::string> slurp(const std::string& path) {
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
       std::fopen(path.c_str(), "rb"), &std::fclose);
   if (!f) return std::nullopt;
@@ -165,7 +210,23 @@ std::optional<std::vector<WireRecord>> read_capture_file(
   while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
     data.append(buf, n);
   }
-  return decode_capture(data);
+  return data;
+}
+
+}  // namespace
+
+std::optional<std::vector<WireRecord>> read_capture_file(
+    const std::string& path) {
+  const auto data = slurp(path);
+  if (!data) return std::nullopt;
+  return decode_capture(*data);
+}
+
+std::optional<LenientCapture> read_capture_file_lenient(
+    const std::string& path) {
+  const auto data = slurp(path);
+  if (!data) return std::nullopt;
+  return decode_capture_lenient(*data);
 }
 
 }  // namespace gretel::net

@@ -35,10 +35,34 @@ std::string encode_capture(std::span<const WireRecord> records);
 // Strict: nullopt on bad magic, truncation, or trailing garbage.
 std::optional<std::vector<WireRecord>> decode_capture(std::string_view data);
 
+// Result of a lenient decode: every record that parsed cleanly before the
+// first defect, plus an accounting of what was lost.  A capture cut short
+// by a crashed recorder or a partial copy still yields its salvageable
+// prefix instead of nothing.
+struct LenientCapture {
+  std::vector<WireRecord> records;
+  // Declared records that could not be decoded (header truncated mid-record
+  // or the declared count exceeded what the stream held).
+  std::uint64_t error_count = 0;
+  // Bytes abandoned after the last cleanly decoded record (partial record,
+  // or trailing garbage past the declared count).
+  std::uint64_t bytes_discarded = 0;
+  // True when the stream ended before the declared record count.
+  bool truncated = false;
+};
+
+// Lenient: never fails — decodes the longest clean prefix and accounts the
+// rest.  Byte-identical records to decode_capture on well-formed input
+// (error_count == 0, truncated == false).
+LenientCapture decode_capture_lenient(std::string_view data);
+
 // File convenience wrappers; false / nullopt on I/O failure.
 bool write_capture_file(const std::string& path,
                         std::span<const WireRecord> records);
 std::optional<std::vector<WireRecord>> read_capture_file(
+    const std::string& path);
+// Lenient file read: nullopt only when the file cannot be opened.
+std::optional<LenientCapture> read_capture_file_lenient(
     const std::string& path);
 
 }  // namespace gretel::net

@@ -1,0 +1,229 @@
+#include "net/chaos.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace gretel::net {
+
+const char* to_string(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::Drop: return "drop";
+    case ChaosAction::BurstDrop: return "burst_drop";
+    case ChaosAction::Truncate: return "truncate";
+    case ChaosAction::Corrupt: return "corrupt";
+    case ChaosAction::Duplicate: return "duplicate";
+    case ChaosAction::Reorder: return "reorder";
+    case ChaosAction::ClockSkew: return "clock_skew";
+    case ChaosAction::Stall: return "stall";
+    case ChaosAction::StallDrop: return "stall_drop";
+  }
+  return "unknown";
+}
+
+ChaosTap::ChaosTap(ChaosConfig config, Sink sink)
+    : config_(config), sink_(std::move(sink)), rng_(config.seed) {}
+
+std::int64_t ChaosTap::skew_for(wire::NodeId node,
+                                std::uint64_t input_index) {
+  const auto it = node_skew_ns_.find(node.value());
+  if (it != node_skew_ns_.end()) return it->second;
+  // Derived from (seed, node) alone so the offset does not depend on the
+  // order nodes first appear in the stream.
+  util::Rng node_rng(config_.seed ^
+                     (0x9E3779B97F4A7C15ull * (node.value() + 1ull)));
+  const auto max_ns =
+      static_cast<std::int64_t>(std::llround(config_.clock_skew_max_ms * 1e6));
+  const std::int64_t skew =
+      max_ns > 0 ? node_rng.next_in(-max_ns, max_ns) : 0;
+  node_skew_ns_.emplace(node.value(), skew);
+  audit_.push_back({input_index, ChaosAction::ClockSkew, skew});
+  return skew;
+}
+
+void ChaosTap::emit(const WireRecord& record) {
+  ++stats_.records_out;
+  sink_(record);
+}
+
+void ChaosTap::flush_stall() {
+  while (!stall_buffer_.empty()) {
+    emit(stall_buffer_.front().first);
+    stall_buffer_.pop_front();
+  }
+}
+
+void ChaosTap::deliver(WireRecord record, std::uint64_t input_index) {
+  if (stall_remaining_ == 0) {
+    emit(record);
+    return;
+  }
+  stall_buffer_.emplace_back(std::move(record), input_index);
+  if (stall_buffer_.size() > std::max<std::size_t>(1, config_.stall_buffer)) {
+    audit_.push_back(
+        {stall_buffer_.front().second, ChaosAction::StallDrop, 0});
+    ++stats_.dropped_stall;
+    stall_buffer_.pop_front();
+  }
+}
+
+void ChaosTap::release_held() {
+  // One delivery elapsed: tick every held frame and release the expired
+  // ones in insertion order.  Released frames still route through the
+  // stall buffer but do not tick the pen again.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < held_.size(); ++i) {
+    if (--held_[i].remaining == 0) {
+      deliver(std::move(held_[i].record), held_[i].input_index);
+    } else {
+      if (w != i) held_[w] = std::move(held_[i]);
+      ++w;
+    }
+  }
+  held_.resize(w);
+}
+
+void ChaosTap::on_record(const WireRecord& record) {
+  const std::uint64_t idx = index_++;
+  ++stats_.records_in;
+  if (!config_.enabled()) {
+    // Strict no-op: the RNG is never consulted, the frame never copied
+    // through any degradation stage.
+    emit(record);
+    return;
+  }
+
+  // Every frame consumes the same fixed sequence of draws, whatever happens
+  // to it.  Each decision is one uniform compared against its rate, so for
+  // a fixed seed the affected set at rate r is a subset of the affected set
+  // at any higher rate (monotone degradation sweeps), and dropping a frame
+  // never perturbs the fate of later frames.
+  const double u_burst = rng_.next_double();
+  const double u_drop = rng_.next_double();
+  const double u_trunc = rng_.next_double();
+  const std::uint64_t r_cut = rng_.next_u64();
+  const double u_corr = rng_.next_double();
+  const std::uint64_t r_pos = rng_.next_u64();
+  const std::uint64_t r_mask = rng_.next_u64();
+  const double u_dup = rng_.next_double();
+  const double u_reorder = rng_.next_double();
+  const std::uint64_t r_dist = rng_.next_u64();
+  const double u_stall = rng_.next_double();
+
+  WireRecord rec = record;
+  if (config_.clock_skew_max_ms > 0) {
+    const auto skew = skew_for(rec.src_node, idx);
+    if (skew != 0) {
+      rec.ts += util::SimDuration(skew);
+      ++stats_.skewed;
+    }
+  }
+
+  // Loss stages first: a dropped frame is gone before damage or delivery
+  // faults could apply.
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    audit_.push_back({idx, ChaosAction::BurstDrop, 0});
+    ++stats_.dropped_burst;
+    return;
+  }
+  if (config_.burst_rate > 0 && u_burst < config_.burst_rate) {
+    burst_remaining_ = std::max<std::size_t>(1, config_.burst_length) - 1;
+    audit_.push_back({idx, ChaosAction::BurstDrop,
+                      static_cast<std::int64_t>(config_.burst_length)});
+    ++stats_.dropped_burst;
+    return;
+  }
+  if (config_.drop_rate > 0 && u_drop < config_.drop_rate) {
+    audit_.push_back({idx, ChaosAction::Drop, 0});
+    ++stats_.dropped_uniform;
+    return;
+  }
+
+  // Damage stages.
+  if (config_.truncate_rate > 0 && u_trunc < config_.truncate_rate &&
+      rec.bytes.size() >= 2) {
+    const auto keep = 1 + static_cast<std::size_t>(
+                              r_cut % (rec.bytes.size() - 1));
+    rec.bytes.resize(keep);
+    audit_.push_back({idx, ChaosAction::Truncate,
+                      static_cast<std::int64_t>(keep)});
+    ++stats_.truncated;
+  }
+  if (config_.corrupt_rate > 0 && u_corr < config_.corrupt_rate &&
+      !rec.bytes.empty()) {
+    const auto pos = static_cast<std::size_t>(r_pos % rec.bytes.size());
+    rec.bytes[pos] = static_cast<char>(
+        static_cast<unsigned char>(rec.bytes[pos]) ^
+        static_cast<unsigned char>(1 + r_mask % 255));
+    audit_.push_back({idx, ChaosAction::Corrupt,
+                      static_cast<std::int64_t>(pos)});
+    ++stats_.corrupted;
+  }
+
+  // A stall that begins with this frame swallows it into the buffer too.
+  if (stall_remaining_ == 0 && config_.stall_rate > 0 &&
+      u_stall < config_.stall_rate) {
+    stall_remaining_ = std::max<std::size_t>(1, config_.stall_length);
+    audit_.push_back({idx, ChaosAction::Stall,
+                      static_cast<std::int64_t>(stall_remaining_)});
+    ++stats_.stalls;
+  }
+
+  // Delivery faults.  A reordered frame enters the holding pen instead of
+  // delivering now; duplication applies only to frames delivered in place.
+  if (config_.reorder_rate > 0 && config_.reorder_max_distance > 0 &&
+      u_reorder < config_.reorder_rate) {
+    const auto dist =
+        1 + static_cast<std::size_t>(r_dist % config_.reorder_max_distance);
+    audit_.push_back({idx, ChaosAction::Reorder,
+                      static_cast<std::int64_t>(dist)});
+    ++stats_.reordered;
+    held_.push_back({std::move(rec), dist, idx});
+    if (stall_remaining_ > 0) --stall_remaining_;
+    if (stall_remaining_ == 0) flush_stall();
+    return;
+  }
+
+  const bool dup = config_.duplicate_rate > 0 && u_dup < config_.duplicate_rate;
+  if (dup) {
+    audit_.push_back({idx, ChaosAction::Duplicate, 0});
+    ++stats_.duplicated;
+  }
+  deliver(rec, idx);
+  if (dup) deliver(rec, idx);
+  release_held();
+
+  if (stall_remaining_ > 0) {
+    --stall_remaining_;
+    if (stall_remaining_ == 0) flush_stall();
+  }
+}
+
+void ChaosTap::finish() {
+  stall_remaining_ = 0;
+  flush_stall();
+  // Remaining held frames flush in the order they would have been released.
+  std::stable_sort(held_.begin(), held_.end(),
+                   [](const Held& a, const Held& b) {
+                     return a.remaining < b.remaining;
+                   });
+  for (auto& h : held_) emit(h.record);
+  held_.clear();
+}
+
+std::vector<WireRecord> ChaosTap::apply(const ChaosConfig& config,
+                                        std::span<const WireRecord> records,
+                                        ChaosStats* stats,
+                                        std::vector<ChaosInjection>* audit) {
+  std::vector<WireRecord> out;
+  out.reserve(records.size());
+  ChaosTap tap(config, [&out](const WireRecord& r) { out.push_back(r); });
+  for (const auto& r : records) tap.on_record(r);
+  tap.finish();
+  if (stats) *stats = tap.stats();
+  if (audit) *audit = tap.audit();
+  return out;
+}
+
+}  // namespace gretel::net

@@ -147,5 +147,79 @@ TEST(LatencyTracker, AlarmOnSustainedLatencyShift) {
   EXPECT_EQ(alarm->alarm.direction, ShiftDirection::Up);
 }
 
+TEST(LatencyTracker, NegativeGapClampedNotPoisoned) {
+  auto tracker = fast_tracker();
+  const ApiId api(7);
+  // Capture clock skew: the response's tap timestamp regressed behind the
+  // request's.  The exchange is real — keep the sample, clamp the gap.
+  tracker.observe(rest_event(api, Direction::Request, 1,
+                             SimTime::epoch() + SimDuration::millis(10)));
+  tracker.observe(rest_event(api, Direction::Response, 1,
+                             SimTime::epoch() + SimDuration::millis(2)));
+  const auto* series = tracker.series(api);
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_NEAR(series->points()[0].value, 0.0, 1e-9);
+  EXPECT_EQ(tracker.guard_stats().clamped_negative, 1u);
+  EXPECT_EQ(tracker.samples(), 1u);
+}
+
+TEST(LatencyTracker, LateResponseRejectedAtPairingTime) {
+  auto tracker = fast_tracker();
+  tracker.set_orphan_timeout_seconds(1.0);
+  const ApiId api(8);
+  tracker.observe(rest_event(api, Direction::Request, 1, SimTime(0)));
+  // The response limps in two seconds later: past the orphan deadline, so
+  // the latency reflects the degraded tap, not the service.
+  const auto alarm = tracker.observe(rest_event(
+      api, Direction::Response, 1,
+      SimTime::epoch() + SimDuration::seconds(2)));
+  EXPECT_FALSE(alarm.has_value());
+  EXPECT_EQ(tracker.samples(), 0u);
+  EXPECT_EQ(tracker.series(api), nullptr);
+  EXPECT_EQ(tracker.guard_stats().orphans_reaped, 1u);
+  EXPECT_EQ(tracker.pending(), 0u);  // the pending slot is reclaimed either way
+}
+
+TEST(LatencyTracker, OnTimeResponseAdmittedUnderTimeout) {
+  auto tracker = fast_tracker();
+  tracker.set_orphan_timeout_seconds(1.0);
+  const ApiId api(9);
+  tracker.observe(rest_event(api, Direction::Request, 1, SimTime(0)));
+  tracker.observe(rest_event(api, Direction::Response, 1,
+                             SimTime::epoch() + SimDuration::millis(500)));
+  EXPECT_EQ(tracker.samples(), 1u);
+  EXPECT_EQ(tracker.guard_stats().orphans_reaped, 0u);
+}
+
+TEST(LatencyTracker, SweepReclaimsStalePendingRequests) {
+  auto tracker = fast_tracker();
+  tracker.set_orphan_timeout_seconds(0.5);
+  const ApiId api(10);
+  // One request whose response was lost by the tap...
+  tracker.observe(rest_event(api, Direction::Request, 1, SimTime(0)));
+  // ...followed by enough traffic (one sweep stride) much later.  The sweep
+  // reclaims the stale slot; the recent requests stay pending.
+  for (std::uint32_t i = 0; i < 63; ++i) {
+    tracker.observe(rest_event(
+        api, Direction::Request, 100 + i,
+        SimTime::epoch() + SimDuration::seconds(10) +
+            SimDuration::millis(i)));
+  }
+  EXPECT_EQ(tracker.guard_stats().orphans_reaped, 1u);
+  EXPECT_EQ(tracker.pending(), 63u);
+}
+
+TEST(LatencyTracker, TimeoutZeroKeepsLegacyBehavior) {
+  auto tracker = fast_tracker();  // timeout never armed
+  const ApiId api(11);
+  tracker.observe(rest_event(api, Direction::Request, 1, SimTime(0)));
+  // Arbitrarily late responses still pair when the reaper is off.
+  tracker.observe(rest_event(api, Direction::Response, 1,
+                             SimTime::epoch() + SimDuration::seconds(600)));
+  EXPECT_EQ(tracker.samples(), 1u);
+  EXPECT_EQ(tracker.guard_stats().orphans_reaped, 0u);
+}
+
 }  // namespace
 }  // namespace gretel::detect

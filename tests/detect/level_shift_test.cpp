@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/rng.h"
 
 namespace gretel::detect {
@@ -136,6 +138,37 @@ TEST(LevelShift, ResetForgetsState) {
 TEST(LevelShift, FactoryReturnsWorkingDetector) {
   const auto d = make_level_shift();
   EXPECT_EQ(d->name(), "level-shift");
+}
+
+TEST(LevelShift, RejectsNonFiniteSamples) {
+  LevelShiftDetector d(fast_params());
+  feed_noise(d, 10.0, 0.3, 100, 14);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(d.observe(100, nan).has_value());
+  EXPECT_FALSE(d.observe(101, inf).has_value());
+  EXPECT_FALSE(d.observe(102, -inf).has_value());
+  EXPECT_EQ(d.rejected_nonfinite(), 3u);
+  // The baseline is untouched: the detector stays armed at the old level
+  // and still confirms a genuine shift afterwards.
+  EXPECT_TRUE(d.armed());
+  EXPECT_NEAR(d.level(), 10.0, 0.5);
+  d.observe(103, 25.0);
+  d.observe(104, 25.0);
+  EXPECT_TRUE(d.observe(105, 25.0).has_value());
+}
+
+TEST(LevelShift, NonFiniteBeforeBaselineDoesNotArm) {
+  LevelShiftDetector d(fast_params());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(d.observe(i, nan).has_value());
+  }
+  EXPECT_FALSE(d.armed());  // garbage never counts toward min_baseline
+  EXPECT_EQ(d.rejected_nonfinite(), 20u);
+  // Real samples still arm it normally.
+  EXPECT_EQ(feed_noise(d, 10.0, 0.3, 50, 15, 100.0), 0);
+  EXPECT_TRUE(d.armed());
 }
 
 // Parameterized sweep: sustained shifts well past k·sigma are caught across

@@ -1,0 +1,164 @@
+// ShardPipeline degraded-mode behavior: the DropOldestWithAccounting
+// overflow policy and the stall watchdog.  debug_pause_shard() wedges a
+// worker deterministically, so the overflow paths are exercised without
+// relying on scheduler luck.  (Suite name is in the TSan CI job's filter.)
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/shard_set.h"
+#include "gretel/shard_pipeline.h"
+
+namespace gretel::core {
+namespace {
+
+constexpr std::size_t kRing = 8;
+
+wire::Event request(std::uint64_t seq, wire::ApiId api) {
+  wire::Event e;
+  e.seq = seq;
+  e.ts = util::SimTime(static_cast<std::int64_t>(seq) * 1000000);
+  e.api = api;
+  e.kind = wire::ApiKind::Rest;
+  e.dir = wire::Direction::Request;
+  // Unique connection per request: each survivor stays pending in its
+  // shard's tracker, making delivered counts observable after drain().
+  e.conn_id = static_cast<std::uint32_t>(seq + 1);
+  return e;
+}
+
+// An API owned by shard `target` under `num_shards`.
+wire::ApiId api_on_shard(std::size_t target, std::size_t num_shards) {
+  for (std::uint16_t v = 1; v < 1000; ++v) {
+    if (detect::LatencyShardSet::shard_of(wire::ApiId(v), num_shards) ==
+        target) {
+      return wire::ApiId(v);
+    }
+  }
+  ADD_FAILURE() << "no API hashes onto shard " << target;
+  return wire::ApiId(1);
+}
+
+TEST(ShardOverflow, DefaultBlockPolicyIsLossless) {
+  detect::LatencyShardSet latency(2);
+  ShardPipeline pipeline(&latency, kRing);  // legacy defaults
+
+  // Far more events than ring capacity: backpressure absorbs everything.
+  const std::size_t n = 5000;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pipeline.submit(request(i, wire::ApiId(
+        static_cast<std::uint16_t>(1 + i % 50))));
+  }
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+  EXPECT_EQ(latency.pending(), n);  // every request arrived at its tracker
+}
+
+TEST(ShardOverflow, DropOldestShedsWithExactAccounting) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  resilience.overflow_policy = OverflowPolicy::DropOldestWithAccounting;
+  resilience.spill_capacity = 4;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  const auto target = api_on_shard(0, 2);
+  pipeline.debug_pause_shard(0, true);
+
+  // The wedged shard's ring fills, then the spill fills, then events shed —
+  // and submit() never blocks regardless.
+  const std::size_t n = 200;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pipeline.submit(request(i, target));
+  }
+  EXPECT_GT(pipeline.overflow_dropped(), 0u);
+  // At most ring + spill (+ a couple in flight at pause time) survive the
+  // wedge; everything else must already be accounted as dropped.
+  EXPECT_GE(pipeline.overflow_dropped(), n - (kRing + 4 + 2));
+
+  pipeline.debug_pause_shard(0, false);
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+
+  // Conservation: every submitted event was either delivered to the shard's
+  // tracker or counted dropped.  Nothing vanishes silently.
+  EXPECT_EQ(latency.pending() + pipeline.overflow_dropped(), n);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+}
+
+TEST(ShardOverflow, WatchdogUnblocksWedgedSubmit) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  resilience.watchdog_ms = 25.0;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  const auto target = api_on_shard(1, 2);
+  pipeline.debug_pause_shard(1, true);
+
+  // Fill the ring, then keep submitting: each extra submit blocks until the
+  // watchdog declares the worker stalled and sheds the event.  The loop
+  // finishing at all is the liveness assertion.
+  const std::size_t n = kRing + 3;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pipeline.submit(request(i, target));
+  }
+  EXPECT_GE(pipeline.watchdog_trips(), 3u);
+  EXPECT_GE(pipeline.overflow_dropped(), 3u);
+
+  pipeline.debug_pause_shard(1, false);
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_EQ(latency.pending() + pipeline.overflow_dropped(), n);
+}
+
+TEST(ShardOverflow, WatchdogUnblocksWedgedDrain) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  resilience.watchdog_ms = 25.0;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  const auto target = api_on_shard(0, 2);
+  pipeline.debug_pause_shard(0, true);
+  for (std::uint64_t i = 0; i < 4; ++i) {  // below capacity: submits succeed
+    pipeline.submit(request(i, target));
+  }
+
+  // The worker is wedged, so consumed can never reach submitted; the
+  // watchdog must abandon the join instead of deadlocking the caller.
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_GE(pipeline.watchdog_trips(), 1u);
+
+  // Un-wedge so shutdown drains cleanly.
+  pipeline.debug_pause_shard(0, false);
+  std::vector<ShardTrigger> more;
+  pipeline.drain(&more);
+  EXPECT_EQ(latency.pending(), 4u);
+}
+
+TEST(ShardOverflow, PauseResumeDeliversEverythingUnderBlockPolicy) {
+  detect::LatencyShardSet latency(2);
+  ShardPipeline pipeline(&latency, kRing);
+
+  const auto target = api_on_shard(1, 2);
+  pipeline.debug_pause_shard(1, true);
+  // Stay at ring capacity while wedged: Block policy admits without loss.
+  for (std::uint64_t i = 0; i < kRing; ++i) {
+    pipeline.submit(request(i, target));
+  }
+  pipeline.debug_pause_shard(1, false);
+  for (std::uint64_t i = kRing; i < 64; ++i) {
+    pipeline.submit(request(i, target));
+  }
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+  EXPECT_EQ(latency.pending(), 64u);
+}
+
+}  // namespace
+}  // namespace gretel::core

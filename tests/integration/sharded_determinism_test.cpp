@@ -81,6 +81,8 @@ void expect_identical(const Analyzer& reference, const Analyzer& other,
     EXPECT_EQ(fa.candidates, fb.candidates);
     EXPECT_EQ(fa.window_start, fb.window_start);
     EXPECT_EQ(fa.window_end, fb.window_end);
+    EXPECT_EQ(fa.window_losses, fb.window_losses);
+    EXPECT_EQ(fa.degraded_confidence, fb.degraded_confidence);
     ASSERT_EQ(fa.error_events.size(), fb.error_events.size());
     for (std::size_t j = 0; j < fa.error_events.size(); ++j) {
       EXPECT_EQ(fa.error_events[j].api, fb.error_events[j].api);
@@ -98,6 +100,7 @@ void expect_identical(const Analyzer& reference, const Analyzer& other,
     const auto& ra = a[i].root_cause;
     const auto& rb = b[i].root_cause;
     EXPECT_EQ(ra.expanded_search, rb.expanded_search);
+    EXPECT_EQ(ra.degraded, rb.degraded);
     ASSERT_EQ(ra.causes.size(), rb.causes.size());
     for (std::size_t j = 0; j < ra.causes.size(); ++j) {
       EXPECT_EQ(ra.causes[j].kind, rb.causes[j].kind);

@@ -1,0 +1,156 @@
+// Chaos-injection properties swept across seeds:
+//  * all-zero rates are a byte-identical pass-through (the strict no-op
+//    contract the zero-chaos baseline in the sweep tests builds on), and
+//  * duplicate injection never double-counts an operation match — the
+//    trigger-suppression and subsequence-matching layers absorb re-delivered
+//    frames, so the set of reported faults is invariant under duplication.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gretel/analyzer.h"
+#include "gretel/training.h"
+#include "net/chaos.h"
+#include "tempest/workload.h"
+#include "util/rng.h"
+
+namespace gretel::core {
+namespace {
+
+struct Env {
+  tempest::TempestCatalog catalog = tempest::TempestCatalog::build(71, 0.04);
+  stack::Deployment deployment = stack::Deployment::standard(3);
+  TrainingReport training = learn_fingerprints(catalog, deployment);
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+std::unique_ptr<Analyzer> fresh_analyzer() {
+  Analyzer::Options options;
+  options.config.fp_max = env().training.fp_max;
+  options.config.p_rate = 150.0;
+  options.run_root_cause = false;
+  return std::make_unique<Analyzer>(&env().training.db,
+                                    &env().catalog.apis(),
+                                    &env().deployment, options);
+}
+
+std::vector<net::WireRecord> capture(int tests, int faults,
+                                     std::uint64_t seed) {
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = tests;
+  spec.faults = faults;
+  spec.window = util::SimDuration::seconds(45);
+  spec.seed = seed;
+  const auto w = make_parallel_workload(env().catalog, spec);
+  stack::WorkflowExecutor executor(&env().deployment, &env().catalog.apis(),
+                                   &env().catalog.infra(), seed ^ 0xFEEDull);
+  return executor.execute(w.launches);
+}
+
+// Random wire records with no relation to any catalog: the pass-through
+// property is purely structural and must hold for arbitrary bytes.
+std::vector<net::WireRecord> random_records(std::uint64_t seed,
+                                            std::size_t n) {
+  util::Rng rng(seed);
+  std::vector<net::WireRecord> out;
+  out.reserve(n);
+  std::int64_t ts = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    net::WireRecord r;
+    // Occasionally regress the clock: pass-through must not resequence.
+    ts += rng.next_in(-1000, 100000);
+    r.ts = util::SimTime(ts);
+    r.src_node = wire::NodeId(static_cast<std::uint8_t>(rng.next_in(0, 7)));
+    r.dst_node = wire::NodeId(static_cast<std::uint8_t>(rng.next_in(0, 7)));
+    r.conn_id = static_cast<std::uint32_t>(rng.next_u64());
+    r.is_amqp = rng.next_double() < 0.4;
+    const auto len = static_cast<std::size_t>(rng.next_in(0, 256));
+    r.bytes.reserve(len);
+    for (std::size_t b = 0; b < len; ++b) {
+      r.bytes.push_back(static_cast<char>(rng.next_u64() & 0xFF));
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+class ChaosSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosSeedSweep, ZeroRatesAreByteIdenticalPassThrough) {
+  const auto records = random_records(GetParam() * 977, 300);
+  net::ChaosConfig config;  // every rate zero; seed irrelevant by contract
+  config.seed = GetParam();
+  ASSERT_FALSE(config.enabled());
+
+  net::ChaosStats stats;
+  std::vector<net::ChaosInjection> audit;
+  const auto out = net::ChaosTap::apply(config, records, &stats, &audit);
+
+  ASSERT_EQ(out.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(out[i].ts, records[i].ts);
+    EXPECT_EQ(out[i].src_node, records[i].src_node);
+    EXPECT_EQ(out[i].dst_node, records[i].dst_node);
+    EXPECT_EQ(out[i].conn_id, records[i].conn_id);
+    EXPECT_EQ(out[i].is_amqp, records[i].is_amqp);
+    EXPECT_EQ(out[i].bytes, records[i].bytes);
+  }
+  EXPECT_EQ(stats.records_in, stats.records_out);
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  EXPECT_TRUE(audit.empty());
+}
+
+std::set<std::uint32_t> reported_instances(const Analyzer& analyzer) {
+  std::set<std::uint32_t> reported;
+  for (const auto& d : analyzer.diagnoses()) {
+    for (const auto& ev : d.fault.error_events) {
+      if (ev.truth_instance.valid()) reported.insert(ev.truth_instance.value());
+    }
+  }
+  return reported;
+}
+
+TEST_P(ChaosSeedSweep, DuplicationNeverDoubleCountsAnOperation) {
+  const auto records = capture(15, 2, GetParam() * 131);
+
+  auto clean = fresh_analyzer();
+  for (const auto& r : records) clean->on_wire(r);
+  clean->finish();
+
+  // Re-deliver *every* frame: requests, error responses, RPC casts.  The
+  // duplicate-relay suppression in the detector must keep each fault a
+  // single report, and no operation may be matched twice.
+  net::ChaosConfig config;
+  config.seed = GetParam();
+  config.duplicate_rate = 1.0;
+  net::ChaosStats stats;
+  const auto degraded_records = net::ChaosTap::apply(config, records, &stats);
+  ASSERT_EQ(degraded_records.size(), 2 * records.size());
+
+  auto degraded = fresh_analyzer();
+  for (const auto& r : degraded_records) degraded->on_wire(r);
+  degraded->finish();
+
+  // No telemetry was lost, so nothing is degraded-confidence either.
+  EXPECT_EQ(degraded->detector_stats().operational_reports,
+            clean->detector_stats().operational_reports);
+  EXPECT_EQ(degraded->diagnoses().size(), clean->diagnoses().size());
+  EXPECT_EQ(reported_instances(*degraded), reported_instances(*clean));
+  for (const auto& d : degraded->diagnoses()) {
+    EXPECT_FALSE(d.fault.degraded_confidence);
+    EXPECT_EQ(d.fault.window_losses, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSeedSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+}  // namespace
+}  // namespace gretel::core

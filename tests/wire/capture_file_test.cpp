@@ -103,5 +103,85 @@ TEST(CaptureFile, MissingFileIsNullopt) {
                    .has_value());
 }
 
+TEST(CaptureFile, LenientMatchesStrictOnCleanInput) {
+  const auto records = sample_records();
+  const auto lenient = decode_capture_lenient(encode_capture(records));
+  EXPECT_EQ(lenient.error_count, 0u);
+  EXPECT_EQ(lenient.bytes_discarded, 0u);
+  EXPECT_FALSE(lenient.truncated);
+  ASSERT_EQ(lenient.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(lenient.records[i].bytes, records[i].bytes);
+    EXPECT_EQ(lenient.records[i].ts, records[i].ts);
+  }
+}
+
+TEST(CaptureFile, LenientSalvagesTruncatedPrefix) {
+  const auto records = sample_records();
+  const auto data = encode_capture(records);
+  // Every sampled truncation point: the salvaged records must be a clean
+  // prefix, fully intact, and the accounting must cover what was lost.
+  for (std::size_t len = 12; len < data.size(); len += 5) {
+    SCOPED_TRACE("prefix " + std::to_string(len));
+    const auto lenient = decode_capture_lenient(data.substr(0, len));
+    EXPECT_TRUE(lenient.truncated);
+    ASSERT_LE(lenient.records.size(), records.size());
+    EXPECT_EQ(lenient.error_count,
+              records.size() - lenient.records.size());
+    for (std::size_t i = 0; i < lenient.records.size(); ++i) {
+      EXPECT_EQ(lenient.records[i].bytes, records[i].bytes);
+      EXPECT_EQ(lenient.records[i].identifiers, records[i].identifiers);
+    }
+  }
+  // Cutting just the last byte loses exactly the last record.
+  const auto lenient = decode_capture_lenient(data.substr(0, data.size() - 1));
+  EXPECT_EQ(lenient.records.size(), records.size() - 1);
+  EXPECT_EQ(lenient.error_count, 1u);
+  EXPECT_GT(lenient.bytes_discarded, 0u);
+}
+
+TEST(CaptureFile, LenientCountsTrailingGarbage) {
+  auto data = encode_capture(sample_records());
+  data += "tail-noise";
+  const auto lenient = decode_capture_lenient(data);
+  EXPECT_EQ(lenient.records.size(), sample_records().size());
+  EXPECT_EQ(lenient.error_count, 0u);
+  EXPECT_EQ(lenient.bytes_discarded, 10u);
+  EXPECT_FALSE(lenient.truncated);
+}
+
+TEST(CaptureFile, LenientBadMagicSalvagesNothing) {
+  auto data = encode_capture(sample_records());
+  data[0] = 'X';
+  const auto lenient = decode_capture_lenient(data);
+  EXPECT_TRUE(lenient.records.empty());
+  EXPECT_EQ(lenient.error_count, 1u);
+  EXPECT_EQ(lenient.bytes_discarded, data.size());
+  EXPECT_TRUE(lenient.truncated);
+}
+
+TEST(CaptureFile, LenientFileRead) {
+  const std::string path = "/tmp/gretel_capture_lenient_test.cap";
+  const auto records = sample_records();
+  const auto data = encode_capture(records);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    // Simulate a recorder killed mid-write: half the capture hits disk.
+    std::fwrite(data.data(), 1, data.size() / 2, f);
+    std::fclose(f);
+  }
+  const auto lenient = read_capture_file_lenient(path);
+  ASSERT_TRUE(lenient.has_value());
+  EXPECT_TRUE(lenient->truncated);
+  EXPECT_LT(lenient->records.size(), records.size());
+  EXPECT_EQ(lenient->error_count,
+            records.size() - lenient->records.size());
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      read_capture_file_lenient("/tmp/does-not-exist-gretel.cap").has_value());
+}
+
 }  // namespace
 }  // namespace gretel::net

@@ -1,0 +1,437 @@
+// ChaosTap unit tests: the determinism contract (strict pass-through at
+// zero rates, seed reproducibility, monotone drop nesting) and the exact
+// accounting every injection leaves behind in stats() and audit().
+#include "net/chaos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace gretel::net {
+namespace {
+
+std::vector<WireRecord> make_records(std::size_t n, std::uint8_t nodes = 3) {
+  std::vector<WireRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    WireRecord r;
+    r.ts = util::SimTime(static_cast<std::int64_t>(1000000ULL * (i + 1)));
+    r.src_node = wire::NodeId(static_cast<std::uint8_t>(i % nodes));
+    r.dst_node = wire::NodeId(static_cast<std::uint8_t>((i + 1) % nodes));
+    r.src = {wire::Ipv4(10, 0, 0, static_cast<std::uint8_t>(i % nodes)),
+             static_cast<std::uint16_t>(30000 + i % 997)};
+    r.dst = {wire::Ipv4(10, 0, 0, 99), 9696};
+    r.conn_id = static_cast<std::uint32_t>(i);
+    r.is_amqp = (i % 3) == 0;
+    r.identifiers = {static_cast<std::uint32_t>(5000 + i)};
+    r.bytes = "frame-" + std::to_string(i) + std::string("\x00\x7F\r\n", 4);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+void expect_same_record(const WireRecord& a, const WireRecord& b) {
+  EXPECT_EQ(a.ts, b.ts);
+  EXPECT_EQ(a.src_node, b.src_node);
+  EXPECT_EQ(a.dst_node, b.dst_node);
+  EXPECT_EQ(a.conn_id, b.conn_id);
+  EXPECT_EQ(a.is_amqp, b.is_amqp);
+  EXPECT_EQ(a.identifiers, b.identifiers);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+std::map<ChaosAction, std::uint64_t> audit_histogram(
+    const std::vector<ChaosInjection>& audit) {
+  std::map<ChaosAction, std::uint64_t> h;
+  for (const auto& inj : audit) ++h[inj.action];
+  return h;
+}
+
+TEST(ChaosTap, DisabledIsByteIdenticalPassThrough) {
+  const auto records = make_records(64);
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(ChaosConfig{}, records, &stats, &audit);
+
+  ASSERT_EQ(out.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    expect_same_record(out[i], records[i]);
+  }
+  EXPECT_EQ(stats.records_in, records.size());
+  EXPECT_EQ(stats.records_out, records.size());
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  EXPECT_EQ(stats.truncated, 0u);
+  EXPECT_EQ(stats.corrupted, 0u);
+  EXPECT_EQ(stats.duplicated, 0u);
+  EXPECT_EQ(stats.reordered, 0u);
+  EXPECT_EQ(stats.skewed, 0u);
+  EXPECT_EQ(stats.stalls, 0u);
+  EXPECT_TRUE(audit.empty());
+}
+
+TEST(ChaosTap, SameSeedSameFate) {
+  ChaosConfig config;
+  config.seed = 4242;
+  config.drop_rate = 0.08;
+  config.truncate_rate = 0.05;
+  config.corrupt_rate = 0.05;
+  config.duplicate_rate = 0.04;
+  config.reorder_rate = 0.06;
+  config.clock_skew_max_ms = 20.0;
+  config.stall_rate = 0.01;
+  const auto records = make_records(400);
+
+  std::vector<ChaosInjection> audit_a, audit_b;
+  const auto a = ChaosTap::apply(config, records, nullptr, &audit_a);
+  const auto b = ChaosTap::apply(config, records, nullptr, &audit_b);
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    expect_same_record(a[i], b[i]);
+  }
+  ASSERT_EQ(audit_a.size(), audit_b.size());
+  for (std::size_t i = 0; i < audit_a.size(); ++i) {
+    EXPECT_EQ(audit_a[i].input_index, audit_b[i].input_index);
+    EXPECT_EQ(audit_a[i].action, audit_b[i].action);
+    EXPECT_EQ(audit_a[i].detail, audit_b[i].detail);
+  }
+}
+
+TEST(ChaosTap, UniformDropExactAccounting) {
+  ChaosConfig config;
+  config.seed = 7;
+  config.drop_rate = 0.2;
+  const auto records = make_records(500);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  EXPECT_GT(stats.dropped_uniform, 0u);
+  EXPECT_EQ(stats.records_in, records.size());
+  EXPECT_EQ(stats.records_out, records.size() - stats.dropped_uniform);
+  EXPECT_EQ(out.size(), stats.records_out);
+  EXPECT_EQ(stats.total_dropped(), stats.dropped_uniform);
+  EXPECT_EQ(audit.size(), stats.dropped_uniform);
+
+  // Survivors arrive in order and byte-identical: drop-only chaos yields a
+  // strict subsequence of the input.
+  std::set<std::uint64_t> dropped;
+  for (const auto& inj : audit) {
+    EXPECT_EQ(inj.action, ChaosAction::Drop);
+    dropped.insert(inj.input_index);
+  }
+  std::size_t oi = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (dropped.count(i)) continue;
+    SCOPED_TRACE("input " + std::to_string(i));
+    ASSERT_LT(oi, out.size());
+    expect_same_record(out[oi++], records[i]);
+  }
+  EXPECT_EQ(oi, out.size());
+}
+
+TEST(ChaosTap, DropSetsNestAcrossRates) {
+  // Fixed seed, increasing rate: the affected set must grow monotonically
+  // (each frame's fate is one uniform draw compared against the rate).
+  const auto records = make_records(600);
+  std::set<std::uint64_t> previous;
+  for (const double rate : {0.02, 0.08, 0.25}) {
+    ChaosConfig config;
+    config.seed = 99;
+    config.drop_rate = rate;
+    std::vector<ChaosInjection> audit;
+    ChaosTap::apply(config, records, nullptr, &audit);
+    std::set<std::uint64_t> dropped;
+    for (const auto& inj : audit) dropped.insert(inj.input_index);
+    EXPECT_GT(dropped.size(), previous.size());
+    for (const auto idx : previous) {
+      EXPECT_TRUE(dropped.count(idx))
+          << "frame " << idx << " dropped at lower rate but not at " << rate;
+    }
+    previous = std::move(dropped);
+  }
+}
+
+TEST(ChaosTap, BurstDropsConsecutiveRuns) {
+  ChaosConfig config;
+  config.seed = 11;
+  config.burst_rate = 0.01;
+  config.burst_length = 5;
+  const auto records = make_records(1000);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  ASSERT_GT(stats.dropped_burst, 0u);
+  EXPECT_EQ(out.size(), records.size() - stats.dropped_burst);
+  EXPECT_EQ(audit_histogram(audit)[ChaosAction::BurstDrop],
+            stats.dropped_burst);
+  // Every burst is a run of consecutive indices: an onset entry (detail =
+  // burst_length) followed by continuation entries at index+1, index+2, ...
+  for (std::size_t i = 0; i + 1 < audit.size(); ++i) {
+    if (audit[i + 1].detail == 0) {
+      EXPECT_EQ(audit[i + 1].input_index, audit[i].input_index + 1);
+    }
+  }
+}
+
+TEST(ChaosTap, TruncationKeepsProperPrefix) {
+  ChaosConfig config;
+  config.seed = 13;
+  config.truncate_rate = 1.0;
+  const auto records = make_records(50);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  ASSERT_EQ(out.size(), records.size());
+  EXPECT_EQ(stats.truncated, records.size());
+  ASSERT_EQ(audit.size(), records.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    EXPECT_EQ(audit[i].action, ChaosAction::Truncate);
+    ASSERT_GE(out[i].bytes.size(), 1u);
+    ASSERT_LT(out[i].bytes.size(), records[i].bytes.size());
+    EXPECT_EQ(out[i].bytes,
+              records[i].bytes.substr(0, out[i].bytes.size()));
+    EXPECT_EQ(static_cast<std::size_t>(audit[i].detail),
+              out[i].bytes.size());
+  }
+}
+
+TEST(ChaosTap, CorruptionFlipsExactlyOneByte) {
+  ChaosConfig config;
+  config.seed = 17;
+  config.corrupt_rate = 1.0;
+  const auto records = make_records(50);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  ASSERT_EQ(out.size(), records.size());
+  EXPECT_EQ(stats.corrupted, records.size());
+  ASSERT_EQ(audit.size(), records.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    ASSERT_EQ(out[i].bytes.size(), records[i].bytes.size());
+    std::size_t diffs = 0, diff_at = 0;
+    for (std::size_t p = 0; p < out[i].bytes.size(); ++p) {
+      if (out[i].bytes[p] != records[i].bytes[p]) {
+        ++diffs;
+        diff_at = p;
+      }
+    }
+    EXPECT_EQ(diffs, 1u);
+    EXPECT_EQ(static_cast<std::int64_t>(diff_at), audit[i].detail);
+  }
+}
+
+TEST(ChaosTap, DuplicationDeliversBackToBack) {
+  ChaosConfig config;
+  config.seed = 19;
+  config.duplicate_rate = 1.0;
+  const auto records = make_records(40);
+
+  ChaosStats stats;
+  const auto out = ChaosTap::apply(config, records, &stats);
+
+  EXPECT_EQ(stats.duplicated, records.size());
+  ASSERT_EQ(out.size(), 2 * records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    expect_same_record(out[2 * i], records[i]);
+    expect_same_record(out[2 * i + 1], records[i]);
+  }
+}
+
+TEST(ChaosTap, ReorderIsLossFreePermutation) {
+  ChaosConfig config;
+  config.seed = 23;
+  config.reorder_rate = 0.3;
+  config.reorder_max_distance = 4;
+  const auto records = make_records(300);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  EXPECT_GT(stats.reordered, 0u);
+  EXPECT_EQ(stats.total_dropped(), 0u);
+  ASSERT_EQ(out.size(), records.size());
+  // Nothing lost, nothing damaged: the output is a permutation of the input.
+  std::multiset<std::string> in_bytes, out_bytes;
+  for (const auto& r : records) in_bytes.insert(r.bytes);
+  for (const auto& r : out) out_bytes.insert(r.bytes);
+  EXPECT_EQ(in_bytes, out_bytes);
+  for (const auto& inj : audit) {
+    EXPECT_EQ(inj.action, ChaosAction::Reorder);
+    EXPECT_GE(inj.detail, 1);
+    EXPECT_LE(inj.detail,
+              static_cast<std::int64_t>(config.reorder_max_distance));
+  }
+}
+
+TEST(ChaosTap, ClockSkewConstantPerNode) {
+  ChaosConfig config;
+  config.seed = 29;
+  config.clock_skew_max_ms = 50.0;
+  const std::uint8_t nodes = 3;
+  const auto records = make_records(90, nodes);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  ASSERT_EQ(out.size(), records.size());
+  // One audit entry per node, each within the configured bound.
+  std::map<std::uint64_t, std::int64_t> audited_skew;
+  for (const auto& inj : audit) {
+    ASSERT_EQ(inj.action, ChaosAction::ClockSkew);
+    audited_skew[inj.input_index] = inj.detail;
+    EXPECT_LE(std::abs(inj.detail),
+              static_cast<std::int64_t>(50.0 * 1e6));
+  }
+  EXPECT_EQ(audit.size(), nodes);
+  // Every frame from one node shifts by the same offset.
+  std::map<std::uint8_t, std::int64_t> node_delta;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto delta = out[i].ts.nanos() - records[i].ts.nanos();
+    const auto node = records[i].src_node.value();
+    const auto [it, fresh] = node_delta.emplace(node, delta);
+    if (!fresh) {
+      EXPECT_EQ(it->second, delta) << "node " << int(node)
+                                   << " frame " << i;
+    }
+  }
+  EXPECT_EQ(node_delta.size(), nodes);
+}
+
+TEST(ChaosTap, ClockSkewIndependentOfNodeArrivalOrder) {
+  ChaosConfig config;
+  config.seed = 31;
+  config.clock_skew_max_ms = 40.0;
+  auto records = make_records(60, 3);
+
+  const auto forward = ChaosTap::apply(config, records);
+  std::map<std::uint8_t, std::int64_t> skew_fwd;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    skew_fwd[records[i].src_node.value()] =
+        forward[i].ts.nanos() - records[i].ts.nanos();
+  }
+
+  std::reverse(records.begin(), records.end());
+  const auto reversed = ChaosTap::apply(config, records);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(reversed[i].ts.nanos() - records[i].ts.nanos(),
+              skew_fwd[records[i].src_node.value()]);
+  }
+}
+
+TEST(ChaosTap, StallHoldsAndFlushesInOrder) {
+  ChaosConfig config;
+  config.seed = 37;
+  config.stall_rate = 1.0;  // stall begins on the very first frame
+  config.stall_length = 10;
+  config.stall_buffer = 64;  // roomy: nothing spills
+  const auto records = make_records(30);
+
+  ChaosStats stats;
+  const auto out = ChaosTap::apply(config, records, &stats);
+
+  EXPECT_GE(stats.stalls, 1u);
+  EXPECT_EQ(stats.dropped_stall, 0u);
+  ASSERT_EQ(out.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    SCOPED_TRACE("record " + std::to_string(i));
+    expect_same_record(out[i], records[i]);
+  }
+}
+
+TEST(ChaosTap, StallBoundedBufferShedsOldest) {
+  ChaosConfig config;
+  config.seed = 41;
+  config.stall_rate = 1.0;
+  config.stall_length = 100;  // longer than the stream: never resumes
+  config.stall_buffer = 4;
+  const auto records = make_records(20);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  // All 20 frames entered the stalled buffer; only the newest 4 survive to
+  // the finish() flush, and the 16 spills are audited oldest-first.
+  EXPECT_EQ(stats.stalls, 1u);
+  EXPECT_EQ(stats.dropped_stall, records.size() - 4);
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    expect_same_record(out[i], records[records.size() - 4 + i]);
+  }
+  std::uint64_t expect_idx = 0;
+  for (const auto& inj : audit) {
+    if (inj.action != ChaosAction::StallDrop) continue;
+    EXPECT_EQ(inj.input_index, expect_idx++);
+  }
+  EXPECT_EQ(expect_idx, stats.dropped_stall);
+}
+
+TEST(ChaosTap, AuditHistogramMatchesStats) {
+  ChaosConfig config;
+  config.seed = 43;
+  config.drop_rate = 0.05;
+  config.burst_rate = 0.005;
+  config.burst_length = 4;
+  config.truncate_rate = 0.05;
+  config.corrupt_rate = 0.05;
+  config.duplicate_rate = 0.05;
+  config.reorder_rate = 0.05;
+  config.clock_skew_max_ms = 10.0;
+  config.stall_rate = 0.005;
+  config.stall_length = 8;
+  config.stall_buffer = 4;
+  const auto records = make_records(2000);
+
+  ChaosStats stats;
+  std::vector<ChaosInjection> audit;
+  const auto out = ChaosTap::apply(config, records, &stats, &audit);
+
+  auto h = audit_histogram(audit);
+  EXPECT_EQ(h[ChaosAction::Drop], stats.dropped_uniform);
+  EXPECT_EQ(h[ChaosAction::BurstDrop], stats.dropped_burst);
+  EXPECT_EQ(h[ChaosAction::StallDrop], stats.dropped_stall);
+  EXPECT_EQ(h[ChaosAction::Truncate], stats.truncated);
+  EXPECT_EQ(h[ChaosAction::Corrupt], stats.corrupted);
+  EXPECT_EQ(h[ChaosAction::Duplicate], stats.duplicated);
+  EXPECT_EQ(h[ChaosAction::Reorder], stats.reordered);
+  EXPECT_EQ(h[ChaosAction::Stall], stats.stalls);
+
+  // Conservation: every input frame is either delivered once, dropped, or
+  // delivered twice (duplicated).  finish() flushed everything held.
+  EXPECT_EQ(stats.records_in, records.size());
+  EXPECT_EQ(stats.records_out,
+            stats.records_in - stats.total_dropped() + stats.duplicated);
+  EXPECT_EQ(out.size(), stats.records_out);
+}
+
+TEST(ChaosTap, ToStringCoversEveryAction) {
+  for (const auto action :
+       {ChaosAction::Drop, ChaosAction::BurstDrop, ChaosAction::Truncate,
+        ChaosAction::Corrupt, ChaosAction::Duplicate, ChaosAction::Reorder,
+        ChaosAction::ClockSkew, ChaosAction::Stall, ChaosAction::StallDrop}) {
+    EXPECT_STRNE(to_string(action), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace gretel::net
