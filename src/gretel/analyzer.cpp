@@ -4,12 +4,40 @@
 
 namespace gretel::core {
 
+namespace {
+
+monitor::ProbeConfig probe_config_from(const GretelConfig& config,
+                                       std::uint64_t seed) {
+  monitor::ProbeConfig p;
+  p.timeout_ms = config.probe_timeout_ms;
+  p.retries = config.probe_retries;
+  p.backoff_base_ms = config.backoff_base_ms;
+  p.backoff_cap_ms = config.backoff_cap_ms;
+  p.breaker_open_after = config.breaker_open_after;
+  p.flap_hysteresis = config.flap_hysteresis;
+  p.seed = seed;
+  return p;
+}
+
+monitor::DependencyWatcher make_watcher(const stack::Deployment* deployment,
+                                        const Analyzer::Options& options) {
+  if (!options.probed_monitoring)
+    return monitor::DependencyWatcher(deployment);
+  return monitor::DependencyWatcher(
+      deployment,
+      probe_config_from(options.config, options.monitor_chaos.seed),
+      options.monitor_chaos);
+}
+
+}  // namespace
+
 Analyzer::Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
                    const stack::Deployment* deployment, Options options)
     : tap_(catalog, deployment->service_by_port(),
            std::max<std::size_t>(1, options.config.decode_arena_kb) * 1024),
-      watcher_(deployment),
-      rca_(db, catalog, deployment, &metrics_, &watcher_),
+      watcher_(make_watcher(deployment, options)),
+      rca_(db, catalog, deployment, &metrics_, &watcher_,
+           RootCauseEngine::Options::from(options.config)),
       detector_(db, catalog, options.config,
                 [this](const FaultReport& fault) {
                   Diagnosis d;
@@ -90,6 +118,18 @@ monitor::PipelineHealthCounters Analyzer::health() const {
   h.latency_rejected = det.latency_rejected;
   h.stale_freezes = det.stale_freezes;
   h.degraded_reports = det.degraded_reports;
+  // Monitoring-plane health: the watcher's probe counters plus the
+  // per-diagnosis staleness annotations the root-cause engine produced.
+  const auto probe = watcher_.probe_stats();
+  h.probe_attempts = probe.attempts;
+  h.probe_retries = probe.retries;
+  h.probe_timeouts = probe.timeouts;
+  h.probe_drops = probe.drops;
+  h.breaker_trips = probe.breaker_trips;
+  h.breaker_skips = probe.breaker_skips;
+  h.flap_suppressed = probe.flap_suppressed;
+  h.probe_budget_exhausted = probe.budget_exhausted;
+  for (const auto& d : diagnoses_) h.stale_series += d.root_cause.stale_series;
   return h;
 }
 

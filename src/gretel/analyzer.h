@@ -34,6 +34,15 @@ class Analyzer {
   struct Options {
     GretelConfig config;
     bool run_root_cause = true;
+    // Route dependency watching through the probed monitoring substrate
+    // (deadlines, retries, breakers, flap suppression) instead of direct
+    // oracle reads.  With `monitor_chaos` disabled and default knobs the
+    // probed path is byte-identical to the oracle.
+    bool probed_monitoring = false;
+    // Fault injection for the monitoring plane itself (probe drops,
+    // delays, timeouts, flipped results, agent crashes, frozen streams).
+    // Only consulted when probed_monitoring is set.
+    monitor::MonitorChaosConfig monitor_chaos;
   };
 
   Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
@@ -74,6 +83,10 @@ class Analyzer {
   // Monitoring-side stores feeding the root-cause engine.
   monitor::MetricsStore& metrics() { return metrics_; }
   const monitor::MetricsStore& metrics() const { return metrics_; }
+
+  // The dependency watcher (probe stats and the monitor-chaos audit log
+  // live here when probed_monitoring is on).
+  const monitor::DependencyWatcher& watcher() const { return watcher_; }
 
   // Streaming metric entry point (§6): records the sample for root-cause
   // window analysis *and* runs the online level-shift detector over the

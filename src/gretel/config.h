@@ -162,6 +162,67 @@ struct GretelConfig {
   // it (progress resets the clock).  0 keeps the unbounded waits.
   double watchdog_ms = 0.0;
 
+  // --- root-cause analysis (Algorithm 3, §5.4) ---
+
+  // (§5.4) · 3.0 · metric context, in seconds, added around the fault
+  // window on both sides before Is_Anomalous runs.
+  double rca_window_pad_seconds = 3.0;
+
+  // (§5.4) · 5.0 · Is_Anomalous threshold: a window's resource level is
+  // anomalous when it deviates from the node's own baseline by more than
+  // this many baseline sigmas.
+  double rca_k_sigma = 5.0;
+
+  // --- monitoring plane (probed watchers; see docs/ARCHITECTURE.md,
+  // "Monitoring plane & evidence model").  The defaults preserve exact
+  // legacy behavior: under zero chaos every probe succeeds instantly on
+  // its first attempt and flap_hysteresis = 1 reports state changes
+  // immediately, so the probed substrate is byte-identical to the
+  // oracle. ---
+
+  // (monitoring) · 100.0 · per-attempt probe reply deadline, in simulated
+  // milliseconds.  A probe whose reply misses the deadline counts as a
+  // timeout and consumes the full deadline from the analysis budget.
+  double probe_timeout_ms = 100.0;
+
+  // (monitoring) · 2 · probe retries after the first attempt.  Each retry
+  // waits an exponential backoff first.
+  int probe_retries = 2;
+
+  // (monitoring) · 10.0 · base of the retry backoff: retry r waits
+  // min(backoff_cap_ms, backoff_base_ms · 2^r) scaled by deterministic
+  // seeded jitter in [0.5, 1.0).
+  double backoff_base_ms = 10.0;
+
+  // (monitoring) · 1000.0 · upper bound on a single retry backoff.
+  double backoff_cap_ms = 1000.0;
+
+  // (monitoring) · 3 · consecutive probe failures (timeouts/drops) that
+  // open a target's circuit breaker.  While open, the target is reported
+  // Unknown at zero probe cost; after a cooldown the breaker half-opens
+  // for a single trial probe.
+  int breaker_open_after = 3;
+
+  // (monitoring) · 1 · flap-suppression hysteresis: a dependency's
+  // reported state only switches after this many consecutive agreeing
+  // observations.  1 = switch immediately (the oracle behavior); larger
+  // values suppress flapping agents at the cost of slower detection.
+  int flap_hysteresis = 1;
+
+  // (monitoring) · 0.0 = off · metric freshness horizon in seconds.  When
+  // set, a metric series whose newest sample lags the analysis window end
+  // by more than this is treated as Stale evidence — "unknown", not
+  // "normal" — and annotated on the report.  0 keeps the legacy reading
+  // (a frozen series silently looks clean).
+  double metric_staleness_s = 0.0;
+
+  // (monitoring) · 0.0 = off · per-analysis probe deadline budget in
+  // simulated milliseconds.  Once a root-cause analysis has spent this
+  // much probe time (timeouts included), remaining targets are reported
+  // Unknown instead of probed — a wedged monitoring agent can delay an
+  // analysis by at most this budget, never stall it.  0 = unbounded.
+  double probe_budget_ms = 0.0;
+
   std::size_t alpha() const {
     const auto rate_window =
         static_cast<std::size_t>(p_rate * t_seconds);

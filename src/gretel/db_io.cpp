@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <memory>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace gretel::core {
 
 namespace {
@@ -121,10 +125,35 @@ std::optional<FingerprintDb> decode_fingerprint_db(
 bool save_fingerprint_db(const std::string& path, const FingerprintDb& db,
                          const wire::ApiCatalog& catalog) {
   const auto data = encode_fingerprint_db(db, catalog);
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-      std::fopen(path.c_str(), "wb"), &std::fclose);
-  if (!f) return false;
-  return std::fwrite(data.data(), 1, data.size(), f.get()) == data.size();
+  // Crash-safe save: write a sibling temp file (same directory, so the
+  // rename below cannot cross filesystems), flush it all the way down,
+  // then atomically rename over the destination.  A crash mid-save leaves
+  // either the old complete file or the new complete file — never a
+  // truncated database.
+  const std::string tmp = path + ".tmp";
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
+        std::fopen(tmp.c_str(), "wb"), &std::fclose);
+    if (!f) return false;
+    if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size() ||
+        std::fflush(f.get()) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return false;
+    }
+#if defined(__unix__) || defined(__APPLE__)
+    if (fsync(fileno(f.get())) != 0) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return false;
+    }
+#endif
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 std::optional<FingerprintDb> load_fingerprint_db(

@@ -98,6 +98,27 @@ std::string to_json(const Diagnosis& d, const wire::ApiCatalog& catalog,
   out += d.root_cause.expanded_search ? "true" : "false";
   out += ", \"degraded\": ";
   out += d.root_cause.degraded ? "true" : "false";
+  // Monitoring-degradation annotations are emitted only when present, so a
+  // healthy monitoring plane produces the exact legacy document.
+  if (d.root_cause.monitoring_degraded) {
+    out += ", \"monitoring_degraded\": true, \"stale_series\": ";
+    out += std::to_string(d.root_cause.stale_series);
+    out += ", \"probe_time_ms\": ";
+    append_number(out, d.root_cause.probe_time_ms);
+    out += ", \"evidence_gaps\": [";
+    for (std::size_t i = 0; i < d.root_cause.evidence_gaps.size(); ++i) {
+      const auto& g = d.root_cause.evidence_gaps[i];
+      if (i) out += ", ";
+      out += "{\"node\": ";
+      out += std::to_string(g.node.value());
+      out += ", \"dependency\": \"";
+      out += json_escape(g.dependency);
+      out += "\", \"status\": \"";
+      out += monitor::to_string(g.status);
+      out += "\"}";
+    }
+    out += ']';
+  }
   out += ", \"causes\": [";
   for (std::size_t i = 0; i < d.root_cause.causes.size(); ++i) {
     const auto& c = d.root_cause.causes[i];
@@ -108,6 +129,16 @@ std::string to_json(const Diagnosis& d, const wire::ApiCatalog& catalog,
     out += c.kind == CauseKind::SoftwareFailure ? "software" : "resource";
     out += "\", \"detail\": \"";
     out += json_escape(c.detail);
+    // Evidence quality rides along only when it is weaker than the legacy
+    // implicit Confirmed, keeping default documents byte-identical.
+    if (c.evidence != monitor::EvidenceStatus::Confirmed) {
+      out += "\", \"evidence\": \"";
+      out += monitor::to_string(c.evidence);
+      out += "\", \"confidence\": ";
+      append_number(out, c.confidence);
+      out += '}';
+      continue;
+    }
     out += "\"}";
   }
   out += "]}}";

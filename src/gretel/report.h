@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "detect/latency_tracker.h"
+#include "monitor/watcher.h"
 #include "util/time.h"
 #include "wire/message.h"
 
@@ -52,6 +53,11 @@ struct Cause {
   wire::NodeId node;
   std::string detail;   // e.g. "cpu level 93.1 vs baseline 8.2" or daemon
   double score = 0.0;   // deviation in baseline sigmas (resources)
+  // Quality of the monitoring evidence behind the finding: Confirmed for
+  // oracle/first-attempt observations, Suspected when the probe machinery
+  // was degraded (retried replies, flap-pending state changes).
+  monitor::EvidenceStatus evidence = monitor::EvidenceStatus::Confirmed;
+  double confidence = 1.0;  // 1.0 Confirmed, lower for weaker evidence
 };
 
 struct RootCauseReport {
@@ -63,6 +69,20 @@ struct RootCauseReport {
   // snapshot had telemetry gaps, so absence of a cause is weaker evidence
   // than usual.
   bool degraded = false;
+  // Monitoring-plane degradation inside this analysis window: some
+  // dependency or metric evidence was Suspected/Stale/Unknown, so "no
+  // cause on a node" may mean "could not observe the node".  Independent
+  // of `degraded`, which annotates the *wire* snapshot.
+  bool monitoring_degraded = false;
+  // Dependency targets whose state could not be confirmed (open breaker,
+  // exhausted retries/budget, flap-pending changes), deduplicated.
+  std::vector<monitor::EvidenceGap> evidence_gaps;
+  // Metric series whose freshness watermark lagged the window (or were
+  // never sampled) while staleness checking was enabled.
+  std::uint64_t stale_series = 0;
+  // Simulated probe time the analysis spent; bounded by the configured
+  // probe budget when one is set.
+  double probe_time_ms = 0.0;
 };
 
 struct Diagnosis {

@@ -48,7 +48,8 @@ std::vector<wire::NodeId> RootCauseEngine::nodes_for_operations(
 
 std::vector<Cause> RootCauseEngine::find_causes(
     const std::vector<wire::NodeId>& nodes, util::SimTime from,
-    util::SimTime to) const {
+    util::SimTime to, const monitor::WindowEvidence& evidence,
+    RootCauseReport& report) const {
   std::vector<Cause> causes;
 
   for (auto node : nodes) {
@@ -56,6 +57,27 @@ std::vector<Cause> RootCauseEngine::find_causes(
     for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
       const auto kind = static_cast<net::ResourceKind>(k);
       const auto* series = metrics_->series(node, kind);
+
+      // Freshness gate (when enabled): a series whose newest sample lags
+      // the window end is *stale*, not clean — a frozen collectd stream
+      // would otherwise read as "no anomaly" forever.  Is_Anomalous is
+      // skipped for the series and the gap is annotated instead.
+      if (options_.metric_staleness_s > 0.0) {
+        const auto watermark = metrics_->watermark_s(node, kind);
+        const bool missing = !watermark.has_value();
+        if (missing ||
+            *watermark + options_.metric_staleness_s < to.to_seconds()) {
+          ++report.stale_series;
+          monitor::EvidenceGap gap;
+          gap.node = node;
+          gap.dependency = "metric:";
+          gap.dependency += to_string(kind);
+          gap.status = missing ? monitor::EvidenceStatus::Unknown
+                               : monitor::EvidenceStatus::Stale;
+          report.evidence_gaps.push_back(std::move(gap));
+          continue;
+        }
+      }
       if (!series) continue;
       const auto verdict = detect::analyze_window(
           *series, from.to_seconds(), to.to_seconds(), options_.k_sigma);
@@ -86,8 +108,9 @@ std::vector<Cause> RootCauseEngine::find_causes(
     }
   }
 
-  // Software dependency failures observed in the window.
-  for (const auto& failure : watcher_->failures_in(from, to)) {
+  // Software dependency failures observed in the window, with the probe
+  // layer's evidence quality attached.
+  for (const auto& failure : evidence.failures) {
     if (std::find(nodes.begin(), nodes.end(), failure.node) == nodes.end())
       continue;
     Cause c;
@@ -95,7 +118,19 @@ std::vector<Cause> RootCauseEngine::find_causes(
     c.node = failure.node;
     c.detail = failure.dependency;
     c.score = 1e9;  // a dead dependency outranks any resource deviation
+    c.evidence = failure.evidence;
+    c.confidence =
+        failure.evidence == monitor::EvidenceStatus::Confirmed ? 1.0 : 0.5;
     causes.push_back(std::move(c));
+  }
+
+  // Dependency targets on these nodes whose state could not be confirmed
+  // (open breaker, exhausted retries/budget, flap-pending): annotate them
+  // so "no cause here" reads as "could not look", not "clean".
+  for (const auto& gap : evidence.gaps) {
+    if (std::find(nodes.begin(), nodes.end(), gap.node) == nodes.end())
+      continue;
+    report.evidence_gaps.push_back(gap);
   }
 
   std::sort(causes.begin(), causes.end(),
@@ -111,6 +146,13 @@ RootCauseReport RootCauseEngine::analyze(const FaultReport& fault) const {
   const auto from = fault.window_start - options_.window_pad;
   const auto to = fault.window_end + options_.window_pad;
 
+  // Collect the window's dependency evidence ONCE: probing advances
+  // breaker/flap state and spends the deadline budget, so both search
+  // phases must share a single pass over the watchers.
+  const auto evidence = watcher_->window_evidence(
+      from, to, util::SimDuration::seconds(1), options_.probe_budget_ms);
+  report.probe_time_ms = evidence.probe_time_ms;
+
   // Error-endpoint nodes first (GET_ERROR_NODES).
   std::vector<wire::NodeId> error_nodes;
   auto add = [&error_nodes](wire::NodeId id) {
@@ -123,20 +165,26 @@ RootCauseReport RootCauseEngine::analyze(const FaultReport& fault) const {
     add(ev.dst_node);
   }
 
-  report.causes = find_causes(error_nodes, from, to);
-  if (!report.causes.empty()) return report;
-
-  // Clean endpoints: expand to the remaining nodes of the operation — the
-  // root cause may be upstream (§5.4, demonstrated in §7.2.3/§7.2.4).
-  auto all_nodes = nodes_for_operations(fault.matched_fingerprints);
-  std::vector<wire::NodeId> remaining;
-  for (auto node : all_nodes) {
-    if (std::find(error_nodes.begin(), error_nodes.end(), node) ==
-        error_nodes.end())
-      remaining.push_back(node);
+  report.causes = find_causes(error_nodes, from, to, evidence, report);
+  // Clean endpoints — or endpoints we could not actually observe — expand
+  // to the remaining nodes of the operation: the root cause may be
+  // upstream (§5.4, demonstrated in §7.2.3/§7.2.4), and an open breaker
+  // or stale series on an endpoint is "unknown", not "clean".
+  if (report.causes.empty()) {
+    auto all_nodes = nodes_for_operations(fault.matched_fingerprints);
+    std::vector<wire::NodeId> remaining;
+    for (auto node : all_nodes) {
+      if (std::find(error_nodes.begin(), error_nodes.end(), node) ==
+          error_nodes.end())
+        remaining.push_back(node);
+    }
+    report.causes = find_causes(remaining, from, to, evidence, report);
+    report.expanded_search = true;
   }
-  report.causes = find_causes(remaining, from, to);
-  report.expanded_search = true;
+
+  report.monitoring_degraded = !report.evidence_gaps.empty() ||
+                               report.stale_series > 0 ||
+                               evidence.budget_exhausted;
   return report;
 }
 

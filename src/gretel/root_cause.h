@@ -8,10 +8,18 @@
 // software dependencies (watchers), and — when those come back clean —
 // expands to the remaining nodes of the operation, since the root cause may
 // be upstream of where the fault surfaced.
+//
+// The engine is honest about evidence quality: dependency state arrives
+// through the watcher's probe layer (which can time out, trip breakers, or
+// flap-suppress) and metric series carry freshness watermarks.  Open
+// breakers, exhausted budgets, and stale series are treated as "unknown,
+// keep looking" rather than "clean", and every finding carries an
+// EvidenceStatus + confidence.
 #pragma once
 
 #include <vector>
 
+#include "gretel/config.h"
 #include "gretel/fingerprint_db.h"
 #include "gretel/report.h"
 #include "monitor/metrics.h"
@@ -26,6 +34,21 @@ class RootCauseEngine {
     // Metric context added around the fault window on both sides.
     util::SimDuration window_pad = util::SimDuration::seconds(3);
     double k_sigma = 5.0;  // Is_Anomalous threshold
+    // Metric freshness horizon; 0 = staleness checking off (legacy).
+    double metric_staleness_s = 0.0;
+    // Per-analysis probe deadline budget; 0 = unbounded (legacy).
+    double probe_budget_ms = 0.0;
+
+    // The same knobs, read from the promoted GretelConfig rows.
+    static Options from(const GretelConfig& config) {
+      Options o;
+      o.window_pad = util::SimDuration(static_cast<std::int64_t>(
+          config.rca_window_pad_seconds * 1e9));
+      o.k_sigma = config.rca_k_sigma;
+      o.metric_staleness_s = config.metric_staleness_s;
+      o.probe_budget_ms = config.probe_budget_ms;
+      return o;
+    }
   };
 
   RootCauseEngine(const FingerprintDb* db, const wire::ApiCatalog* catalog,
@@ -48,9 +71,13 @@ class RootCauseEngine {
       const std::vector<FingerprintDb::Index>& fingerprints) const;
 
  private:
-  // FIND_ROOT_CAUSE over one node set.
+  // FIND_ROOT_CAUSE over one node set, against the window's dependency
+  // evidence.  Evidence gaps and stale-series hits for nodes in the set
+  // are appended to `report`.
   std::vector<Cause> find_causes(const std::vector<wire::NodeId>& nodes,
-                                 util::SimTime from, util::SimTime to) const;
+                                 util::SimTime from, util::SimTime to,
+                                 const monitor::WindowEvidence& evidence,
+                                 RootCauseReport& report) const;
 
   const FingerprintDb* db_;
   const wire::ApiCatalog* catalog_;

@@ -23,6 +23,16 @@ std::string PipelineHealthCounters::to_json() const {
   field("latency_rejected", latency_rejected);
   field("stale_freezes", stale_freezes);
   field("degraded_reports", degraded_reports);
+  field("probe_attempts", probe_attempts);
+  field("probe_retries", probe_retries);
+  field("probe_timeouts", probe_timeouts);
+  field("probe_drops", probe_drops);
+  field("breaker_trips", breaker_trips);
+  field("breaker_skips", breaker_skips);
+  field("flap_suppressed", flap_suppressed);
+  field("probe_budget_exhausted", probe_budget_exhausted);
+  field("stale_series", stale_series);
+  field("frozen_samples", frozen_samples);
   out += '}';
   return out;
 }
@@ -39,6 +49,13 @@ const util::TimeSeries* MetricsStore::series(wire::NodeId node,
   return it == series_.end() ? nullptr : &it->second;
 }
 
+std::optional<double> MetricsStore::watermark_s(wire::NodeId node,
+                                                net::ResourceKind kind) const {
+  const auto it = series_.find(key(node, kind));
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.points().back().t_seconds;
+}
+
 void MetricsStore::clear() {
   series_.clear();
   total_samples_ = 0;
@@ -47,6 +64,14 @@ void MetricsStore::clear() {
 ResourceMonitor::ResourceMonitor(const stack::Deployment* deployment,
                                  util::SimDuration period, std::uint64_t seed)
     : deployment_(deployment), period_(period), rng_(seed) {}
+
+ResourceMonitor::ResourceMonitor(const stack::Deployment* deployment,
+                                 util::SimDuration period, std::uint64_t seed,
+                                 MonitorChaosConfig chaos)
+    : deployment_(deployment),
+      period_(period),
+      rng_(seed),
+      chaos_(MonitorChaos(std::move(chaos))) {}
 
 void ResourceMonitor::sample_range(util::SimTime from, util::SimTime to,
                                    MetricsStore& store) {
@@ -59,12 +84,21 @@ void ResourceMonitor::sample_range(util::SimTime from, util::SimTime to,
 
 void ResourceMonitor::sample_range(util::SimTime from, util::SimTime to,
                                    const Sink& sink) {
+  const bool chaotic = chaos_ && chaos_->config().enabled();
   for (util::SimTime t = from; t < to; t += period_) {
     for (auto node_id : deployment_->node_ids()) {
       const auto& node = deployment_->node(node_id);
       for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
         const auto kind = static_cast<net::ResourceKind>(k);
-        sink(node_id, kind, t.to_seconds(), node.sample(kind, t, rng_));
+        // The ground-truth draw happens unconditionally so a frozen stream
+        // changes which samples are *delivered*, never the values of the
+        // survivors — chaos sweeps stay comparable sample-for-sample.
+        const double value = node.sample(kind, t, rng_);
+        if (chaotic && chaos_->metric_frozen(node_id, to_string(kind), t)) {
+          ++frozen_samples_;
+          continue;
+        }
+        sink(node_id, kind, t.to_seconds(), value);
       }
     }
   }

@@ -4,14 +4,19 @@
 // memory, network throughput, storage, and disk read/write behavior."
 // ResourceMonitor samples every node's ground-truth NodeState on the
 // configured period (1 s in the paper's setup) into a MetricsStore, which
-// the root-cause engine later queries over the fault window.
+// the root-cause engine later queries over the fault window.  Each series
+// carries a freshness watermark (the time of its newest sample) so
+// Is_Anomalous can distinguish "probed and normal" from "stale/unknown"
+// when a stream freezes or an agent dies.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "monitor/probe.h"
 #include "net/node.h"
 #include "stack/deployment.h"
 #include "util/rng.h"
@@ -39,6 +44,19 @@ struct PipelineHealthCounters {
   std::uint64_t latency_rejected = 0;       // non-finite samples rejected
   std::uint64_t stale_freezes = 0;
   std::uint64_t degraded_reports = 0;
+  // Monitoring plane (probed watchers; all zero under the oracle substrate).
+  std::uint64_t probe_attempts = 0;
+  std::uint64_t probe_retries = 0;
+  std::uint64_t probe_timeouts = 0;
+  std::uint64_t probe_drops = 0;
+  std::uint64_t breaker_trips = 0;
+  std::uint64_t breaker_skips = 0;
+  std::uint64_t flap_suppressed = 0;
+  std::uint64_t probe_budget_exhausted = 0;
+  std::uint64_t stale_series = 0;           // stale/missing metric series hit
+  // Resource sampling (filled by the ResourceMonitor owner; the analyzer
+  // does not own the sampling loop).
+  std::uint64_t frozen_samples = 0;
 
   std::string to_json() const;
 };
@@ -51,6 +69,13 @@ class MetricsStore {
   // Null when the (node, resource) pair was never sampled.
   const util::TimeSeries* series(wire::NodeId node,
                                  net::ResourceKind kind) const;
+
+  // Freshness watermark: the newest sample time of the series, or empty
+  // when the pair was never sampled.  A watermark lagging the queried
+  // window means the stream froze or its agent died — evidence is Stale,
+  // not "normal".
+  std::optional<double> watermark_s(wire::NodeId node,
+                                    net::ResourceKind kind) const;
 
   std::size_t total_samples() const { return total_samples_; }
   void clear();
@@ -69,6 +94,13 @@ class ResourceMonitor {
  public:
   ResourceMonitor(const stack::Deployment* deployment,
                   util::SimDuration period, std::uint64_t seed);
+  // Chaos-degradable variant: frozen metric streams and crashed agents
+  // silently lose samples (audited by the injector).  Zero rates sample
+  // identically to the plain monitor — the chaos draws are stateless and
+  // never perturb the sampling RNG.
+  ResourceMonitor(const stack::Deployment* deployment,
+                  util::SimDuration period, std::uint64_t seed,
+                  MonitorChaosConfig chaos);
 
   // Polls all nodes at the configured period over [from, to) into `store`.
   void sample_range(util::SimTime from, util::SimTime to,
@@ -81,11 +113,15 @@ class ResourceMonitor {
   void sample_range(util::SimTime from, util::SimTime to, const Sink& sink);
 
   util::SimDuration period() const { return period_; }
+  std::uint64_t frozen_samples() const { return frozen_samples_; }
+  const MonitorChaos* chaos() const { return chaos_ ? &*chaos_ : nullptr; }
 
  private:
   const stack::Deployment* deployment_;
   util::SimDuration period_;
   util::Rng rng_;
+  std::optional<MonitorChaos> chaos_;
+  std::uint64_t frozen_samples_ = 0;
 };
 
 }  // namespace gretel::monitor

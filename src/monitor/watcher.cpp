@@ -1,5 +1,6 @@
 #include "monitor/watcher.h"
 
+#include <map>
 #include <set>
 #include <utility>
 
@@ -18,10 +19,30 @@ const char* infra_daemon(wire::ServiceKind s) {
       return nullptr;
   }
 }
+
+constexpr wire::ServiceKind kInfraServices[] = {
+    wire::ServiceKind::MySql, wire::ServiceKind::RabbitMq,
+    wire::ServiceKind::Ntp};
+
+int severity(EvidenceStatus s) {
+  switch (s) {
+    case EvidenceStatus::Confirmed: return 0;
+    case EvidenceStatus::Suspected: return 1;
+    case EvidenceStatus::Stale: return 2;
+    case EvidenceStatus::Unknown: return 3;
+  }
+  return 3;
+}
 }  // namespace
 
 DependencyWatcher::DependencyWatcher(const stack::Deployment* deployment)
     : deployment_(deployment) {}
+
+DependencyWatcher::DependencyWatcher(const stack::Deployment* deployment,
+                                     ProbeConfig probe,
+                                     MonitorChaosConfig chaos)
+    : deployment_(deployment),
+      engine_(std::make_unique<ProbeEngine>(probe, std::move(chaos))) {}
 
 std::vector<SoftwareFailure> DependencyWatcher::failures_at(
     util::SimTime t) const {
@@ -29,15 +50,15 @@ std::vector<SoftwareFailure> DependencyWatcher::failures_at(
   for (auto id : deployment_->node_ids()) {
     const auto& node = deployment_->node(id);
     for (auto& name : node.failed_software(t)) {
-      out.push_back({id, std::move(name), t});
+      out.push_back({id, std::move(name), t, EvidenceStatus::Confirmed});
     }
   }
   // Reachability of shared infra from the rest of the deployment.
-  for (auto svc : {wire::ServiceKind::MySql, wire::ServiceKind::RabbitMq,
-                   wire::ServiceKind::Ntp}) {
+  for (auto svc : kInfraServices) {
     if (!deployment_->nodes_for(svc).empty() && !infra_reachable(svc, t)) {
       out.push_back({deployment_->primary_node_for(svc),
-                     "tcp:" + std::string(to_string(svc)), t});
+                     "tcp:" + std::string(to_string(svc)), t,
+                     EvidenceStatus::Confirmed});
     }
   }
   return out;
@@ -56,6 +77,78 @@ std::vector<SoftwareFailure> DependencyWatcher::failures_in(
   return out;
 }
 
+WindowEvidence DependencyWatcher::window_evidence(util::SimTime from,
+                                                  util::SimTime to,
+                                                  util::SimDuration period,
+                                                  double budget_ms) const {
+  WindowEvidence ev;
+  if (!engine_) {
+    // Oracle substrate: the probed path degenerates to the legacy direct
+    // read — Confirmed failures, no gaps, zero probe time.
+    ev.failures = failures_in(from, to, period);
+    return ev;
+  }
+
+  std::set<std::pair<std::uint8_t, std::string>> failed_seen;
+  std::map<std::pair<std::uint8_t, std::string>, EvidenceStatus> gap_worst;
+
+  // One logical probe per target per poll, in a fixed deterministic order
+  // (nodes by id, daemons in install order, then infra reachability) so a
+  // fixed chaos seed reproduces the exact probe timeline.
+  const auto probe_target = [&](wire::NodeId node, const std::string& dep,
+                                bool truth_up, util::SimTime t) {
+    if (budget_ms > 0 && ev.probe_time_ms >= budget_ms) {
+      // Deadline budget spent: remaining targets are Unknown, not clean.
+      ++engine_->stats().budget_exhausted;
+      ev.budget_exhausted = true;
+      auto& worst = gap_worst
+                        .try_emplace({node.value(), dep},
+                                     EvidenceStatus::Unknown)
+                        .first->second;
+      if (severity(EvidenceStatus::Unknown) > severity(worst))
+        worst = EvidenceStatus::Unknown;
+      return;
+    }
+    const auto obs = engine_->probe(node, dep, truth_up, t);
+    ev.probe_time_ms += obs.elapsed_ms;
+    if (obs.usable && !obs.up) {
+      if (failed_seen.emplace(node.value(), dep).second)
+        ev.failures.push_back({node, dep, t, obs.evidence});
+      return;
+    }
+    if (!obs.usable || obs.flap_held) {
+      const auto status =
+          obs.usable ? EvidenceStatus::Suspected : EvidenceStatus::Unknown;
+      auto [it, inserted] = gap_worst.try_emplace({node.value(), dep}, status);
+      if (!inserted && severity(status) > severity(it->second))
+        it->second = status;
+    }
+  };
+
+  for (util::SimTime t = from; t < to; t += period) {
+    for (auto id : deployment_->node_ids()) {
+      const auto& node = deployment_->node(id);
+      for (const auto& dep : node.software()) {
+        probe_target(id, dep, node.software_running(dep, t), t);
+      }
+    }
+    for (auto svc : kInfraServices) {
+      if (deployment_->nodes_for(svc).empty()) continue;
+      probe_target(deployment_->primary_node_for(svc),
+                   "tcp:" + std::string(to_string(svc)),
+                   infra_reachable(svc, t), t);
+    }
+  }
+
+  // A target that did produce a (confirmed or suspected) failure is not a
+  // gap, whatever happened to its other polls in the window.
+  for (auto& [key, status] : gap_worst) {
+    if (failed_seen.count(key)) continue;
+    ev.gaps.push_back({wire::NodeId(key.first), key.second, status});
+  }
+  return ev;
+}
+
 bool DependencyWatcher::infra_reachable(wire::ServiceKind service,
                                         util::SimTime t) const {
   const char* daemon = infra_daemon(service);
@@ -64,6 +157,14 @@ bool DependencyWatcher::infra_reachable(wire::ServiceKind service,
     if (deployment_->node(id).software_running(daemon, t)) return true;
   }
   return false;
+}
+
+ProbeStats DependencyWatcher::probe_stats() const {
+  return engine_ ? engine_->stats() : ProbeStats{};
+}
+
+std::vector<MonitorInjection> DependencyWatcher::chaos_audit() const {
+  return engine_ ? engine_->chaos().audit() : std::vector<MonitorInjection>{};
 }
 
 }  // namespace gretel::monitor

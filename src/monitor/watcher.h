@@ -2,14 +2,23 @@
 //
 // GRETEL "maintains watchers on third-party software dependencies" and
 // "has watchers to detect TCP-level reachability to MySQL, RabbitMQ and NTP
-// servers".  DependencyWatcher polls the deployment's ground-truth software
-// state: daemon liveness per node plus reachability of the shared
-// infrastructure services from every node.
+// servers".  DependencyWatcher supports two substrates:
+//
+//  * oracle mode (default): polls the deployment's ground-truth software
+//    state directly — daemon liveness per node plus reachability of the
+//    shared infrastructure services.  Evidence is always Confirmed.
+//  * probed mode: every check runs through a ProbeEngine (deadlines,
+//    retries with backoff + jitter, circuit breakers, flap hysteresis)
+//    against the same ground truth, optionally degraded by MonitorChaos.
+//    With zero chaos and default knobs the probed watcher is byte-identical
+//    to the oracle.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "monitor/probe.h"
 #include "stack/deployment.h"
 #include "util/time.h"
 #include "wire/endpoint.h"
@@ -20,27 +29,74 @@ struct SoftwareFailure {
   wire::NodeId node;
   std::string dependency;  // daemon name or "tcp:<service>" reachability
   util::SimTime observed;
+  // How the failure was established; oracle observations are Confirmed.
+  EvidenceStatus evidence = EvidenceStatus::Confirmed;
+};
+
+// A dependency target whose state could not be confirmed over a window:
+// breaker open, probes timed out, budget exhausted, or a state change still
+// held by hysteresis.
+struct EvidenceGap {
+  wire::NodeId node;
+  std::string dependency;
+  EvidenceStatus status = EvidenceStatus::Unknown;
+};
+
+// Evidence collected over one poll window: confirmed/suspected failures,
+// plus the targets whose state is unknown — so downstream consumers can
+// distinguish "probed and clean" from "not actually observed".
+struct WindowEvidence {
+  std::vector<SoftwareFailure> failures;  // dedup per (node, dep), first obs
+  std::vector<EvidenceGap> gaps;          // dedup per (node, dep), worst
+  double probe_time_ms = 0.0;             // simulated probe time consumed
+  bool budget_exhausted = false;
+  bool degraded() const { return !gaps.empty() || budget_exhausted; }
 };
 
 class DependencyWatcher {
  public:
+  // Oracle mode: direct ground-truth reads, the pre-probe behavior.
   explicit DependencyWatcher(const stack::Deployment* deployment);
+  // Probed mode: checks run through a ProbeEngine degraded by `chaos`.
+  DependencyWatcher(const stack::Deployment* deployment, ProbeConfig probe,
+                    MonitorChaosConfig chaos);
 
-  // Failures visible at one instant.
+  // Failures visible at one instant (oracle read; probes' ground truth).
   std::vector<SoftwareFailure> failures_at(util::SimTime t) const;
 
   // Failures visible at any poll within [from, to) at the given period;
   // deduplicated per (node, dependency) keeping the first observation.
+  // Always the oracle path — window_evidence() is the probed analog.
   std::vector<SoftwareFailure> failures_in(
       util::SimTime from, util::SimTime to,
       util::SimDuration period = util::SimDuration::seconds(1)) const;
+
+  // Polls every dependency target over [from, to).  Oracle mode returns
+  // exactly failures_in() with empty gaps; probed mode runs the probe
+  // state machine.  `budget_ms` > 0 caps the simulated probe time spent in
+  // this window: once exceeded, remaining targets are skipped as Unknown
+  // (a wedged agent cannot stall the caller past its deadline budget).
+  WindowEvidence window_evidence(
+      util::SimTime from, util::SimTime to,
+      util::SimDuration period = util::SimDuration::seconds(1),
+      double budget_ms = 0.0) const;
 
   // TCP-level reachability of a shared infrastructure service from anywhere
   // in the deployment: unreachable when its serving daemon is down.
   bool infra_reachable(wire::ServiceKind service, util::SimTime t) const;
 
+  bool probed() const { return engine_ != nullptr; }
+  // Probe-plane counters and chaos audit; zero/empty in oracle mode.
+  ProbeStats probe_stats() const;
+  std::vector<MonitorInjection> chaos_audit() const;
+
  private:
   const stack::Deployment* deployment_;
+  // The probe engine mutates per-target breaker/hysteresis state on every
+  // poll; it is mutable so the watcher keeps the read-style const API its
+  // consumers (the root-cause engine) expect.  Single-threaded, like the
+  // diagnosis path that drives it.
+  mutable std::unique_ptr<ProbeEngine> engine_;
 };
 
 }  // namespace gretel::monitor

@@ -15,6 +15,8 @@
 #include <string>
 
 #include "stack/logging.h"
+#include "util/time.h"
+#include "wire/endpoint.h"
 
 namespace gretel::stack {
 
@@ -51,5 +53,17 @@ inline OperationalFault unauthorized_fault(std::size_t step) {
 inline OperationalFault conflict_fault(std::size_t step) {
   return {step, 409, "Conflict", true};
 }
+
+// A fault of the *monitoring plane itself*: the agent on one node stops
+// answering probes for a window.  A wedged agent accepts probes and hangs,
+// so every attempt costs its full deadline; a crashed agent refuses
+// connections and fails fast.  Consumed by monitor::MonitorChaos — the
+// monitoring analog of the workload faults above.
+struct MonitorAgentFault {
+  wire::NodeId node;
+  util::SimTime start;
+  util::SimTime end;
+  bool wedged = true;  // false: crashed (fast-fail) instead of hung
+};
 
 }  // namespace gretel::stack

@@ -122,5 +122,38 @@ TEST(DbIo, FileRoundTrip) {
   EXPECT_FALSE(load_fingerprint_db(path, catalog).has_value());
 }
 
+TEST(DbIo, SaveIsAtomicOverExistingFile) {
+  // The save must replace a pre-existing (here: corrupt) database in one
+  // atomic step and leave no temp-file residue behind.
+  const std::string path = "/tmp/gretel_db_io_atomic_test.db";
+  const auto catalog = small_catalog();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("garbage, not a fingerprint db", f);
+    std::fclose(f);
+  }
+  ASSERT_FALSE(load_fingerprint_db(path, catalog).has_value());
+
+  ASSERT_TRUE(save_fingerprint_db(path, sample_db(), catalog));
+  const auto loaded = load_fingerprint_db(path, catalog);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+
+  // No .tmp sibling survives a successful save.
+  std::FILE* tmp = std::fopen((path + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp) std::fclose(tmp);
+  std::remove(path.c_str());
+}
+
+TEST(DbIo, SaveFailureLeavesExistingFileIntact) {
+  // An unwritable temp location (the parent directory does not exist)
+  // fails the save up front — and cannot have clobbered anything.
+  const auto catalog = small_catalog();
+  EXPECT_FALSE(save_fingerprint_db("/tmp/gretel_no_such_dir/db.bin",
+                                   sample_db(), catalog));
+}
+
 }  // namespace
 }  // namespace gretel::core

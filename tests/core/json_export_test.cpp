@@ -88,6 +88,52 @@ TEST(JsonExport, PerformanceFaultIncludesLatency) {
   EXPECT_NE(json.find("\"direction\": \"up\""), std::string::npos);
 }
 
+TEST(JsonExport, HealthyMonitoringOmitsDegradationFields) {
+  // The monitoring-evidence vocabulary is emitted only when degraded, so
+  // documents from a healthy plane stay byte-identical to the legacy
+  // format.
+  const Fixture f;
+  const auto json = to_json(f.diagnosis, f.catalog, f.db);
+  EXPECT_EQ(json.find("monitoring_degraded"), std::string::npos);
+  EXPECT_EQ(json.find("evidence_gaps"), std::string::npos);
+  EXPECT_EQ(json.find("stale_series"), std::string::npos);
+  EXPECT_EQ(json.find("probe_time_ms"), std::string::npos);
+  EXPECT_EQ(json.find("\"evidence\""), std::string::npos);
+  EXPECT_EQ(json.find("\"confidence\""), std::string::npos);
+}
+
+TEST(JsonExport, GoldenDegradedDocument) {
+  Fixture f;
+  auto& rc = f.diagnosis.root_cause;
+  rc.causes[0].evidence = monitor::EvidenceStatus::Suspected;
+  rc.causes[0].confidence = 0.5;
+  rc.monitoring_degraded = true;
+  rc.stale_series = 3;
+  rc.probe_time_ms = 421.5;
+  rc.evidence_gaps.push_back(
+      {wire::NodeId(2), "mysqld", monitor::EvidenceStatus::Unknown});
+  rc.evidence_gaps.push_back(
+      {wire::NodeId(5), "metric:cpu", monitor::EvidenceStatus::Stale});
+
+  const auto json = to_json(f.diagnosis, f.catalog, f.db);
+  const std::string expected =
+      "{\"kind\": \"operational\", "
+      "\"offending_api\": \"POST neutron /v2.0/ports.json\", "
+      "\"detected_at_s\": 1.5, \"theta\": 1, \"beta_final\": 80, "
+      "\"candidates\": 17, \"matched_operations\": [\"vm-create\"], "
+      "\"error_events\": 2, \"window_losses\": 0, "
+      "\"degraded_confidence\": false, "
+      "\"root_cause\": {\"expanded_search\": true, \"degraded\": false, "
+      "\"monitoring_degraded\": true, \"stale_series\": 3, "
+      "\"probe_time_ms\": 421.5, \"evidence_gaps\": ["
+      "{\"node\": 2, \"dependency\": \"mysqld\", \"status\": \"unknown\"}, "
+      "{\"node\": 5, \"dependency\": \"metric:cpu\", \"status\": \"stale\"}"
+      "], \"causes\": [{\"node\": 4, \"kind\": \"software\", "
+      "\"detail\": \"neutron-plugin-linuxbridge-agent\", "
+      "\"evidence\": \"suspected\", \"confidence\": 0.5}]}}";
+  EXPECT_EQ(json, expected);
+}
+
 TEST(JsonExport, ArrayForm) {
   const Fixture f;
   const std::vector<Diagnosis> diagnoses{f.diagnosis, f.diagnosis};

@@ -182,5 +182,116 @@ TEST_F(RootCauseTest, DiskFloorViaAbsoluteRule) {
   EXPECT_TRUE(disk);
 }
 
+TEST_F(RootCauseTest, StaleMetricsAreUnknownNotClean) {
+  // Every series froze at t = 10 s, well before the 20–30 s fault window.
+  // With staleness checking on, that is *not* "no anomaly": the engine
+  // must flag the series stale, keep searching, and mark the report.
+  for (auto node : deployment_.node_ids()) {
+    for (std::size_t k = 0; k < net::kResourceKinds; ++k) {
+      const auto kind = static_cast<net::ResourceKind>(k);
+      for (int t = 0; t < 10; ++t) metrics_.record(node, kind, t, 20.0);
+    }
+  }
+  RootCauseEngine::Options options;
+  options.metric_staleness_s = 5.0;
+  RootCauseEngine engine(&db_, &catalog_, &deployment_, &metrics_,
+                         watcher_.get(), options);
+
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  const auto report = engine.analyze(fault_with_error_nodes(nova, neutron));
+
+  EXPECT_TRUE(report.causes.empty());
+  EXPECT_TRUE(report.expanded_search) << "stale evidence -> keep looking";
+  EXPECT_TRUE(report.monitoring_degraded);
+  EXPECT_GT(report.stale_series, 0u);
+  bool metric_gap = false;
+  for (const auto& g : report.evidence_gaps) {
+    metric_gap = metric_gap ||
+                 (g.dependency.rfind("metric:", 0) == 0 &&
+                  g.status == monitor::EvidenceStatus::Stale);
+  }
+  EXPECT_TRUE(metric_gap);
+}
+
+TEST_F(RootCauseTest, FreshMetricsPassStalenessGate) {
+  // Same staleness knob, but the series cover the window: the gate must
+  // not fire and legacy behavior is preserved.
+  seed_flat_metrics();
+  RootCauseEngine::Options options;
+  options.metric_staleness_s = 5.0;
+  RootCauseEngine engine(&db_, &catalog_, &deployment_, &metrics_,
+                         watcher_.get(), options);
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  const auto report = engine.analyze(fault_with_error_nodes(nova, neutron));
+  EXPECT_FALSE(report.monitoring_degraded);
+  EXPECT_EQ(report.stale_series, 0u);
+}
+
+TEST_F(RootCauseTest, ProbedWatcherZeroChaosMatchesOracle) {
+  seed_flat_metrics();
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  deployment_.node(neutron).inject_outage(
+      {"neutron-server", SimTime::epoch(),
+       SimTime::epoch() + SimDuration::minutes(5)});
+
+  monitor::DependencyWatcher probed(&deployment_, monitor::ProbeConfig{},
+                                    monitor::MonitorChaosConfig{});
+  ASSERT_TRUE(probed.probed());
+  RootCauseEngine engine(&db_, &catalog_, &deployment_, &metrics_, &probed);
+
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto fault = fault_with_error_nodes(nova, neutron);
+  const auto oracle_report = engine_->analyze(fault);
+  const auto probed_report = engine.analyze(fault);
+
+  ASSERT_EQ(probed_report.causes.size(), oracle_report.causes.size());
+  for (std::size_t i = 0; i < probed_report.causes.size(); ++i) {
+    EXPECT_EQ(probed_report.causes[i].node, oracle_report.causes[i].node);
+    EXPECT_EQ(probed_report.causes[i].detail, oracle_report.causes[i].detail);
+    EXPECT_EQ(probed_report.causes[i].evidence,
+              monitor::EvidenceStatus::Confirmed);
+    EXPECT_DOUBLE_EQ(probed_report.causes[i].confidence, 1.0);
+  }
+  EXPECT_FALSE(probed_report.monitoring_degraded);
+  EXPECT_DOUBLE_EQ(probed_report.probe_time_ms, 0.0);
+}
+
+TEST_F(RootCauseTest, WedgedMonitoringAgentYieldsGapsNotInnocence) {
+  seed_flat_metrics();
+  const auto neutron = deployment_.primary_node_for(ServiceKind::Neutron);
+  // The daemon is down AND the node's monitoring agent is wedged: the
+  // engine cannot confirm the failure, but it must say "could not
+  // observe", not "clean".
+  deployment_.node(neutron).inject_outage(
+      {"neutron-server", SimTime::epoch(),
+       SimTime::epoch() + SimDuration::minutes(5)});
+  monitor::MonitorChaosConfig chaos;
+  chaos.agent_outages.push_back({neutron, SimTime::epoch(),
+                                 SimTime::epoch() + SimDuration::minutes(5),
+                                 /*wedged=*/true});
+  monitor::DependencyWatcher probed(&deployment_, monitor::ProbeConfig{},
+                                    chaos);
+  RootCauseEngine engine(&db_, &catalog_, &deployment_, &metrics_, &probed);
+
+  const auto nova = deployment_.primary_node_for(ServiceKind::Nova);
+  const auto report = engine.analyze(fault_with_error_nodes(nova, neutron));
+
+  for (const auto& c : report.causes) {
+    EXPECT_NE(c.detail, "neutron-server") << "unobservable, not confirmable";
+  }
+  EXPECT_TRUE(report.expanded_search);
+  EXPECT_TRUE(report.monitoring_degraded);
+  EXPECT_GT(report.probe_time_ms, 0.0);
+  bool gap_on_neutron = false;
+  for (const auto& g : report.evidence_gaps) {
+    gap_on_neutron = gap_on_neutron ||
+                     (g.node == neutron && g.dependency == "neutron-server" &&
+                      g.status == monitor::EvidenceStatus::Unknown);
+  }
+  EXPECT_TRUE(gap_on_neutron);
+}
+
 }  // namespace
 }  // namespace gretel::core

@@ -114,6 +114,65 @@ TEST(DependencyWatcher, FailuresInWindowDeduplicated) {
   EXPECT_EQ(failures[0].observed, SimTime::epoch());
 }
 
+TEST(DependencyWatcher, EmptyWindowObservesNothing) {
+  // [from, from) contains no poll, even with an active failure under it.
+  auto deployment = stack::Deployment::standard(1);
+  deployment.crash_software(ServiceKind::Glance, "glance-api",
+                            SimTime::epoch(),
+                            SimTime::epoch() + SimDuration::seconds(30));
+  DependencyWatcher watcher(&deployment);
+  const auto t = SimTime::epoch() + SimDuration::seconds(5);
+  EXPECT_TRUE(watcher.failures_in(t, t).empty());
+}
+
+TEST(DependencyWatcher, PeriodNotDividingRangePollsWithinExclusiveEnd) {
+  // Period 3 s over [0, 10): polls land at 0, 3, 6, 9 — `to` is exclusive,
+  // and the last poll is the largest from + k·period strictly below it.
+  auto deployment = stack::Deployment::standard(1);
+  deployment.crash_software(ServiceKind::Glance, "glance-api",
+                            SimTime::epoch() + SimDuration::seconds(8),
+                            SimTime::epoch() + SimDuration::seconds(30));
+  DependencyWatcher watcher(&deployment);
+
+  // Polls at 0/3/6 miss the failure; the 9 s poll observes it.
+  const auto hit = watcher.failures_in(
+      SimTime::epoch(), SimTime::epoch() + SimDuration::seconds(10),
+      SimDuration::seconds(3));
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_EQ(hit[0].dependency, "glance-api");
+  EXPECT_EQ(hit[0].observed, SimTime::epoch() + SimDuration::seconds(9));
+
+  // Shrinking the window to [0, 9) removes that poll entirely.
+  EXPECT_TRUE(watcher
+                  .failures_in(SimTime::epoch(),
+                               SimTime::epoch() + SimDuration::seconds(9),
+                               SimDuration::seconds(3))
+                  .empty());
+}
+
+TEST(DependencyWatcher, FailRecoverFailKeepsFirstObservation) {
+  // Two distinct outages of the same daemon inside one window deduplicate
+  // to a single failure stamped with the *first* observation.
+  auto deployment = stack::Deployment::standard(1);
+  deployment.crash_software(ServiceKind::Glance, "glance-api",
+                            SimTime::epoch() + SimDuration::seconds(2),
+                            SimTime::epoch() + SimDuration::seconds(4));
+  deployment.crash_software(ServiceKind::Glance, "glance-api",
+                            SimTime::epoch() + SimDuration::seconds(6),
+                            SimTime::epoch() + SimDuration::seconds(8));
+  DependencyWatcher watcher(&deployment);
+
+  // Sanity: the daemon really did recover between the outages.
+  EXPECT_TRUE(watcher.failures_at(SimTime::epoch() + SimDuration::seconds(5))
+                  .empty());
+
+  const auto failures = watcher.failures_in(
+      SimTime::epoch(), SimTime::epoch() + SimDuration::seconds(10));
+  ASSERT_EQ(failures.size(), 1u);
+  EXPECT_EQ(failures[0].dependency, "glance-api");
+  EXPECT_EQ(failures[0].observed, SimTime::epoch() + SimDuration::seconds(2));
+}
+
 TEST(DependencyWatcher, InfraReachability) {
   auto deployment = stack::Deployment::standard(1);
   DependencyWatcher watcher(&deployment);
