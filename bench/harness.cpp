@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <unordered_map>
 
 #include "stack/workflow.h"
@@ -153,6 +154,59 @@ PrecisionRun run_precision(BenchEnv& env,
 
 void print_header(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+unsigned host_cpus() { return std::thread::hardware_concurrency(); }
+
+namespace {
+
+const char* compiler_string() {
+#if defined(__clang__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__)
+  return "gcc " __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+bool build_optimized() {
+#if defined(__OPTIMIZE__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool build_ndebug() {
+#if defined(NDEBUG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void write_bench_meta(std::FILE* f, const BenchRunMeta& meta) {
+  std::fprintf(f,
+               "  \"meta\": {\n"
+               "    \"benchmark\": \"%s\",\n"
+               "    \"schema_version\": %d,\n"
+               "    \"events_measured\": %zu,\n"
+               "    \"pool_records\": %zu,\n"
+               "    \"ingest_batch\": %zu,\n"
+               "    \"drain_interval\": %zu,\n"
+               "    \"host_cpus\": %u,\n"
+               "    \"compiler\": \"%s\",\n"
+               "    \"optimized\": %s,\n"
+               "    \"ndebug\": %s\n"
+               "  }",
+               meta.benchmark.c_str(), meta.schema_version,
+               meta.events_measured, meta.pool_records, meta.ingest_batch,
+               meta.drain_interval, host_cpus(), compiler_string(),
+               build_optimized() ? "true" : "false",
+               build_ndebug() ? "true" : "false");
 }
 
 }  // namespace gretel::bench

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
@@ -69,5 +70,29 @@ PrecisionRun run_precision(BenchEnv& env,
 
 // Prints a separator / header in the textual reports.
 void print_header(const std::string& title);
+
+// ---------------------------------------------------------------------------
+// Self-describing bench JSON.  Every BENCH_*.json opens with the same
+// `"meta"` block — schema version, run parameters, host and build facts —
+// so a number can always be traced back to the machine and flags that
+// produced it, and downstream tooling (tools/render_bench_md.py, the CI
+// tripwire) can parse all bench files uniformly.
+// ---------------------------------------------------------------------------
+
+struct BenchRunMeta {
+  std::string benchmark;         // e.g. "ingest_hotpath"
+  int schema_version = 1;
+  std::size_t events_measured = 0;  // events per timed measurement
+  std::size_t pool_records = 0;     // synthetic record pool size
+  std::size_t ingest_batch = 0;     // events per on_events batch (0 = n/a)
+  std::size_t drain_interval = 0;   // pipeline drain cadence (0 = n/a)
+};
+
+// Writes `  "meta": { ... }` (two-space indent, no trailing comma) with the
+// host CPU count, compiler and optimization facts filled in automatically.
+void write_bench_meta(std::FILE* f, const BenchRunMeta& meta);
+
+// Host hardware threads as recorded in the meta block (0 = unknown).
+unsigned host_cpus();
 
 }  // namespace gretel::bench

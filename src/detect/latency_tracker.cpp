@@ -49,7 +49,8 @@ void LatencyTracker::sweep_orphans(util::SimTime now) {
   }
 }
 
-std::optional<LatencyAlarm> LatencyTracker::observe(const wire::Event& event) {
+std::optional<LatencyAlarm> LatencyTracker::observe(
+    const wire::EventHeader& event) {
   if (orphan_timeout_seconds_ > 0.0 &&
       ++observes_since_sweep_ >= kSweepStride) {
     observes_since_sweep_ = 0;

@@ -52,7 +52,13 @@ class LatencyTracker {
 
   // Feeds one captured event.  Responses that close a pending request
   // produce a latency sample; a confirmed anomaly returns a LatencyAlarm.
-  std::optional<LatencyAlarm> observe(const wire::Event& event);
+  // The EventHeader overload is the real implementation — pairing and the
+  // level-shift feed read only header fields — so the sharded pipeline can
+  // hand workers flat 40-byte headers instead of full events.
+  std::optional<LatencyAlarm> observe(const wire::EventHeader& event);
+  std::optional<LatencyAlarm> observe(const wire::Event& event) {
+    return observe(wire::EventHeader(event));
+  }
 
   // Orphan-request reaper (0 = off).  Whether a pairing is admitted depends
   // only on the response−request gap vs the timeout — never on sweep

@@ -45,6 +45,9 @@ class LatencyShardSet {
   std::optional<LatencyAlarm> observe(const wire::Event& event) {
     return shards_[shard_of(event.api)].observe(event);
   }
+  std::optional<LatencyAlarm> observe(const wire::EventHeader& event) {
+    return shards_[shard_of(event.api)].observe(event);
+  }
 
   // Arms the orphan-request reaper on every shard (0 = off).  Admission is
   // decided at pairing time inside each tracker, so detection output stays

@@ -23,6 +23,7 @@ AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
     resilience.overflow_policy = config_.overflow_policy;
     resilience.spill_capacity = config_.overflow_spill;
     resilience.watchdog_ms = config_.watchdog_ms;
+    resilience.wake_events = config_.shard_wake_events;
     pipeline_ = std::make_unique<ShardPipeline>(
         &latency_, std::max<std::size_t>(64, 2 * drain_interval_),
         resilience);
@@ -31,12 +32,11 @@ AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
 
 void AnomalyDetector::on_event(wire::Event event) {
   if (pipeline_) {
-    // Concurrent path: append to the shared window, hand the event to its
-    // shard, and periodically join to fold in discovered triggers.
-    event.seq = buffer_.end_seq();
+    // Concurrent path: append to the shared window, hand the event's header
+    // to its shard, and periodically join to fold in discovered triggers.
     ++stats_.events;
-    buffer_.push(event, loss_count_);
-    pipeline_->submit(event);
+    const auto seq = buffer_.push_stamped(event, loss_count_);
+    pipeline_->submit(wire::EventHeader(event, seq));
     fold_overflow_losses();
     if (++since_drain_ >= drain_interval_) sync_shards(/*force=*/false);
     return;
@@ -62,10 +62,10 @@ void AnomalyDetector::on_events(std::span<const wire::Event> events) {
     const std::size_t take = std::min(room, events.size() - i);
     batch_scratch_.clear();
     for (std::size_t k = 0; k < take; ++k) {
-      auto& ev = batch_scratch_.emplace_back(events[i + k]);
-      ev.seq = buffer_.end_seq();
+      const auto& source = events[i + k];
       ++stats_.events;
-      buffer_.push(ev, loss_count_);
+      const auto seq = buffer_.push_stamped(source, loss_count_);
+      batch_scratch_.emplace_back(source, seq);
     }
     pipeline_->submit_batch(batch_scratch_);
     fold_overflow_losses();
@@ -76,10 +76,11 @@ void AnomalyDetector::on_events(std::span<const wire::Event> events) {
 }
 
 void AnomalyDetector::ingest_serial(const wire::Event& source) {
-  wire::Event event = source;
-  const auto seq = buffer_.end_seq();
-  event.seq = seq;
+  // Push first, stamping the assigned seq in-ring — the detection scan only
+  // reads header fields, so the hot path never copies the full event.
   ++stats_.events;
+  const auto seq = buffer_.push_stamped(source, loss_count_);
+  const wire::EventHeader event(source, seq);
 
   if (event.is_error()) {
     if (event.kind == wire::ApiKind::Rest) {
@@ -101,7 +102,6 @@ void AnomalyDetector::ingest_serial(const wire::Event& source) {
     pending_.push_back(std::move(p));
   }
 
-  buffer_.push(event, loss_count_);
   run_ready(/*force=*/false);
 }
 

@@ -142,9 +142,10 @@ class AnomalyDetector {
   // the portion of the pipeline's overflow counter already folded in.
   std::uint64_t loss_count_ = 0;
   std::uint64_t overflow_folded_ = 0;
-  // Seq-stamped copies of the current chunk for submit_batch (capacity is
-  // retained across batches; bounded by drain_interval_).
-  std::vector<wire::Event> batch_scratch_;
+  // Seq-stamped headers of the current chunk for submit_batch (capacity is
+  // retained across batches; bounded by drain_interval_).  Headers, not
+  // events: the pipeline hand-off never copies strings across threads.
+  std::vector<wire::EventHeader> batch_scratch_;
   std::vector<PendingSnapshot> pending_;
   // Last trigger sequence per API, for duplicate-relay suppression.
   std::unordered_map<wire::ApiId, std::uint64_t> last_trigger_;

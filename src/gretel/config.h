@@ -126,6 +126,16 @@ struct GretelConfig {
   // internally at drain boundaries).  Purely a throughput knob.
   std::size_t ingest_batch = 128;
 
+  // (hot path) · 0 = auto · deferred-wake cadence of the sharded pipeline,
+  // in events per shard: the coordinator fences and notifies a parked shard
+  // worker only once this many events have accumulated in its ring since
+  // the last wake, instead of once per batch.  Auto resolves to ring
+  // capacity / 8 (clamped to [1, 64]).  Purely a throughput knob with no
+  // liveness cost: drains publish every pending wake (and consume parked
+  // backlog inline), and a full ring always wakes its worker.  Reports are
+  // byte-identical for any value.
+  std::size_t shard_wake_events = 0;
+
   // (threading) · 0 · worker threads for the fan-out fingerprint matcher
   // in Algorithm 2.  0 scores candidates inline on the snapshotting
   // thread; N > 0 fork-joins the per-candidate scoring loop over N threads
@@ -240,9 +250,17 @@ struct GretelConfig {
   // How many events the sharded pipeline ingests between drains (the
   // coordinator/worker join points).  Bounded by α/4 so a pending
   // trigger's past half-window can never be evicted from the 2α dual
-  // buffer before its snapshot runs, whatever the drain backlog.
+  // buffer before its snapshot runs, whatever the drain backlog: a trigger
+  // centred at C is folded in at most one interval D after its event, the
+  // snapshot spans [C−α/2, C+α/2), and ingestion can run at most D events
+  // past the fold point before the next join — so D ≤ α keeps every
+  // freeze inside the buffer, and α/4 leaves a 4× safety margin.  The
+  // absolute cap only bounds the per-drain trigger backlog; it is *not*
+  // part of the eviction-safety argument, so high-rate configs (large
+  // Prate → large α) may drain as rarely as every 1024 events instead of
+  // paying a join every 256.
   std::size_t drain_interval() const {
-    return std::clamp<std::size_t>(alpha() / 4, 1, 256);
+    return std::clamp<std::size_t>(alpha() / 4, 1, 1024);
   }
 };
 

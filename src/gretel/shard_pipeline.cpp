@@ -14,6 +14,15 @@ Clock::duration watchdog_duration(double watchdog_ms) {
       std::chrono::duration<double, std::milli>(watchdog_ms));
 }
 
+// Worker-side bulk pop size: big enough to amortize the cursor publication
+// and trigger commit, small enough that `consumed` (the watchdog's progress
+// signal) advances every few microseconds.
+constexpr std::size_t kWorkerChunk = 64;
+
+// Coordinator-side bulk pop size for the drain-time inline help path: the
+// backlog is bounded by the ring, and nothing else runs on this thread.
+constexpr std::size_t kHelpChunk = 256;
+
 }  // namespace
 
 ShardPipeline::ShardPipeline(detect::LatencyShardSet* latency,
@@ -24,6 +33,18 @@ ShardPipeline::ShardPipeline(detect::LatencyShardSet* latency,
       spill_capacity_(resilience.spill_capacity == 0 ? ring_capacity
                                                      : resilience.spill_capacity),
       spill_(latency->num_shards()) {
+  // Auto wake cadence: an eighth of the ring, capped so a worker on its own
+  // core still wakes a few times per drain interval.  Small rings resolve
+  // to 1 — the exact legacy wake-per-push behavior.  On a host with a
+  // single hardware thread, waking a worker can only preempt the producer,
+  // so auto defers everything to the drain-time inline help (wakes still
+  // fire on a full ring, preserving backpressure liveness).
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t auto_threshold =
+      hw <= 1 ? ring_capacity
+              : std::clamp<std::size_t>(ring_capacity / 8, 1, 64);
+  wake_threshold_ =
+      resilience.wake_events == 0 ? auto_threshold : resilience.wake_events;
   shards_.reserve(latency_->num_shards());
   for (std::size_t i = 0; i < latency_->num_shards(); ++i) {
     shards_.push_back(std::make_unique<Shard>(ring_capacity));
@@ -55,8 +76,9 @@ void ShardPipeline::debug_pause_shard(std::size_t idx, bool paused) {
 
 void ShardPipeline::wake(Shard& shard) {
   // Fence pairs with the one in worker_loop: either this thread observes
-  // worker_idle and notifies, or the worker observes the pushed element and
+  // worker_idle and notifies, or the worker observes the pushed elements and
   // never sleeps — the store-buffering outcome where both miss is excluded.
+  shard.pending_wakes = 0;
   std::atomic_thread_fence(std::memory_order_seq_cst);
   if (shard.worker_idle.load(std::memory_order_relaxed)) {
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -64,7 +86,40 @@ void ShardPipeline::wake(Shard& shard) {
   }
 }
 
-bool ShardPipeline::push_blocking(Shard& shard, const wire::Event& event) {
+void ShardPipeline::note_pushes(std::size_t si, std::uint64_t n, bool defer) {
+  if (n == 0) return;
+  auto& shard = *shards_[si];
+  shard.pending_wakes += n;
+  if (shard.pending_wakes < wake_threshold_) return;
+  if (!defer) {
+    wake(shard);
+    return;
+  }
+  if (!shard.wake_marked) {
+    shard.wake_marked = 1;
+    wake_list_.push_back(static_cast<std::uint32_t>(si));
+  }
+}
+
+void ShardPipeline::publish_wakes() {
+  if (wake_list_.empty()) return;
+  // One trailing fence covers every preceding push to every marked shard —
+  // the same store-buffering exclusion as wake(), amortized over the batch.
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  for (const auto si : wake_list_) {
+    auto& shard = *shards_[si];
+    shard.wake_marked = 0;
+    shard.pending_wakes = 0;
+    if (shard.worker_idle.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.cv.notify_all();
+    }
+  }
+  wake_list_.clear();
+}
+
+bool ShardPipeline::push_blocking(Shard& shard,
+                                  const wire::EventHeader& event) {
   if (shard.ring.try_push(event)) return true;
   // Ring full: the worker is behind.  Park until it makes room; the
   // worker notifies after every pop while producer_waiting is set, and
@@ -101,19 +156,24 @@ bool ShardPipeline::push_blocking(Shard& shard, const wire::Event& event) {
 }
 
 void ShardPipeline::enqueue_drop_oldest(std::size_t shard_idx,
-                                        const wire::Event& event) {
+                                        const wire::EventHeader& event) {
   auto& shard = *shards_[shard_idx];
   auto& spill = spill_[shard_idx];
+  std::uint64_t rung = 0;
   // FIFO order per shard is part of the determinism contract, so waiting
   // spill always enters the ring ahead of the new event.
   while (!spill.empty() && shard.ring.try_push(spill.front())) {
     spill.pop_front();
     ++shard.submitted;
+    ++rung;
   }
   if (spill.empty() && shard.ring.try_push(event)) {
     ++shard.submitted;
+    ++rung;
+    note_pushes(shard_idx, rung, /*defer=*/false);
     return;
   }
+  note_pushes(shard_idx, rung, /*defer=*/false);
   spill.push_back(event);
   if (spill.size() > spill_capacity_) {
     // Ring and spill both full: shed the *oldest* waiting event — its
@@ -123,73 +183,95 @@ void ShardPipeline::enqueue_drop_oldest(std::size_t shard_idx,
   }
 }
 
-void ShardPipeline::submit(const wire::Event& event) {
+void ShardPipeline::submit(const wire::EventHeader& event) {
   const auto si = latency_->shard_of(event.api);
   auto& shard = *shards_[si];
   if (resilience_.overflow_policy == OverflowPolicy::DropOldestWithAccounting) {
     enqueue_drop_oldest(si, event);
-  } else if (push_blocking(shard, event)) {
-    ++shard.submitted;
+    return;
   }
+  if (shard.ring.try_push(event)) {
+    ++shard.submitted;
+    note_pushes(si, 1, /*defer=*/false);
+    return;
+  }
+  // Ring full: we are about to block on this worker, which may be parked on
+  // a deferred wake.  Publish its backlog first, then block.
   wake(shard);
+  if (push_blocking(shard, event)) {
+    ++shard.submitted;
+    note_pushes(si, 1, /*defer=*/false);
+  }
 }
 
-void ShardPipeline::submit_batch(std::span<const wire::Event> events) {
+void ShardPipeline::submit_batch(std::span<const wire::EventHeader> events) {
   if (events.empty()) return;
-  if (touched_.size() != shards_.size()) touched_.assign(shards_.size(), 0);
-  bool any_touched = false;
+  if (runs_.size() != shards_.size()) runs_.resize(shards_.size());
+  // Pass 1 — route: classify every event once, gathering per-shard runs, so
+  // pass 2 touches each ring exactly once instead of ping-ponging ring
+  // cache lines event by event.
+  for (const auto& event : events) {
+    runs_[latency_->shard_of(event.api)].push_back(event);
+  }
   const bool drop_oldest =
       resilience_.overflow_policy == OverflowPolicy::DropOldestWithAccounting;
-  for (const auto& event : events) {
-    const auto si = latency_->shard_of(event.api);
+  // Pass 2 — hand each run to its ring as one bulk push.  Per-shard FIFO
+  // order (the determinism contract) is preserved: the gather is stable and
+  // shards are independent streams, so cross-shard ordering is free.
+  for (std::size_t si = 0; si < runs_.size(); ++si) {
+    auto& run = runs_[si];
+    if (run.empty()) continue;
     auto& shard = *shards_[si];
     if (drop_oldest) {
-      enqueue_drop_oldest(si, event);
+      for (const auto& event : run) enqueue_drop_oldest(si, event);
     } else {
-      bool entered = shard.ring.try_push(event);
-      if (!entered) {
-        // This ring is full, so we are about to block on its worker.  First
-        // publish and wake everything pushed so far: a worker parked before
-        // this batch would otherwise sleep on pending work while we wait
-        // here, and the full ring's own worker may have been parked too.
-        if (any_touched) {
-          flush_wakes();
-          any_touched = false;
+      const std::size_t done = shard.ring.try_push_n(run.data(), run.size());
+      shard.submitted += done;
+      note_pushes(si, done, /*defer=*/true);
+      if (done != run.size()) {
+        // Ring full mid-run: this worker may be parked on a deferred wake,
+        // and so may workers already pushed to this batch.  Publish
+        // everything owed, then block for the tail of the run.
+        wake(shard);
+        publish_wakes();
+        for (std::size_t i = done; i < run.size(); ++i) {
+          if (!push_blocking(shard, run[i])) continue;  // watchdog drop
+          ++shard.submitted;
+          note_pushes(si, 1, /*defer=*/true);
         }
-        entered = push_blocking(shard, event);
       }
-      if (!entered) continue;  // watchdog drop, already accounted
-      ++shard.submitted;
     }
-    if (!touched_[si]) {
-      touched_[si] = 1;
-      any_touched = true;
-    }
+    run.clear();
   }
-  if (any_touched) flush_wakes();
+  publish_wakes();
 }
 
-void ShardPipeline::flush_wakes() {
-  // One trailing fence covers every preceding push: for each touched
-  // shard, either this thread observes worker_idle and notifies, or the
-  // worker's fenced empty-check observes the pushed elements (the same
-  // store-buffering exclusion as submit(), amortized over the batch).
-  std::atomic_thread_fence(std::memory_order_seq_cst);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    if (!touched_[i]) continue;
-    touched_[i] = 0;
-    auto& shard = *shards_[i];
-    if (shard.worker_idle.load(std::memory_order_relaxed)) {
-      std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.cv.notify_all();
-    }
+void ShardPipeline::process_one(const wire::EventHeader& event,
+                                detect::LatencyTracker& tracker,
+                                std::vector<ShardTrigger>* triggers,
+                                std::uint64_t* rpc_errors) {
+  // Stage 2: shard-local anomaly detection.  Operational scan first, then
+  // the latency pairing — the same per-event order as the serial detector,
+  // preserved through the seq-stable trigger merge.
+  const bool rest_error =
+      event.is_error() && event.kind == wire::ApiKind::Rest;
+  const bool rpc_error = event.is_error() && !rest_error;
+  const auto alarm = tracker.observe(event);
+  if (rest_error) {
+    triggers->push_back({event.seq, event.api, FaultKind::Operational,
+                         event.ts, std::nullopt});
+  }
+  if (rpc_error) ++*rpc_errors;
+  if (alarm) {
+    triggers->push_back({event.seq, alarm->api, FaultKind::Performance,
+                         event.ts, alarm});
   }
 }
 
 void ShardPipeline::worker_loop(std::size_t shard_idx) {
   auto& shard = *shards_[shard_idx];
   auto& tracker = latency_->shard(shard_idx);
-  wire::Event event;
+  shard.pop_buf.resize(kWorkerChunk);
   for (;;) {
     if (shard.paused.load(std::memory_order_acquire)) {
       // Test-hook wedge: consume nothing, but keep servicing shutdown so
@@ -199,49 +281,70 @@ void ShardPipeline::worker_loop(std::size_t shard_idx) {
       shard.cv.wait_for(lock, std::chrono::microseconds(100));
       continue;
     }
-    if (shard.ring.try_pop(event)) {
+    const std::size_t n =
+        shard.ring.try_pop_n(shard.pop_buf.data(), kWorkerChunk);
+    if (n != 0) {
       if (shard.producer_waiting.load(std::memory_order_relaxed)) {
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.cv.notify_all();
       }
-
-      // Stage 2: shard-local anomaly detection.  Operational scan first,
-      // then the latency pairing — the same per-event order as the serial
-      // detector, preserved through the seq-stable trigger merge.
-      const bool rest_error =
-          event.is_error() && event.kind == wire::ApiKind::Rest;
-      const bool rpc_error = event.is_error() && !rest_error;
-      const auto alarm = tracker.observe(event);
-      if (rest_error || rpc_error || alarm) {
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        if (rest_error) {
-          shard.triggers.push_back({event.seq, event.api,
-                                    FaultKind::Operational, event.ts,
-                                    std::nullopt});
-        }
-        if (rpc_error) ++shard.rpc_errors;
-        if (alarm) {
-          shard.triggers.push_back({event.seq, alarm->api,
-                                    FaultKind::Performance, event.ts, alarm});
-        }
+      shard.trig_buf.clear();
+      std::uint64_t rpc = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        process_one(shard.pop_buf[i], tracker, &shard.trig_buf, &rpc);
       }
-      shard.consumed.fetch_add(1, std::memory_order_release);
+      if (!shard.trig_buf.empty() || rpc != 0) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.triggers.insert(shard.triggers.end(), shard.trig_buf.begin(),
+                              shard.trig_buf.end());
+        shard.rpc_errors += rpc;
+      }
+      // Publish consumption strictly after the trigger commit: a drain that
+      // acquires consumed == submitted must observe every trigger.
+      shard.consumed.fetch_add(n, std::memory_order_release);
       continue;
     }
 
     // Ring empty: we are caught up.  Tell any drain() waiter, then park
-    // until more work or shutdown.  Fence as in submit(): the predicate's
-    // first evaluation happens after the idle flag is published.
+    // until more work or shutdown.  Fence as in wake(): the predicate's
+    // first evaluation happens after the idle flag is published.  While the
+    // coordinator holds the help claim we stay parked — it owns the ring's
+    // consumer role until the claim clears.
     std::unique_lock<std::mutex> lock(shard.mutex);
     shard.worker_idle.store(true, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_seq_cst);
     shard.cv.notify_all();
     shard.cv.wait(lock, [&] {
       return shard.stop || shard.paused.load(std::memory_order_relaxed) ||
-             !shard.ring.empty();
+             (!shard.claimed && !shard.ring.empty());
     });
     shard.worker_idle.store(false, std::memory_order_relaxed);
     if (shard.stop && shard.ring.empty()) return;
+  }
+}
+
+void ShardPipeline::help_consume(std::size_t shard_idx) {
+  auto& shard = *shards_[shard_idx];
+  auto& tracker = latency_->shard(shard_idx);
+  if (help_buf_.size() < kHelpChunk) help_buf_.resize(kHelpChunk);
+  // Consumer-role transfer is ordered by the shard mutex: the worker's last
+  // tracker/cursor writes happened before it parked (released the mutex),
+  // and the claim was set under the same mutex before this runs.
+  for (;;) {
+    const std::size_t n = shard.ring.try_pop_n(help_buf_.data(), kHelpChunk);
+    if (n == 0) return;
+    help_trig_buf_.clear();
+    std::uint64_t rpc = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      process_one(help_buf_[i], tracker, &help_trig_buf_, &rpc);
+    }
+    if (!help_trig_buf_.empty() || rpc != 0) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.triggers.insert(shard.triggers.end(), help_trig_buf_.begin(),
+                            help_trig_buf_.end());
+      shard.rpc_errors += rpc;
+    }
+    shard.consumed.fetch_add(n, std::memory_order_release);
   }
 }
 
@@ -291,16 +394,31 @@ void ShardPipeline::drain(std::vector<ShardTrigger>* out) {
     flush_spill(i);
     auto& shard = *shards_[i];
     std::unique_lock<std::mutex> lock(shard.mutex);
-    if (!watchdog) {
-      shard.cv.wait(lock, [&] {
-        return shard.consumed.load(std::memory_order_acquire) ==
-               shard.submitted;
-      });
-    } else {
-      auto last_consumed = shard.consumed.load(std::memory_order_acquire);
-      auto deadline = Clock::now() + grace;
-      while (shard.consumed.load(std::memory_order_acquire) !=
-             shard.submitted) {
+    auto last_consumed = shard.consumed.load(std::memory_order_acquire);
+    auto deadline = Clock::now() + grace;
+    while (shard.consumed.load(std::memory_order_acquire) !=
+           shard.submitted) {
+      if (shard.worker_idle.load(std::memory_order_relaxed) &&
+          !shard.paused.load(std::memory_order_relaxed) && !shard.stop) {
+        // The worker is parked with backlog still rung — a deferred wake it
+        // never received.  Claim the consumer role and pop the ring inline
+        // instead of paying a wake/park round trip; on a single-core host
+        // this turns the join into a function call.
+        shard.claimed = true;
+        lock.unlock();
+        help_consume(i);
+        lock.lock();
+        shard.claimed = false;
+        continue;
+      }
+      if (!watchdog) {
+        shard.cv.wait(lock, [&] {
+          return shard.consumed.load(std::memory_order_acquire) ==
+                     shard.submitted ||
+                 (shard.worker_idle.load(std::memory_order_relaxed) &&
+                  !shard.paused.load(std::memory_order_relaxed));
+        });
+      } else {
         shard.cv.wait_for(lock, std::chrono::microseconds(100));
         const auto consumed = shard.consumed.load(std::memory_order_acquire);
         if (consumed != last_consumed) {
@@ -314,6 +432,9 @@ void ShardPipeline::drain(std::vector<ShardTrigger>* out) {
         }
       }
     }
+    // The join cleared (or abandoned) this shard's backlog; any wake debt
+    // with it.
+    shard.pending_wakes = 0;
     out->insert(out->end(),
                 std::make_move_iterator(shard.triggers.begin()),
                 std::make_move_iterator(shard.triggers.end()));

@@ -1,22 +1,41 @@
 // The concurrent front half of the anomaly detector (stages 1–2 of the
 // sharded analysis pipeline).
 //
-//                      ┌─ SpscRing ─▶ shard worker 0 ─┐
-//   ingestion thread ──┼─ SpscRing ─▶ shard worker 1 ─┼──▶ triggers
-//   (decode + route)   └─ SpscRing ─▶ shard worker N ─┘   (merged by seq)
+//                      ┌─ SpscRing<EventHeader> ─▶ shard worker 0 ─┐
+//   ingestion thread ──┼─ SpscRing<EventHeader> ─▶ shard worker 1 ─┼─▶ triggers
+//   (decode + route)   └─ SpscRing<EventHeader> ─▶ shard worker N ─┘  (merged
+//                                                                     by seq)
 //
 // The ingestion (coordinator) thread assigns each event its global sequence
-// number, appends it to the shared dual buffer, and routes a copy to the
-// shard owning the event's API.  Each shard worker scans its substream for
-// REST error statuses and runs the shard-local latency tracker /
-// level-shift detectors; trigger candidates it discovers are queued for the
-// coordinator.  drain() is the synchronization point: it blocks until every
-// shard has consumed everything submitted so far, then hands back the
-// accumulated triggers sorted into global stream order.  Because APIs are
-// partitioned (detect::LatencyShardSet) and request/response pairs share an
-// API, every shard observes exactly the per-API substream the serial
-// detector would, so the merged trigger sequence — and therefore the
-// detection output — is invariant under the shard count.
+// number, appends the full event to the shared dual buffer, and routes its
+// fixed-size header to the shard owning the event's API.  Each shard worker
+// scans its substream for REST error statuses and runs the shard-local
+// latency tracker / level-shift detectors; trigger candidates it discovers
+// are queued for the coordinator.  drain() is the synchronization point: it
+// blocks until every shard has consumed everything submitted so far, then
+// hands back the accumulated triggers sorted into global stream order.
+// Because APIs are partitioned (detect::LatencyShardSet) and
+// request/response pairs share an API, every shard observes exactly the
+// per-API substream the serial detector would, so the merged trigger
+// sequence — and therefore the detection output — is invariant under the
+// shard count.
+//
+// Hand-off cost model (see docs/PERFORMANCE.md for measurements):
+//  * Rings carry wire::EventHeader, a 40-byte trivially copyable POD — the
+//    hand-off never copies strings or touches the allocator across threads.
+//  * Wake-ups are amortized: pushes accumulate per shard and the seq_cst
+//    fence + parked-worker notify only fires once the shard's ring crosses
+//    the wake threshold (or a drain / full ring forces it), instead of once
+//    per submit_batch call.
+//  * Workers pop in bulk (one release store per run) and commit a whole
+//    run's triggers under a single mutex acquisition.
+//  * The Shard control block is grouped by writer and padded to cache
+//    lines, so coordinator-side counters, the worker's consumed cursor and
+//    the shared parking lot never false-share.
+//  * When a drain finds a worker parked with events still rung (a deferred
+//    wake it never received), the coordinator claims the shard and consumes
+//    the backlog inline instead of paying a wake/park round trip — on a
+//    single-core host this turns the join into a function call.
 #pragma once
 
 #include <condition_variable>
@@ -48,6 +67,12 @@ struct ResilienceOptions {
   // unchanged) after which a blocked submit drops the event with accounting
   // and a blocked drain abandons the join.  0 → unbounded waits.
   double watchdog_ms = 0.0;
+  // Deferred-wake cadence, in events per shard: a parked worker is only
+  // woken once this many events have accumulated in its ring since the
+  // last wake.  0 → auto (ring capacity / 8, clamped to [1, 64]).  Purely
+  // a throughput knob: drains publish every pending wake and a full ring
+  // always wakes its worker, so no event can be stranded.
+  std::size_t wake_events = 0;
 };
 
 // A trigger candidate discovered by a shard worker.  Suppression and
@@ -64,7 +89,8 @@ struct ShardTrigger {
 class ShardPipeline {
  public:
   // `latency` must outlive the pipeline and hold one tracker per shard;
-  // shard i's worker is the sole writer of latency->shard(i).
+  // shard i's worker is the sole writer of latency->shard(i) while it runs
+  // (drain() may take the writer role over when the worker is parked).
   ShardPipeline(detect::LatencyShardSet* latency, std::size_t ring_capacity,
                 ResilienceOptions resilience = {});
   ~ShardPipeline();
@@ -72,23 +98,25 @@ class ShardPipeline {
   ShardPipeline(const ShardPipeline&) = delete;
   ShardPipeline& operator=(const ShardPipeline&) = delete;
 
-  // Coordinator thread: routes one event (seq already assigned) to its
-  // shard.  Applies backpressure — blocks while the shard's ring is full —
-  // so a trigger's past α/2 window can never be evicted from the dual
-  // buffer before its snapshot runs.
-  void submit(const wire::Event& event);
+  // Coordinator thread: routes one event header (seq already assigned) to
+  // its shard.  Applies backpressure — blocks while the shard's ring is
+  // full — so a trigger's past α/2 window can never be evicted from the
+  // dual buffer before its snapshot runs.
+  void submit(const wire::EventHeader& event);
+  void submit(const wire::Event& event) { submit(wire::EventHeader(event)); }
 
-  // Coordinator thread: routes a batch of events (seqs already assigned).
+  // Coordinator thread: routes a batch of headers (seqs already assigned).
   // Semantically identical to calling submit() per element — same routing,
-  // same FIFO order per shard, same backpressure — but the wake-up
-  // publication (seq_cst fence + idle-worker notify) is deferred to one
-  // pass over the shards the batch touched, amortizing the per-event cost.
-  void submit_batch(std::span<const wire::Event> events);
+  // same FIFO order per shard, same backpressure — but routing is
+  // precomputed (one pass classifies, then each touched ring takes its
+  // whole run as one bulk push) and wake-ups follow the amortized cadence.
+  void submit_batch(std::span<const wire::EventHeader> events);
 
   // Coordinator thread: blocks until every shard has consumed everything
   // submitted so far, then appends all triggers discovered since the last
   // drain to `out`, sorted by global sequence (ties keep per-shard
-  // discovery order: one event belongs to exactly one shard).
+  // discovery order: one event belongs to exactly one shard).  Parked
+  // workers with rung backlog are consumed inline instead of woken.
   void drain(std::vector<ShardTrigger>* out);
 
   // RPC error responses seen by the shard workers (quiescent: call after
@@ -107,59 +135,105 @@ class ShardPipeline {
 
   // Test hook: wedge / un-wedge shard `idx`'s worker (it stops consuming
   // but keeps servicing shutdown).  Exercises the overflow and watchdog
-  // paths without relying on scheduler luck.
+  // paths without relying on scheduler luck.  A paused shard is never
+  // drained inline either — the wedge wedges consumption completely.
   void debug_pause_shard(std::size_t idx, bool paused);
 
  private:
+  // Control block per shard, grouped by writer so the hot counters never
+  // share a cache line across threads:
+  //  * ring cursors — already line-separated inside SpscRing;
+  //  * coordinator-owned line — submitted / pending_wakes / the producer
+  //    flag, written on every submit;
+  //  * worker-owned line — consumed, bumped once per bulk pop;
+  //  * shared parking lot — mutex, cv, flags and the trigger hand-off,
+  //    only touched at wake/park/drain frequency.
   struct Shard {
     explicit Shard(std::size_t ring_capacity) : ring(ring_capacity) {}
 
-    util::SpscRing<wire::Event> ring;
-    std::uint64_t submitted = 0;  // coordinator-side push count
+    util::SpscRing<wire::EventHeader> ring;
 
-    mutable std::mutex mutex;
+    // --- coordinator-owned (submit path) ---
+    alignas(64) std::uint64_t submitted = 0;  // push count
+    std::uint64_t pending_wakes = 0;   // pushes since the last published wake
+    char wake_marked = 0;              // scratch: in wake_list_ this batch
+    std::atomic<bool> producer_waiting{false};
+
+    // --- worker-owned hot line ---
+    alignas(64) std::atomic<std::uint64_t> consumed{0};  // pop count
+
+    // --- shared parking lot (wake/park/drain frequency) ---
+    alignas(64) mutable std::mutex mutex;
     std::condition_variable cv;
     bool stop = false;
-    std::vector<ShardTrigger> triggers;       // guarded by mutex
-    std::uint64_t rpc_errors = 0;             // guarded by mutex
-    std::atomic<std::uint64_t> consumed{0};   // worker-side pop count
-    std::atomic<bool> producer_waiting{false};
+    // Coordinator help-claim: while set, the parked worker stays parked and
+    // the coordinator is the ring's consumer (set/cleared under mutex).
+    bool claimed = false;
     std::atomic<bool> worker_idle{false};
     std::atomic<bool> paused{false};          // debug_pause_shard test hook
+    std::vector<ShardTrigger> triggers;       // guarded by mutex
+    std::uint64_t rpc_errors = 0;             // guarded by mutex
 
     std::thread worker;
+    // Worker-local staging (no locks held while processing).
+    std::vector<wire::EventHeader> pop_buf;
+    std::vector<ShardTrigger> trig_buf;
   };
 
   void worker_loop(std::size_t shard_idx);
+  // Stage-2 detection for one event: REST error scan + latency pairing, the
+  // same per-event order as the serial detector.  Called by the shard
+  // worker, or by the coordinator while it holds the shard's help claim.
+  static void process_one(const wire::EventHeader& event,
+                          detect::LatencyTracker& tracker,
+                          std::vector<ShardTrigger>* triggers,
+                          std::uint64_t* rpc_errors);
   // Blocks until the shard's ring accepts `event` — or, with the watchdog
   // armed, until the worker makes no progress for watchdog_ms, in which
   // case the event is dropped with accounting.  Returns whether the event
-  // entered the ring; the caller still owns the submitted count and the
-  // wake-up publication.
-  bool push_blocking(Shard& shard, const wire::Event& event);
+  // entered the ring; the caller still owns the submitted count.
+  bool push_blocking(Shard& shard, const wire::EventHeader& event);
   // DropOldestWithAccounting admission: drains waiting spill into freed
   // ring slots (oldest first), then rings or spills `event`; past the spill
   // bound the oldest waiting event is dropped and accounted.  Never blocks.
   // Owns the submitted count for everything it rings.
-  void enqueue_drop_oldest(std::size_t shard_idx, const wire::Event& event);
+  void enqueue_drop_oldest(std::size_t shard_idx,
+                           const wire::EventHeader& event);
   // Pushes a shard's remaining spill into its ring ahead of a drain join,
   // waiting for worker progress as slots free up (watchdog-bounded).
   void flush_spill(std::size_t shard_idx);
-  // Publishes all pushes since the last call (one seq_cst fence) and wakes
-  // every touched shard whose worker parked.  Clears the touched flags.
-  void flush_wakes();
-  // Post-push wake for a single shard (fence + parked-worker notify).
+  // Accounts `n` fresh pushes on shard `si`; once the accumulated count
+  // crosses the wake threshold the shard is queued for the next
+  // publish_wakes() (batch path) or woken immediately (per-event path).
+  void note_pushes(std::size_t si, std::uint64_t n, bool defer);
+  // Publishes every queued wake: one seq_cst fence covers all preceding
+  // pushes, then each marked shard's parked worker is notified.
+  void publish_wakes();
+  // Immediate wake for a single shard (fence + parked-worker notify);
+  // clears its pending-wake debt.
   void wake(Shard& shard);
+  // Coordinator-side consumption of a claimed shard's ring backlog; the
+  // caller must have set shard.claimed under the mutex.
+  void help_consume(std::size_t shard_idx);
 
   detect::LatencyShardSet* latency_;
   ResilienceOptions resilience_;
   std::size_t spill_capacity_ = 0;  // resolved (0 in options → ring capacity)
+  std::size_t wake_threshold_ = 1;  // resolved (0 in options → capacity/8)
   std::vector<std::unique_ptr<Shard>> shards_;
   // Per-shard overflow spill, oldest in front.  Coordinator-owned: the SPSC
   // ring cannot be popped from the producer side, so drop-oldest evicts
   // from here, before events are published to the worker at all.
-  std::vector<std::deque<wire::Event>> spill_;
-  std::vector<char> touched_;  // submit_batch scratch: shards pushed to
+  std::vector<std::deque<wire::EventHeader>> spill_;
+  // submit_batch scratch: the routing pass gathers each shard's run here so
+  // every ring is touched once per batch (capacity retained across batches).
+  std::vector<std::vector<wire::EventHeader>> runs_;
+  // Shards whose accumulated pushes crossed the wake threshold and owe a
+  // notification at the next publish_wakes().
+  std::vector<std::uint32_t> wake_list_;
+  // Coordinator-side staging for help_consume.
+  std::vector<wire::EventHeader> help_buf_;
+  std::vector<ShardTrigger> help_trig_buf_;
   std::uint64_t overflow_dropped_ = 0;
   std::uint64_t watchdog_trips_ = 0;
 };

@@ -50,6 +50,15 @@ class DualBuffer {
     loss_ring_.push(cumulative_loss);
     return ring_.push(event);
   }
+  // push() that also stamps the assigned sequence number onto the stored
+  // copy — saving the ingestion hot path a full wire::Event copy whose only
+  // purpose was to set `seq` before pushing.
+  std::uint64_t push_stamped(const wire::Event& event,
+                             std::uint64_t cumulative_loss) {
+    const auto seq = push(event, cumulative_loss);
+    ring_.back().seq = seq;
+    return seq;
+  }
 
   std::size_t alpha() const { return alpha_; }
   std::uint64_t end_seq() const { return ring_.end_seq(); }

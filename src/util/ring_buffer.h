@@ -51,6 +51,14 @@ class RingBuffer {
     return data_[static_cast<std::size_t>(seq % capacity_)];
   }
 
+  // Mutable view of the most recently pushed element (the caller must have
+  // pushed at least once).  Lets a caller push first and stamp in-ring
+  // fields after, instead of copying the element just to mutate it.
+  T& back() {
+    assert(next_seq_ > 0);
+    return data_[static_cast<std::size_t>((next_seq_ - 1) % capacity_)];
+  }
+
   // Copies the residents of [from, to) into a vector (clamped to what is
   // still buffered).  This is the "freeze between two pointers" snapshot.
   std::vector<T> snapshot(std::uint64_t from, std::uint64_t to) const {
@@ -108,6 +116,26 @@ class SpscRing {
     return true;
   }
 
+  // Producer side, bulk: pushes up to `n` items from `items` in order and
+  // returns how many entered (0 when full).  The whole run is published
+  // with a single release store, so a batch costs one cursor reload and
+  // one fence-free publication instead of n.
+  std::size_t try_push_n(const T* items, std::size_t n) {
+    const auto tail = tail_.load(std::memory_order_relaxed);
+    std::size_t free_slots =
+        capacity() - static_cast<std::size_t>(tail - head_cache_);
+    if (free_slots < n) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      free_slots = capacity() - static_cast<std::size_t>(tail - head_cache_);
+    }
+    const std::size_t k = n < free_slots ? n : free_slots;
+    for (std::size_t i = 0; i < k; ++i) {
+      slots_[static_cast<std::size_t>(tail + i) & mask_] = items[i];
+    }
+    if (k != 0) tail_.store(tail + k, std::memory_order_release);
+    return k;
+  }
+
   // Consumer side.  False when the ring is empty.
   bool try_pop(T& out) {
     const auto head = head_.load(std::memory_order_relaxed);
@@ -118,6 +146,24 @@ class SpscRing {
     out = std::move(slots_[static_cast<std::size_t>(head) & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Consumer side, bulk: pops up to `n` items into `out` and returns how
+  // many were taken.  Mirrors try_push_n: one cursor reload, one release
+  // store for the whole run.
+  std::size_t try_pop_n(T* out, std::size_t n) {
+    const auto head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = static_cast<std::size_t>(tail_cache_ - head);
+    if (avail < n) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      avail = static_cast<std::size_t>(tail_cache_ - head);
+    }
+    const std::size_t k = n < avail ? n : avail;
+    for (std::size_t i = 0; i < k; ++i) {
+      out[i] = std::move(slots_[static_cast<std::size_t>(head + i) & mask_]);
+    }
+    if (k != 0) head_.store(head + k, std::memory_order_release);
+    return k;
   }
 
   // Consumer-side emptiness check (exact for the consumer: items can only

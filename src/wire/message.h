@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "util/ids.h"
@@ -84,5 +85,46 @@ struct Event {
     return is_response() && is_error_status(status);
   }
 };
+
+// The fixed-size slice of an Event that the detection front half reads:
+// error-status scan, request/response pairing and the level-shift feed
+// consume exactly these fields (LatencyTracker::observe touches nothing
+// else).  The sharded pipeline's SPSC rings carry EventHeader instead of
+// Event so the cross-thread hand-off is a flat 40-byte copy — no strings,
+// no identifier vectors, no allocator traffic between producer and
+// consumers.  Trivially copyable by construction; the static_assert keeps
+// it that way.
+struct EventHeader {
+  std::uint64_t seq = 0;
+  util::SimTime ts;
+  std::uint64_t msg_id = 0;
+  std::uint32_t conn_id = 0;
+  ApiId api;
+  ApiKind kind = ApiKind::Rest;
+  Direction dir = Direction::Request;
+  std::uint16_t status = 0;
+
+  EventHeader() = default;
+  explicit EventHeader(const Event& e) : EventHeader(e, e.seq) {}
+  // Header with the sequence number assigned at ingestion time (the wire
+  // Event's own seq field may still be the capture default).
+  EventHeader(const Event& e, std::uint64_t assigned_seq)
+      : seq(assigned_seq),
+        ts(e.ts),
+        msg_id(e.msg_id),
+        conn_id(e.conn_id),
+        api(e.api),
+        kind(e.kind),
+        dir(e.dir),
+        status(e.status) {}
+
+  bool is_request() const { return dir == Direction::Request; }
+  bool is_response() const { return dir == Direction::Response; }
+  bool is_error() const {
+    return is_response() && is_error_status(status);
+  }
+};
+static_assert(std::is_trivially_copyable_v<EventHeader>,
+              "shard rings rely on EventHeader being a flat copy");
 
 }  // namespace gretel::wire

@@ -160,5 +160,105 @@ TEST(ShardOverflow, PauseResumeDeliversEverythingUnderBlockPolicy) {
   EXPECT_EQ(latency.pending(), 64u);
 }
 
+// ---------------------------------------------------------------------------
+// Wake-cadence liveness.  Deferred wakes trade per-event notifies for
+// amortized ones; these tests pin the invariant that amortization must
+// never cost delivery: whatever the wake counter says, drain() returns
+// every submitted event.  (Suite name is in the TSan CI job's filter.)
+// ---------------------------------------------------------------------------
+
+TEST(ShardWakeLiveness, DrainCollectsFromWorkerThatNeverGotAWake) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  // Threshold far above anything submitted: no submit ever publishes a
+  // wake, so the worker may sit parked with a non-empty ring.  Drain must
+  // still deliver everything (inline help or a drain-time wake) rather
+  // than waiting for a notify that will never come.
+  resilience.wake_events = 1 << 20;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  const auto target = api_on_shard(0, 2);
+  for (std::uint64_t i = 0; i < 5; ++i) {  // below ring capacity
+    pipeline.submit(request(i, target));
+  }
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);  // completing at all is the liveness assertion
+  EXPECT_EQ(latency.pending(), 5u);
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+}
+
+TEST(ShardWakeLiveness, BatchedSubmitBelowThresholdStillDrains) {
+  detect::LatencyShardSet latency(4);
+  ResilienceOptions resilience;
+  resilience.wake_events = 1 << 20;
+  ShardPipeline pipeline(&latency, 1024, resilience);
+
+  // Many small batches spread across all four shards, every one below the
+  // wake threshold, interleaved with drains: repeated park/collect cycles.
+  std::vector<wire::EventHeader> batch;
+  std::uint64_t seq = 0;
+  std::size_t expected = 0;
+  for (int round = 0; round < 8; ++round) {
+    batch.clear();
+    for (int k = 0; k < 37; ++k) {
+      batch.push_back(wire::EventHeader(
+          request(seq, wire::ApiId(static_cast<std::uint16_t>(1 + seq % 97))),
+          seq));
+      ++seq;
+    }
+    pipeline.submit_batch(batch);
+    expected += batch.size();
+    std::vector<ShardTrigger> triggers;
+    pipeline.drain(&triggers);
+    EXPECT_EQ(latency.pending(), expected);
+  }
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+}
+
+TEST(ShardWakeLiveness, PausedWorkerBelowThresholdDeliversAfterResume) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  resilience.wake_events = 1 << 20;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  const auto target = api_on_shard(1, 2);
+  pipeline.debug_pause_shard(1, true);
+  for (std::uint64_t i = 0; i < 4; ++i) {  // below capacity, below threshold
+    pipeline.submit(request(i, target));
+  }
+  // While paused, drain's inline help must NOT consume on the worker's
+  // behalf (the pause contract) — so nothing is delivered yet.  After
+  // resume, the same drain path must deliver all four events even though
+  // no wake was ever published for them.
+  pipeline.debug_pause_shard(1, false);
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_EQ(latency.pending(), 4u);
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+}
+
+TEST(ShardWakeLiveness, FullRingForcesWakeDespiteDeferredCadence) {
+  detect::LatencyShardSet latency(2);
+  ResilienceOptions resilience;
+  resilience.wake_events = 1 << 20;
+  ShardPipeline pipeline(&latency, kRing, resilience);
+
+  // 10x ring capacity through a tiny ring with wakes deferred past any
+  // reachable count: progress depends entirely on the full-ring force-wake
+  // in the blocking path.  The loop finishing is the assertion.
+  const auto target = api_on_shard(0, 2);
+  const std::size_t n = kRing * 10;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    pipeline.submit(request(i, target));
+  }
+  std::vector<ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_EQ(latency.pending(), n);
+  EXPECT_EQ(pipeline.overflow_dropped(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+}
+
 }  // namespace
 }  // namespace gretel::core

@@ -179,7 +179,7 @@ TEST(ShardedDeterminism, BatchedIngestIdenticalToPerEvent) {
   const auto reference = replay(records, 1, 0);
   ASSERT_FALSE(reference->diagnoses().empty());
 
-  for (std::size_t shards : {1u, 2u, 4u}) {
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
     // Batched ingest must be byte-identical to per-event ingest at the same
     // shard count — whatever the batch size, including batches that are
     // prime-sized (never aligned with drain boundaries) and a single batch
