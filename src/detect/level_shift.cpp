@@ -7,9 +7,15 @@
 namespace gretel::detect {
 
 void LevelShiftDetector::refresh_baseline() {
-  std::vector<double> v(window_.begin(), window_.end());
-  cached_median_ = util::median(v);
-  cached_sigma_ = std::max(util::mad_sigma(v), params_.sigma_floor);
+  // Refresh runs at line rate (every few absorptions); the preallocated
+  // scratch plus the nth_element-based estimators keep it allocation-free
+  // after warm-up.  The in-place variants are bit-identical to
+  // median()/mad_sigma(), so alarms are unchanged.
+  scratch_.assign(window_.begin(), window_.end());
+  cached_median_ = util::median_inplace(scratch_);
+  scratch_.assign(window_.begin(), window_.end());
+  cached_sigma_ =
+      std::max(util::mad_sigma_inplace(scratch_), params_.sigma_floor);
   stale_ = 0;
 }
 
@@ -53,8 +59,10 @@ std::optional<Alarm> LevelShiftDetector::observe(double t_seconds,
   pending_.push_back(value);
   if (pending_.size() < params_.confirm) return std::nullopt;
 
-  // Confirmed level shift: re-baseline onto the new level.
-  const double new_level = util::median(pending_);
+  // Confirmed level shift: re-baseline onto the new level.  The pending run
+  // seeds the new window below, so the median runs on the scratch copy.
+  scratch_.assign(pending_.begin(), pending_.end());
+  const double new_level = util::median_inplace(scratch_);
   Alarm alarm;
   alarm.t_seconds = t_seconds;
   alarm.value = value;
@@ -77,6 +85,7 @@ std::optional<Alarm> LevelShiftDetector::observe(double t_seconds,
 void LevelShiftDetector::reset() {
   window_.clear();
   pending_.clear();
+  scratch_.clear();
   pending_sign_ = 0;
   last_alarm_t_ = -1e300;
   cached_median_ = 0.0;

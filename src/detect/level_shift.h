@@ -57,6 +57,9 @@ class LevelShiftDetector final : public OutlierDetector {
   LevelShiftParams params_;
   std::deque<double> window_;
   std::vector<double> pending_;  // consecutive out-of-band samples
+  // Preallocated buffer for the in-place median/MAD estimators: refreshes
+  // permute this copy instead of allocating a fresh vector per refresh.
+  std::vector<double> scratch_;
   int pending_sign_ = 0;
   double last_alarm_t_ = -1e300;
   double cached_median_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace gretel::core {
 
 AnomalyDetector::AnomalyDetector(const FingerprintDb* db,
@@ -176,7 +178,8 @@ void AnomalyDetector::run_ready(bool force) {
 
 void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   FreezeInfo freeze_info;
-  const auto window = buffer_.freeze(pending.center, &freeze_info);
+  const auto window =
+      buffer_.freeze(pending.center, &freeze_info, &window_cols_);
   stats_.stale_freezes = buffer_.stale_freezes();
   if (window.empty()) return;
   const auto center_index =
@@ -185,17 +188,20 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   // Re-anchor operational faults on the true failing API: "all REST and RPC
   // errors present in the snapshot are together analyzed" (§5.3.1).  An RPC
   // failure is relayed to the dashboard by a generic status GET; the error
-  // message immediately preceding the trigger is the real fault.
+  // message immediately preceding the trigger is the real fault.  The scan
+  // is one find_last_set over the error-flag column, limited to the
+  // suppress_events window before the trigger.
   wire::ApiId anchor = pending.api;
   std::size_t anchor_index = center_index;
   if (pending.kind == FaultKind::Operational) {
-    for (std::size_t i = center_index; i-- > 0;) {
-      if (center_index - i > config_.suppress_events) break;
-      if (window[i].is_error()) {
-        anchor = window[i].api;
-        anchor_index = i;
-        break;
-      }
+    const std::size_t scan_lo = center_index > config_.suppress_events
+                                    ? center_index - config_.suppress_events
+                                    : 0;
+    const auto hit = simd::find_last_set_u8(
+        window_cols_.err.data() + scan_lo, center_index - scan_lo);
+    if (hit != simd::npos) {
+      anchor_index = scan_lo + hit;
+      anchor = wire::ApiId(window_cols_.api[anchor_index]);
     }
     // The relay and the original error resolve to the same anchor; report
     // each fault once.
@@ -209,7 +215,7 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   }
 
   const auto detection =
-      detector_.detect(window, anchor_index, anchor,
+      detector_.detect(window, window_cols_, anchor_index, anchor,
                        pending.kind == FaultKind::Operational, &match_pool_);
 
   FaultReport report;
@@ -225,8 +231,14 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   report.latency = pending.alarm;
   report.window_losses = freeze_info.losses;
   report.degraded_confidence = freeze_info.losses > 0;
-  for (const auto& ev : window) {
-    if (ev.is_error()) report.error_events.push_back(ev);
+  // Error events: skip from set flag to set flag over the dense error
+  // column instead of testing every fat event record.
+  const std::uint8_t* err_flags = window_cols_.err.data();
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const auto hit = simd::find_first_set_u8(err_flags + i, window.size() - i);
+    if (hit == simd::npos) break;
+    i += hit;
+    report.error_events.push_back(window[i]);
   }
 
   if (pending.kind == FaultKind::Operational) {

@@ -133,6 +133,11 @@ class AnomalyDetector {
   FaultCallback callback_;
   OperationDetector detector_;
   DualBuffer buffer_;
+  // Columnar (SoA) view of the current frozen snapshot — scratch reused
+  // across freezes so steady-state snapshotting allocates nothing.  The
+  // anchor re-scan, the error-event collection and Alg. 2 all read these
+  // columns through the util/simd.h kernels.
+  WindowColumns window_cols_;
   detect::LatencyShardSet latency_;
   util::ThreadPool match_pool_;
   std::unique_ptr<ShardPipeline> pipeline_;  // null when num_shards == 1

@@ -8,6 +8,7 @@ namespace gretel::core {
 FingerprintDb::Index FingerprintDb::add(Fingerprint fp) {
   const auto index = static_cast<Index>(fingerprints_.size());
   max_size_ = std::max(max_size_, fp.sequence.size());
+  masks_.push_back(symbol_fingerprint(fp.sequence));
 
   // Deduplicated inverted index (a fingerprint may repeat an API).
   std::vector<wire::ApiId> seen;
@@ -64,6 +65,12 @@ VariantCache::VariantCache(const FingerprintDb& db, const Matcher& matcher)
       } else {
         v.full.push_back(full_literals);
       }
+      for (const auto& lits : v.truncated) {
+        v.truncated_masks.push_back(symbol_fingerprint(lits));
+      }
+      for (const auto& lits : v.full) {
+        v.full_masks.push_back(symbol_fingerprint(lits));
+      }
       per_fp_[idx].emplace(api, std::move(v));
     }
   }
@@ -77,6 +84,16 @@ std::span<const std::vector<wire::ApiId>> VariantCache::truncated(
 std::span<const std::vector<wire::ApiId>> VariantCache::full(
     FingerprintDb::Index idx, wire::ApiId api) const {
   return per_fp_[idx].at(api).full;
+}
+
+std::span<const std::uint64_t> VariantCache::truncated_masks(
+    FingerprintDb::Index idx, wire::ApiId api) const {
+  return per_fp_[idx].at(api).truncated_masks;
+}
+
+std::span<const std::uint64_t> VariantCache::full_masks(
+    FingerprintDb::Index idx, wire::ApiId api) const {
+  return per_fp_[idx].at(api).full_masks;
 }
 
 }  // namespace gretel::core

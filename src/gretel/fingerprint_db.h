@@ -28,12 +28,19 @@ class FingerprintDb {
   // Fingerprints whose sequence contains `api`.
   const std::vector<Index>& containing(wire::ApiId api) const;
 
+  // 64-bit symbol-presence fingerprint of sequence `i` (see
+  // core::symbol_fingerprint): Alg. 2 rejects candidates that share no
+  // symbol with the snapshot with one AND against this mask before any
+  // O(n) scan.
+  std::uint64_t sequence_mask(Index i) const { return masks_[i]; }
+
   // FPmax: the largest fingerprint size across all operations (the α input,
   // §5.3.1 / §7 "Empirical determination of thresholds").
   std::size_t max_fingerprint_size() const { return max_size_; }
 
  private:
   std::vector<Fingerprint> fingerprints_;
+  std::vector<std::uint64_t> masks_;  // parallel to fingerprints_
   std::unordered_map<wire::ApiId, std::vector<Index>> by_api_;
   std::vector<Index> empty_;
   std::size_t max_size_ = 0;
@@ -69,12 +76,23 @@ class VariantCache {
   std::span<const std::vector<wire::ApiId>> full(FingerprintDb::Index idx,
                                                  wire::ApiId api) const;
 
+  // Symbol-presence masks parallel to truncated()/full(): masks()[vi] is
+  // the 64-bit presence fingerprint of variant vi's literal list, so the
+  // detector can skip a variant whose literals cannot occur in the snapshot
+  // with one AND.
+  std::span<const std::uint64_t> truncated_masks(FingerprintDb::Index idx,
+                                                 wire::ApiId api) const;
+  std::span<const std::uint64_t> full_masks(FingerprintDb::Index idx,
+                                            wire::ApiId api) const;
+
   const Matcher::Options& options() const { return options_; }
 
  private:
   struct Variants {
     std::vector<std::vector<wire::ApiId>> truncated;
     std::vector<std::vector<wire::ApiId>> full;  // exactly one entry
+    std::vector<std::uint64_t> truncated_masks;  // parallel to truncated
+    std::vector<std::uint64_t> full_masks;       // parallel to full
   };
 
   // per_fp_[idx][api] — flat vector outer layer keeps lookups cheap.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <regex>
 
 namespace gretel::core {
 
@@ -11,23 +10,18 @@ Matcher::Matcher(const wire::ApiCatalog* catalog, Options options)
   assert(catalog_);
 }
 
-std::vector<wire::ApiId> Matcher::truncate_at_last(
+std::span<const wire::ApiId> Matcher::truncate_at_last(
     std::span<const wire::ApiId> seq, wire::ApiId api) {
-  std::size_t last = seq.size();
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    if (seq[i] == api) last = i + 1;
-  }
-  return {seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(last)};
+  const auto last =
+      simd::find_last_eq_u16(symbol_data(seq), seq.size(), api.value());
+  return last == simd::npos ? seq : seq.first(last + 1);
 }
 
-std::vector<wire::ApiId> Matcher::truncate_at_first(
+std::span<const wire::ApiId> Matcher::truncate_at_first(
     std::span<const wire::ApiId> seq, wire::ApiId api) {
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    if (seq[i] == api) {
-      return {seq.begin(), seq.begin() + static_cast<std::ptrdiff_t>(i + 1)};
-    }
-  }
-  return {seq.begin(), seq.end()};
+  const auto first =
+      simd::find_first_eq_u16(symbol_data(seq), seq.size(), api.value());
+  return first == simd::npos ? seq : seq.first(first + 1);
 }
 
 std::vector<wire::ApiId> Matcher::required_literals(
@@ -63,11 +57,18 @@ Matcher::Tier Matcher::match_tier(std::span<const wire::ApiId> literals,
   if (matches(literals, snapshot)) return Tier::Strong;
 
   // Greedy backward suffix consumption from the fault position: rightmost
-  // alignment maximizes the consumed suffix length.
+  // alignment maximizes the consumed suffix length.  Each step jumps
+  // straight to the current literal's last occurrence below the previous
+  // match — the same greedy walk as the scalar element-at-a-time loop.
+  const auto* symbols = symbol_data(snapshot);
   std::size_t i = literals.size();
-  for (std::size_t pos = std::min(fault_index, snapshot.size() - 1) + 1;
-       pos-- > 0 && i > 0;) {
-    if (snapshot[pos] == literals[i - 1]) --i;
+  std::size_t end = std::min(fault_index, snapshot.size() - 1) + 1;
+  while (i > 0) {
+    const auto pos =
+        simd::find_last_eq_u16(symbols, end, literals[i - 1].value());
+    if (pos == simd::npos) break;
+    --i;
+    end = pos;
   }
   const std::size_t consumed = literals.size() - i;
   return consumed >= std::min(min_suffix, literals.size()) ? Tier::Weak
@@ -76,13 +77,18 @@ Matcher::Tier Matcher::match_tier(std::span<const wire::ApiId> literals,
 
 bool Matcher::subsequence_match(std::span<const wire::ApiId> literals,
                                 std::span<const wire::ApiId> snapshot) {
-  std::size_t need = 0;
-  for (auto api : snapshot) {
-    if (api == literals[need]) {
-      if (++need == literals.size()) return true;
-    }
+  // Two-pointer subsequence scan, with the inner "advance to the next
+  // occurrence of the current literal" done by the SIMD kernel.
+  const auto* symbols = symbol_data(snapshot);
+  std::size_t pos = 0;
+  for (auto literal : literals) {
+    const auto hit = simd::find_first_eq_u16(symbols + pos,
+                                             snapshot.size() - pos,
+                                             literal.value());
+    if (hit == simd::npos) return false;
+    pos += hit + 1;
   }
-  return false;
+  return true;
 }
 
 void Matcher::encode_api(wire::ApiId api, std::string& out) {
@@ -94,7 +100,7 @@ void Matcher::encode_api(wire::ApiId api, std::string& out) {
 }
 
 bool Matcher::regex_match(std::span<const wire::ApiId> literals,
-                          std::span<const wire::ApiId> snapshot) {
+                          std::span<const wire::ApiId> snapshot) const {
   // Snapshot as text, two regex-safe characters per API.
   std::string text;
   text.reserve(snapshot.size() * 2);
@@ -110,8 +116,24 @@ bool Matcher::regex_match(std::span<const wire::ApiId> literals,
     if (i) pattern += "(..)*?";
     encode_api(literals[i], pattern);
   }
-  const std::regex re(pattern);
-  return std::regex_search(text, re);
+
+  // The compiled regex depends only on the literal sequence; memoize it.
+  // unordered_map element references are stable, so the search can run on
+  // the cached entry after the lock is dropped (regex_search on a const
+  // std::regex is thread-safe).
+  const std::regex* re = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(regex_mutex_);
+    const auto it = regex_cache_.find(pattern);
+    if (it != regex_cache_.end()) {
+      ++regex_cache_hits_;
+      re = &it->second;
+    } else {
+      ++regex_cache_misses_;
+      re = &regex_cache_.emplace(pattern, std::regex(pattern)).first->second;
+    }
+  }
+  return std::regex_search(text, *re);
 }
 
 }  // namespace gretel::core

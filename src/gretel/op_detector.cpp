@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
+
+#include "util/simd.h"
 
 namespace gretel::core {
 
@@ -28,8 +31,11 @@ namespace {
 
 // Backward evidence for operational faults.  The faulty operation aborted
 // at the fault, so all its evidence lies before it: consume the literal
-// list right-to-left starting at the fault position.  Returns the number
-// of consumed literals, or 0 when
+// list right-to-left starting at the fault position.  Each literal jumps
+// straight to its last occurrence below the previous consumption point
+// (simd::find_last_eq_u16) — equivalent to the one-symbol-per-iteration
+// backward walk, which greedily consumed each literal at its rightmost
+// eligible position.  Returns the number of consumed literals, or 0 when
 //  * the literal closest to the fault is farther than `proximity_s` seconds
 //    from it (the failed operation was executing right there, coincidental
 //    matches are scattered), or
@@ -37,29 +43,27 @@ namespace {
 //    literals older than the window are excused (Fig. 4), a near-empty
 //    match is not.
 std::size_t backward_evidence(std::span<const wire::ApiId> literals,
-                              std::span<const wire::ApiId> snapshot,
+                              const std::uint16_t* symbols, std::size_t n,
                               std::span<const double> snapshot_ts,
                               std::size_t fault_pos, double fault_ts,
                               std::size_t min_suffix, double proximity_s) {
-  if (literals.empty() || snapshot.empty()) return 0;
+  if (literals.empty() || n == 0) return 0;
   std::size_t i = literals.size();
-  for (std::size_t pos = std::min(fault_pos, snapshot.size() - 1) + 1;
-       pos-- > 0 && i > 0;) {
-    if (snapshot[pos] != literals[i - 1]) continue;
-    if (i == literals.size() &&
-        fault_ts - snapshot_ts[pos] > proximity_s) {
+  std::size_t end = std::min(fault_pos, n - 1) + 1;  // exclusive bound
+  while (i > 0 && end > 0) {
+    const auto pos =
+        simd::find_last_eq_u16(symbols, end, literals[i - 1].value());
+    if (pos == simd::npos) break;
+    if (i == literals.size() && fault_ts - snapshot_ts[pos] > proximity_s) {
       return 0;  // not anchored at the fault
     }
     --i;
+    end = pos;
   }
   const std::size_t consumed = literals.size() - i;
   if (consumed < std::min(min_suffix, literals.size())) return 0;
   return consumed;
 }
-
-}  // namespace
-
-namespace {
 
 // Candidates below this count are scored inline: the fork-join handshake
 // costs more than the scoring itself.
@@ -68,15 +72,44 @@ constexpr std::size_t kMinParallelCandidates = 4;
 }  // namespace
 
 DetectionResult OperationDetector::detect(
-    std::span<const wire::Event> window, std::size_t fault_index,
-    wire::ApiId offending, bool truncate,
+    std::span<const wire::Event> window, const WindowColumns& cols,
+    std::size_t fault_index, wire::ApiId offending, bool truncate,
     util::ThreadPool* match_pool) const {
+  assert(cols.size() == window.size());
   DetectionResult result;
 
   // Candidate fingerprints containing the offending API (inverted index).
   const auto& candidate_idx = db_->containing(offending);
   result.candidates = candidate_idx.size();
   if (candidate_idx.empty()) return result;
+
+  // When the deployment emits correlation ids and the faulty message
+  // carries one, the snapshot reduces to the packets of that operation
+  // alone — "reducing the number of packets against which a fingerprint is
+  // matched" (§5.3.1).
+  const std::uint32_t fault_corr =
+      config_.use_correlation_ids
+          ? cols.corr[std::min(fault_index, cols.size() - 1)]
+          : 0;
+
+  // Request-side API sequence of the window with timestamps, plus the
+  // original event index so β (measured in messages) maps onto it.  Read
+  // from the columnar view: the filter touches only the req/corr columns
+  // and the kept rows copy out of dense arrays.
+  std::vector<wire::ApiId> apis;
+  std::vector<double> api_ts;
+  std::vector<std::size_t> event_index;
+  apis.reserve(cols.size() / 2);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (!cols.req[i]) continue;
+    if (fault_corr != 0 && cols.corr[i] != fault_corr) continue;
+    apis.push_back(wire::ApiId(cols.api[i]));
+    api_ts.push_back(cols.ts_s[i]);
+    event_index.push_back(i);
+  }
+  if (apis.empty()) return result;
+  const std::uint16_t* symbols =
+      symbol_data(std::span<const wire::ApiId>(apis));
 
   // The offending API may occur several times inside a fingerprint and the
   // detector cannot know which occurrence failed, so each occurrence's
@@ -86,41 +119,37 @@ DetectionResult OperationDetector::detect(
   // borrowed spans — operational faults probe the truncated prefixes,
   // performance faults the whole fingerprint, which runs to completion and
   // is matched against the entire context buffer (§5.3.1).
+  //
+  // Presence-fingerprint prefilter: a candidate whose sequence shares no
+  // symbol with the window's request-side symbols can never produce
+  // evidence in any β slice — one AND of 64-bit masks discards it before
+  // any scan.  The filter is conservative (collisions only admit extras),
+  // so the matched set is unchanged.  The regex ablation backend skips the
+  // mask gates entirely so its measured cost stays the backend's own.
   struct Candidate {
     FingerprintDb::Index index;
     std::span<const std::vector<wire::ApiId>> variants;
+    std::span<const std::uint64_t> masks;  // parallel to variants
+    std::uint64_t any_mask = 0;            // OR of masks
   };
+  const bool mask_gate = config_.backend != MatchBackend::StdRegex;
+  const std::uint64_t window_mask =
+      simd::presence_mask_u16(symbols, apis.size());
   std::vector<Candidate> candidates;
   candidates.reserve(candidate_idx.size());
   for (auto idx : candidate_idx) {
-    candidates.push_back(
-        Candidate{idx, truncate ? variants_.truncated(idx, offending)
-                                : variants_.full(idx, offending)});
+    if (mask_gate && (db_->sequence_mask(idx) & window_mask) == 0) continue;
+    Candidate c;
+    c.index = idx;
+    c.variants = truncate ? variants_.truncated(idx, offending)
+                          : variants_.full(idx, offending);
+    c.masks = truncate ? variants_.truncated_masks(idx, offending)
+                       : variants_.full_masks(idx, offending);
+    for (auto m : c.masks) c.any_mask |= m;
+    candidates.push_back(c);
   }
-
-  // When the deployment emits correlation ids and the faulty message
-  // carries one, the snapshot reduces to the packets of that operation
-  // alone — "reducing the number of packets against which a fingerprint is
-  // matched" (§5.3.1).
-  const std::uint32_t fault_corr =
-      config_.use_correlation_ids
-          ? window[std::min(fault_index, window.size() - 1)].correlation_id
-          : 0;
-
-  // Request-side API sequence of the window with timestamps, plus the
-  // original event index so β (measured in messages) maps onto it.
-  std::vector<wire::ApiId> apis;
-  std::vector<double> api_ts;
-  std::vector<std::size_t> event_index;
-  apis.reserve(window.size() / 2);
-  for (std::size_t i = 0; i < window.size(); ++i) {
-    if (!window[i].is_request()) continue;
-    if (fault_corr != 0 && window[i].correlation_id != fault_corr) continue;
-    apis.push_back(window[i].api);
-    api_ts.push_back(window[i].ts.to_seconds());
-    event_index.push_back(i);
-  }
-  if (apis.empty()) return result;
+  // Even with every candidate gated out, the β loop still runs to its
+  // usual stopping point so beta_final/theta report exactly as before.
 
   // The fault's position in request coordinates: the last request at or
   // before the faulty message (typically the offending request itself).
@@ -130,8 +159,7 @@ DetectionResult OperationDetector::detect(
       fault_req_it == event_index.begin()
           ? 0
           : static_cast<std::size_t>(fault_req_it - event_index.begin()) - 1;
-  const double fault_ts =
-      window[std::min(fault_index, window.size() - 1)].ts.to_seconds();
+  const double fault_ts = cols.ts_s[std::min(fault_index, cols.size() - 1)];
 
   const std::size_t alpha = config_.alpha();
   std::size_t beta = config_.beta0();
@@ -159,6 +187,10 @@ DetectionResult OperationDetector::detect(
     const std::span<const double> snapshot_ts(api_ts.data() + lo, hi - lo);
     const std::size_t fault_in_slice =
         fault_req_pos > lo ? fault_req_pos - lo : 0;
+    // Symbol-presence fingerprint of this slice, for the per-candidate and
+    // per-variant mask gates below.
+    const std::uint64_t snap_mask =
+        mask_gate ? simd::presence_mask_u16(symbols + lo, hi - lo) : ~0ull;
 
     // Evidence per candidate; the matched set keeps those whose evidence is
     // within evidence_ratio of the deepest candidate's, plus every
@@ -175,10 +207,15 @@ DetectionResult OperationDetector::detect(
       std::vector<std::size_t> evidence(candidates.size(), 0);
       std::vector<char> complete(candidates.size(), 0);
       const auto score = [&](std::size_t ci) {
-        for (const auto& literals : candidates[ci].variants) {
+        // No symbol shared with the slice ⟹ every variant consumes zero
+        // literals; skip the candidate with one AND.
+        if ((candidates[ci].any_mask & snap_mask) == 0) return;
+        for (std::size_t vi = 0; vi < candidates[ci].variants.size(); ++vi) {
+          if ((candidates[ci].masks[vi] & snap_mask) == 0) continue;
+          const auto& literals = candidates[ci].variants[vi];
           const auto consumed = backward_evidence(
-              literals, snapshot, snapshot_ts, fault_in_slice, fault_ts,
-              config_.min_literal_suffix,
+              literals, symbols + lo, hi - lo, snapshot_ts, fault_in_slice,
+              fault_ts, config_.min_literal_suffix,
               config_.anchor_proximity_seconds);
           evidence[ci] = std::max(evidence[ci], consumed);
           // Completeness is only conclusive with enough literals behind it;
@@ -208,8 +245,12 @@ DetectionResult OperationDetector::detect(
       // over the slice.
       std::vector<char> hit(candidates.size(), 0);
       const auto score = [&](std::size_t ci) {
-        for (const auto& literals : candidates[ci].variants) {
-          if (matcher_.matches(literals, snapshot)) {
+        for (std::size_t vi = 0; vi < candidates[ci].variants.size(); ++vi) {
+          // A forward match needs *every* literal present: a variant with a
+          // presence bit outside the slice's mask cannot match.
+          if (mask_gate && (candidates[ci].masks[vi] & ~snap_mask) != 0)
+            continue;
+          if (matcher_.matches(candidates[ci].variants[vi], snapshot)) {
             hit[ci] = 1;
             break;
           }

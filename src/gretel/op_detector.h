@@ -3,14 +3,23 @@
 //
 // Given the frozen sliding window and the offending API, the detector:
 //  1. pulls the candidate fingerprints containing that API (inverted index),
-//  2. truncates each at the API's last occurrence (operational faults only —
-//     performance faults match the full fingerprint since the operation
-//     runs to completion),
-//  3. grows a context buffer β around the fault by δ per iteration, matching
+//  2. prunes candidates that share no symbol with the window — one AND of
+//     64-bit presence fingerprints (FingerprintDb::sequence_mask vs the
+//     window's mask) rejects them before any O(n) scan,
+//  3. truncates each survivor at the API's last occurrence (operational
+//     faults only — performance faults match the full fingerprint since the
+//     operation runs to completion),
+//  4. grows a context buffer β around the fault by δ per iteration, matching
 //     candidates' state-change literals against the snapshot, and stops as
 //     soon as precision θ = (N−n)/(N−1) would drop (with subsequence
 //     matching, n grows monotonically in β, so the first increase after a
 //     non-empty match is the stopping point).
+//
+// The snapshot arrives with its columnar (SoA) view (core::WindowColumns):
+// the request filter and the per-candidate symbol walks read contiguous
+// uint16/uint8/double columns through the util/simd.h kernels instead of
+// striding through wire::Event records.  SIMD and scalar kernels are
+// bit-identical, so detection output is invariant under the kernel family.
 //
 // Candidate scoring is embarrassingly parallel — each fingerprint is
 // matched against the snapshot independently — so detect() optionally
@@ -27,6 +36,7 @@
 #include "gretel/fingerprint_db.h"
 #include "gretel/matcher.h"
 #include "gretel/report.h"
+#include "gretel/window.h"
 #include "util/thread_pool.h"
 #include "wire/message.h"
 
@@ -44,14 +54,26 @@ class OperationDetector {
   OperationDetector(const FingerprintDb* db, const wire::ApiCatalog* catalog,
                     const GretelConfig& config);
 
-  // `window` is the frozen snapshot; `fault_index` locates the faulty
-  // message inside it; `truncate` selects the operational-fault behaviour.
-  // `match_pool` (optional) fans candidate scoring out over its workers;
-  // a null or empty pool scores inline.
+  // `window` is the frozen snapshot and `cols` its columnar view (indices
+  // shared); `fault_index` locates the faulty message inside it; `truncate`
+  // selects the operational-fault behaviour.  `match_pool` (optional) fans
+  // candidate scoring out over its workers; a null or empty pool scores
+  // inline.
+  DetectionResult detect(std::span<const wire::Event> window,
+                         const WindowColumns& cols, std::size_t fault_index,
+                         wire::ApiId offending, bool truncate,
+                         util::ThreadPool* match_pool = nullptr) const;
+
+  // Convenience overload building the columnar view on the fly (tests and
+  // one-shot callers; the analyzer hot path reuses a scratch instance).
   DetectionResult detect(std::span<const wire::Event> window,
                          std::size_t fault_index, wire::ApiId offending,
                          bool truncate,
-                         util::ThreadPool* match_pool = nullptr) const;
+                         util::ThreadPool* match_pool = nullptr) const {
+    WindowColumns cols;
+    cols.build(window);
+    return detect(window, cols, fault_index, offending, truncate, match_pool);
+  }
 
   // θ for a given matched-count n against this database's N.
   double theta(std::size_t n) const;

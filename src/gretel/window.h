@@ -13,12 +13,49 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/ring_buffer.h"
 #include "wire/message.h"
 
 namespace gretel::core {
+
+// Struct-of-arrays view of a frozen snapshot: the per-event fields the
+// analysis loops actually scan, laid out as contiguous columns so the error
+// scan, the request filter and the Alg. 2 symbol walks read dense uint16 /
+// uint8 / double arrays instead of striding through fat wire::Event records
+// (whose strings and identifier vectors the scans never touch).  The
+// columns are the natural operands of the util/simd.h kernels.
+//
+// Built in one pass at freeze time; indices are shared with the event
+// vector the freeze returned (columns[i] describes events[i]).
+struct WindowColumns {
+  std::vector<std::uint16_t> api;   // ApiId raw symbol values
+  std::vector<std::uint8_t> err;    // 1 = error response
+  std::vector<std::uint8_t> req;    // 1 = request
+  std::vector<std::uint32_t> corr;  // correlation ids (0 = absent)
+  std::vector<double> ts_s;         // timestamps in seconds
+
+  void build(std::span<const wire::Event> events) {
+    const auto n = events.size();
+    api.resize(n);
+    err.resize(n);
+    req.resize(n);
+    corr.resize(n);
+    ts_s.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& e = events[i];
+      api[i] = e.api.value();
+      err[i] = e.is_error() ? 1 : 0;
+      req[i] = e.is_request() ? 1 : 0;
+      corr[i] = e.correlation_id;
+      ts_s[i] = e.ts.to_seconds();
+    }
+  }
+
+  std::size_t size() const { return api.size(); }
+};
 
 // What a freeze saw beyond the events themselves: where the center landed,
 // and how degraded the telemetry under the window was.
@@ -117,6 +154,16 @@ class DualBuffer {
         info->losses = loss_ring_.at(last) - loss_ring_.at(first);
       }
     }
+    return snap;
+  }
+
+  // Same freeze, additionally building the columnar (SoA) view of the
+  // snapshot in `cols` (capacity retained across freezes by the caller's
+  // scratch instance).
+  std::vector<wire::Event> freeze(std::uint64_t center, FreezeInfo* info,
+                                  WindowColumns* cols) const {
+    auto snap = freeze(center, info);
+    if (cols) cols->build(snap);
     return snap;
   }
 

@@ -48,6 +48,34 @@ double mad_sigma(std::span<const double> xs) {
   return 1.4826 * median(dev);
 }
 
+double median_inplace(std::span<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t n = xs.size();
+  // Exactly quantile(xs, 0.5)'s arithmetic: lo = floor(0.5*(n-1)),
+  // hi = lo+1 clamped, interpolate — the v[hi]*frac term participates even
+  // when frac == 0.0 (it decides the sign of a ±0.0 result), so the upper
+  // order statistic is always materialized.
+  const double pos = 0.5 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(lo),
+                   xs.end());
+  const double vlo = xs[lo];
+  const double vhi =
+      lo + 1 < n
+          ? *std::min_element(xs.begin() + static_cast<std::ptrdiff_t>(lo) + 1,
+                              xs.end())
+          : vlo;
+  return vlo * (1.0 - frac) + vhi * frac;
+}
+
+double mad_sigma_inplace(std::span<double> xs) {
+  if (xs.empty()) return 0.0;
+  const double med = median_inplace(xs);
+  for (auto& x : xs) x = std::fabs(x - med);
+  return 1.4826 * median_inplace(xs);
+}
+
 EmpiricalCdf::EmpiricalCdf(std::vector<double> xs) : xs_(std::move(xs)) {
   std::sort(xs_.begin(), xs_.end());
 }

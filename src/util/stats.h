@@ -42,6 +42,15 @@ double median(std::span<const double> xs);
 // standard deviation under normality (factor 1.4826).
 double mad_sigma(std::span<const double> xs);
 
+// Allocation-free variants for refresh hot loops: permute the caller's
+// buffer (nth_element selection, O(n) expected) instead of copying and
+// sorting it.  Bit-identical to median()/mad_sigma() on the same values —
+// including the interpolation arithmetic on even sizes and signed-zero
+// edge cases — so detectors can switch per call site without changing
+// output (pinned by tests/util/stats_test.cpp).
+double median_inplace(std::span<double> xs);
+double mad_sigma_inplace(std::span<double> xs);
+
 // Empirical CDF over a sample; evaluate() returns P[X <= x].
 class EmpiricalCdf {
  public:

@@ -18,6 +18,11 @@ std::vector<ApiId> ids(std::initializer_list<int> xs) {
   return out;
 }
 
+// truncate_at_* returns a view into its input; materialize for EXPECT_EQ.
+std::vector<ApiId> to_vec(std::span<const ApiId> s) {
+  return {s.begin(), s.end()};
+}
+
 class MatcherTest : public ::testing::Test {
  protected:
   MatcherTest() {
@@ -39,22 +44,31 @@ class MatcherTest : public ::testing::Test {
 
 TEST_F(MatcherTest, TruncateAtLastOccurrence) {
   const auto seq = ids({4, 0, 5, 0, 6});
-  EXPECT_EQ(Matcher::truncate_at_last(seq, ApiId(0)), ids({4, 0, 5, 0}));
-  EXPECT_EQ(Matcher::truncate_at_last(seq, ApiId(4)), ids({4}));
-  EXPECT_EQ(Matcher::truncate_at_last(seq, ApiId(6)), seq);
+  EXPECT_EQ(to_vec(Matcher::truncate_at_last(seq, ApiId(0))),
+            ids({4, 0, 5, 0}));
+  EXPECT_EQ(to_vec(Matcher::truncate_at_last(seq, ApiId(4))), ids({4}));
+  EXPECT_EQ(to_vec(Matcher::truncate_at_last(seq, ApiId(6))), seq);
 }
 
 TEST_F(MatcherTest, TruncateAbsentApiKeepsAll) {
   const auto seq = ids({4, 5});
-  EXPECT_EQ(Matcher::truncate_at_last(seq, ApiId(3)), seq);
-  EXPECT_EQ(Matcher::truncate_at_first(seq, ApiId(3)), seq);
+  EXPECT_EQ(to_vec(Matcher::truncate_at_last(seq, ApiId(3))), seq);
+  EXPECT_EQ(to_vec(Matcher::truncate_at_first(seq, ApiId(3))), seq);
+}
+
+TEST_F(MatcherTest, TruncationsAreViewsIntoTheInput) {
+  // The no-allocation contract: the returned span aliases the input array.
+  const auto seq = ids({4, 0, 5, 0, 6});
+  const auto view = Matcher::truncate_at_last(seq, ApiId(0));
+  EXPECT_EQ(view.data(), seq.data());
+  EXPECT_EQ(Matcher::truncate_at_first(seq, ApiId(6)).data(), seq.data());
 }
 
 TEST_F(MatcherTest, TruncateAtFirstOccurrence) {
   const auto seq = ids({4, 0, 5, 0, 6});
-  EXPECT_EQ(Matcher::truncate_at_first(seq, ApiId(0)), ids({4, 0}));
-  EXPECT_EQ(Matcher::truncate_at_first(seq, ApiId(4)), ids({4}));
-  EXPECT_EQ(Matcher::truncate_at_first(seq, ApiId(6)), seq);
+  EXPECT_EQ(to_vec(Matcher::truncate_at_first(seq, ApiId(0))), ids({4, 0}));
+  EXPECT_EQ(to_vec(Matcher::truncate_at_first(seq, ApiId(4))), ids({4}));
+  EXPECT_EQ(to_vec(Matcher::truncate_at_first(seq, ApiId(6))), seq);
 }
 
 TEST_F(MatcherTest, FirstTruncationLiteralsPrefixLastTruncationLiterals) {
@@ -122,6 +136,22 @@ TEST_F(MatcherTest, RegexBackendAgreesOnExamples) {
         ids({4, 4}), ids({9, 8})}) {
     EXPECT_EQ(sub.matches(lits, snapshot), re.matches(lits, snapshot));
   }
+}
+
+TEST_F(MatcherTest, RegexBackendCachesCompiledPatterns) {
+  const Matcher re(&catalog_, {true, MatchBackend::StdRegex});
+  const auto lits = ids({4, 5});
+  EXPECT_TRUE(re.matches(lits, ids({0, 4, 1, 5})));
+  EXPECT_EQ(re.regex_cache_misses(), 1u);
+  EXPECT_EQ(re.regex_cache_hits(), 0u);
+  // Same literal sequence, different snapshot: compiled pattern is reused.
+  EXPECT_TRUE(re.matches(lits, ids({4, 2, 2, 5})));
+  EXPECT_EQ(re.regex_cache_misses(), 1u);
+  EXPECT_EQ(re.regex_cache_hits(), 1u);
+  // New literal sequence compiles once more.
+  EXPECT_FALSE(re.matches(ids({5, 4}), ids({0, 4, 1, 5})));
+  EXPECT_EQ(re.regex_cache_misses(), 2u);
+  EXPECT_EQ(re.regex_cache_hits(), 1u);
 }
 
 TEST_F(MatcherTest, NearFaultStrongOnFullEvidence) {

@@ -11,6 +11,7 @@
 #include "gretel/analyzer.h"
 #include "gretel/training.h"
 #include "tempest/workload.h"
+#include "util/simd.h"
 
 namespace gretel::core {
 namespace {
@@ -196,6 +197,32 @@ TEST(ShardedDeterminism, BatchedIngestIdenticalToPerEvent) {
     expect_identical(*reference, *per_event,
                      "per-event num_shards=" + std::to_string(shards));
   }
+}
+
+TEST(ShardedDeterminism, ScalarKernelsIdenticalToSimd) {
+  // The SIMD determinism contract end-to-end: forcing every util/simd.h
+  // kernel onto its scalar reference must leave the full diagnosis stream
+  // byte-identical, at every shard count.  (CI additionally builds a whole
+  // leg with -DGRETEL_FORCE_SCALAR=ON; this test covers the in-process
+  // runtime switch so one binary proves both families agree.)
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = 20;
+  spec.faults = 3;
+  spec.seed = 36;
+  spec.window = SimDuration::seconds(120);
+  const auto records = record_workload(spec, 360);
+
+  const auto reference = replay(records, 1, 0);  // compiled kernel family
+  ASSERT_FALSE(reference->diagnoses().empty());
+
+  simd::set_force_scalar(true);
+  for (std::size_t shards : {1u, 2u, 4u, 8u}) {
+    const auto run = replay(records, shards, 0);
+    expect_identical(*reference, *run,
+                     std::string("scalar kernels, num_shards=") +
+                         std::to_string(shards));
+  }
+  simd::set_force_scalar(false);
 }
 
 TEST(ShardedDeterminism, CleanWorkloadStaysClean) {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <vector>
 
+#include "util/rng.h"
+
 namespace gretel::util {
 namespace {
 
@@ -82,6 +84,50 @@ TEST(MadSigma, ConsistentWithNormalScale) {
 TEST(MadSigma, RobustToOutlier) {
   std::vector<double> v{10, 10, 10, 10, 10, 10, 10, 1000};
   EXPECT_DOUBLE_EQ(mad_sigma(v), 0.0);  // majority identical
+}
+
+// The in-place (nth_element) estimators must be *bit-identical* to the
+// sort-based ones — the level-shift detector switched to them, and its
+// alarm stream may not move by even one ULP.
+TEST(InplaceEstimators, BitIdenticalToSortedAcrossSizes) {
+  Rng rng(0x57A7);
+  for (std::size_t n = 0; n <= 130; ++n) {
+    std::vector<double> xs(n);
+    for (auto& x : xs) x = rng.next_double() * 100.0 - 50.0;
+    std::vector<double> scratch = xs;
+    const double med = median(xs);
+    const double med_ip = median_inplace(scratch);
+    EXPECT_EQ(med, med_ip) << "n=" << n;  // EQ, not NEAR: bit identity
+    scratch = xs;
+    EXPECT_EQ(mad_sigma(xs), mad_sigma_inplace(scratch)) << "n=" << n;
+  }
+}
+
+TEST(InplaceEstimators, DuplicatesAndConstants) {
+  for (std::size_t n = 1; n <= 40; ++n) {
+    std::vector<double> xs(n, 7.25);
+    std::vector<double> scratch = xs;
+    EXPECT_EQ(median(xs), median_inplace(scratch));
+    scratch = xs;
+    EXPECT_EQ(mad_sigma(xs), mad_sigma_inplace(scratch));
+  }
+}
+
+TEST(InplaceEstimators, SignedZeroInterpolation) {
+  // Even-size interpolation touches both middle order statistics; the
+  // in-place variant must reproduce the same signed zero.
+  std::vector<double> xs{-0.0, 0.0};
+  std::vector<double> scratch = xs;
+  const double a = median(xs);
+  const double b = median_inplace(scratch);
+  EXPECT_EQ(std::signbit(a), std::signbit(b));
+  EXPECT_EQ(a, b);
+}
+
+TEST(InplaceEstimators, EmptyInput) {
+  std::vector<double> empty;
+  EXPECT_EQ(median_inplace(empty), 0.0);
+  EXPECT_EQ(mad_sigma_inplace(empty), 0.0);
 }
 
 TEST(EmpiricalCdf, Evaluate) {
