@@ -1,0 +1,132 @@
+#include "campaign/cluster.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace gretel::campaign {
+
+CampaignSummary summarize(std::span<const ScenarioResult> results) {
+  CampaignSummary s;
+  s.scenarios = results.size();
+
+  std::map<std::uint64_t, Cluster> clusters;  // ordered: stable iteration
+  std::set<std::pair<std::size_t, std::uint64_t>> class_fps;
+
+  for (const auto& r : results) {
+    const auto cls = static_cast<std::size_t>(r.fault_class);
+    const auto out = static_cast<std::size_t>(r.outcome);
+    ++s.outcomes[out];
+    auto& c = s.per_class[cls];
+    ++c.scenarios;
+    ++c.outcomes[out];
+    if (r.env_expected) ++c.env_expected;
+    if (r.env_localized) ++c.env_localized;
+    s.audit_shed += r.audit_shed;
+    if (r.budget_truncated) ++s.budget_truncated;
+    class_fps.insert({cls, r.fingerprint});
+
+    auto [it, fresh] = clusters.try_emplace(r.fingerprint);
+    auto& cl = it->second;
+    if (fresh) {
+      cl.fingerprint = r.fingerprint;
+      cl.example_id = r.id;
+      cl.example_class = r.fault_class;
+      cl.example_outcome = r.outcome;
+    } else if (r.id < cl.example_id) {
+      cl.example_id = r.id;
+      cl.example_class = r.fault_class;
+      cl.example_outcome = r.outcome;
+    }
+    ++cl.size;
+  }
+
+  for (const auto& [cls, fp] : class_fps)
+    ++s.per_class[cls].distinct_fingerprints;
+
+  s.clusters.reserve(clusters.size());
+  for (const auto& [fp, cl] : clusters) s.clusters.push_back(cl);
+  std::sort(s.clusters.begin(), s.clusters.end(),
+            [](const Cluster& a, const Cluster& b) {
+              if (a.size != b.size) return a.size > b.size;
+              return a.fingerprint < b.fingerprint;
+            });
+  s.distinct_fingerprints = s.clusters.size();
+  for (const auto& cl : s.clusters)
+    if (cl.size == 1) ++s.singleton_fingerprints;
+  return s;
+}
+
+namespace {
+
+void append_outcomes(std::string& out, const std::size_t (&counts)[kOutcomes]) {
+  for (std::size_t o = 0; o < kOutcomes; ++o) {
+    out += "\"";
+    out += to_string(static_cast<Outcome>(o));
+    out += "\": ";
+    out += std::to_string(counts[o]);
+    if (o + 1 < kOutcomes) out += ", ";
+  }
+}
+
+}  // namespace
+
+void append_summary_json(std::string& out, const CampaignSummary& s) {
+  out += "{\n    \"scenarios\": ";
+  out += std::to_string(s.scenarios);
+  out += ",\n    \"outcomes\": {";
+  append_outcomes(out, s.outcomes);
+  out += "},\n    \"localized_fraction\": ";
+  {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.4f", s.localized_fraction());
+    out += buf;
+  }
+  out += ",\n    \"distinct_fingerprints\": ";
+  out += std::to_string(s.distinct_fingerprints);
+  out += ",\n    \"singleton_fingerprints\": ";
+  out += std::to_string(s.singleton_fingerprints);
+  out += ",\n    \"audit_shed\": ";
+  out += std::to_string(s.audit_shed);
+  out += ",\n    \"budget_truncated\": ";
+  out += std::to_string(s.budget_truncated);
+
+  out += ",\n    \"per_class\": [";
+  for (std::size_t c = 0; c < kFaultClasses; ++c) {
+    const auto& cc = s.per_class[c];
+    if (c) out += ',';
+    out += "\n      {\"class\": \"";
+    out += to_string(static_cast<FaultClass>(c));
+    out += "\", \"scenarios\": ";
+    out += std::to_string(cc.scenarios);
+    out += ", ";
+    append_outcomes(out, cc.outcomes);
+    out += ", \"env_expected\": ";
+    out += std::to_string(cc.env_expected);
+    out += ", \"env_localized\": ";
+    out += std::to_string(cc.env_localized);
+    out += ", \"distinct_fingerprints\": ";
+    out += std::to_string(cc.distinct_fingerprints);
+    out += '}';
+  }
+  out += "\n    ],\n    \"clusters\": [";
+  for (std::size_t i = 0; i < s.clusters.size(); ++i) {
+    const auto& cl = s.clusters[i];
+    if (i) out += ',';
+    out += "\n      {\"fingerprint\": \"";
+    out += fingerprint_hex(cl.fingerprint);
+    out += "\", \"size\": ";
+    out += std::to_string(cl.size);
+    out += ", \"example_id\": ";
+    out += std::to_string(cl.example_id);
+    out += ", \"example_class\": \"";
+    out += to_string(cl.example_class);
+    out += "\", \"example_outcome\": \"";
+    out += to_string(cl.example_outcome);
+    out += "\"}";
+  }
+  out += "\n    ]\n  }";
+}
+
+}  // namespace gretel::campaign

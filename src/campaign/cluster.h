@@ -1,0 +1,69 @@
+// Failure-mode clustering and the campaign coverage/novelty summary.
+//
+// Scenarios that produced the same canonical report fingerprint are the
+// same failure mode — however different their injected parameters looked —
+// so clustering by fingerprint collapses a thousand-scenario sweep into
+// the handful of distinct behaviors the analyzer actually exhibited.  The
+// summary then answers the two campaign questions: coverage (per fault
+// class, how often was the fault localized vs. missed vs. misattributed
+// vs. crashed?) and novelty (how many distinct failure modes exist, and
+// how many are singletons — the long tail worth a human look).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "campaign/orchestrator.h"
+
+namespace gretel::campaign {
+
+// One failure-mode cluster: every member scenario produced this exact
+// canonical fingerprint.
+struct Cluster {
+  std::uint64_t fingerprint = 0;
+  std::size_t size = 0;
+  std::uint64_t example_id = 0;  // lowest member scenario id
+  FaultClass example_class = FaultClass::OpError;
+  Outcome example_outcome = Outcome::Missed;
+};
+
+struct ClassCoverage {
+  std::size_t scenarios = 0;
+  std::size_t outcomes[kOutcomes] = {};  // indexed by Outcome
+  std::size_t env_expected = 0;
+  std::size_t env_localized = 0;
+  std::size_t distinct_fingerprints = 0;
+};
+
+struct CampaignSummary {
+  std::size_t scenarios = 0;
+  std::size_t outcomes[kOutcomes] = {};
+  ClassCoverage per_class[kFaultClasses] = {};
+
+  // Clusters sorted by size (desc), then fingerprint — stable across runs.
+  std::vector<Cluster> clusters;
+  std::size_t distinct_fingerprints = 0;
+  std::size_t singleton_fingerprints = 0;
+
+  std::uint64_t audit_shed = 0;       // capped-log entries shed, summed
+  std::size_t budget_truncated = 0;   // scenarios clipped by the budget
+
+  double localized_fraction() const {
+    return scenarios
+               ? static_cast<double>(
+                     outcomes[static_cast<std::size_t>(Outcome::Localized)]) /
+                     static_cast<double>(scenarios)
+               : 0.0;
+  }
+};
+
+CampaignSummary summarize(std::span<const ScenarioResult> results);
+
+// Appends the summary as a JSON object: totals, per-class coverage table,
+// and the cluster list.  Callers wrap it into their own document (the
+// bench adds its meta block; the CLI emits it standalone).
+void append_summary_json(std::string& out, const CampaignSummary& summary);
+
+}  // namespace gretel::campaign

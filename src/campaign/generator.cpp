@@ -1,0 +1,314 @@
+#include "campaign/generator.h"
+
+#include <array>
+
+#include "util/rng.h"
+#include "util/seed.h"
+
+namespace gretel::campaign {
+
+using stack::Category;
+using util::Rng;
+using util::SeedStream;
+using util::derive_seed;
+using wire::ServiceKind;
+
+const char* to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::OpError: return "op_error";
+    case FaultClass::EnvCpuSurge: return "env_cpu_surge";
+    case FaultClass::EnvDiskExhaustion: return "env_disk_exhaustion";
+    case FaultClass::EnvDaemonCrash: return "env_daemon_crash";
+    case FaultClass::EnvLinkLatency: return "env_link_latency";
+    case FaultClass::WireChaos: return "wire_chaos";
+    case FaultClass::MonitorChaos: return "monitor_chaos";
+    case FaultClass::MultiIndependent: return "multi_independent";
+    case FaultClass::Cascade: return "cascade";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// (service, daemon) crash sites — every daemon here is installed by
+// net::default_software_for on the service's node(s) and watched by the
+// dependency watcher, so a correct localization is *possible* for each.
+struct CrashSite {
+  ServiceKind service;
+  const char* daemon;
+};
+constexpr std::array<CrashSite, 4> kCrashSites{{
+    {ServiceKind::NovaCompute, "neutron-plugin-linuxbridge-agent"},
+    {ServiceKind::Nova, "nova-conductor"},
+    {ServiceKind::Neutron, "neutron-dhcp-agent"},
+    {ServiceKind::Glance, "glance-registry"},
+}};
+
+constexpr std::array<ServiceKind, 4> kSurgeServices{
+    ServiceKind::Nova, ServiceKind::Neutron, ServiceKind::Glance,
+    ServiceKind::Cinder};
+
+constexpr std::array<ServiceKind, 2> kDiskServices{ServiceKind::Glance,
+                                                   ServiceKind::Cinder};
+
+constexpr std::array<ServiceKind, 3> kLinkServices{
+    ServiceKind::Neutron, ServiceKind::Glance, ServiceKind::MySql};
+
+constexpr std::array<std::uint16_t, 3> kStatuses{500, 503, 409};
+
+// Non-transient state-change steps of `op` (the workload executor relays
+// aborts at these through the dashboard poll, so the error surfaces).
+std::vector<std::size_t> state_change_steps(
+    const tempest::TempestCatalog& catalog,
+    const stack::OperationTemplate& op) {
+  std::vector<std::size_t> steps;
+  for (std::size_t s = 0; s < op.steps.size(); ++s) {
+    if (op.steps[s].transient) continue;
+    if (catalog.apis().get(op.steps[s].api).state_change())
+      steps.push_back(s);
+  }
+  return steps;
+}
+
+// Steps of `op` that call into `service` (state-change preferred).
+std::vector<std::size_t> steps_calling(
+    const tempest::TempestCatalog& catalog,
+    const stack::OperationTemplate& op, ServiceKind service) {
+  std::vector<std::size_t> strict, any;
+  for (std::size_t s = 0; s < op.steps.size(); ++s) {
+    if (op.steps[s].transient) continue;
+    if (op.steps[s].callee != service) continue;
+    any.push_back(s);
+    if (catalog.apis().get(op.steps[s].api).state_change())
+      strict.push_back(s);
+  }
+  return strict.empty() ? any : strict;
+}
+
+// Uniform Compute/Network operation with at least one state-change step
+// (the §7.3 faulty-operation pool).
+std::size_t pick_faultable_op(const tempest::TempestCatalog& catalog,
+                              Rng& rng) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const auto cat =
+        rng.chance(0.67) ? Category::Compute : Category::Network;
+    const auto& ops = catalog.category_ops(cat);
+    const auto op_idx = ops[rng.next_below(ops.size())];
+    if (!state_change_steps(catalog, catalog.operation(op_idx)).empty())
+      return op_idx;
+  }
+  return catalog.category_ops(Category::Compute).front();
+}
+
+// Operation with a step calling `service`; falls back to any faultable op
+// when the catalog sample keeps missing (the orchestrator then scores the
+// scenario on the workload fault alone).
+std::size_t pick_op_calling(const tempest::TempestCatalog& catalog,
+                            ServiceKind service, Rng& rng,
+                            std::size_t* fail_step) {
+  for (int tries = 0; tries < 96; ++tries) {
+    // Search the whole catalog uniformly; env faults are not restricted to
+    // the Compute/Network pools (a Glance disk fault needs an Image op).
+    const auto op_idx = rng.next_below(catalog.operations().size());
+    const auto& op = catalog.operation(op_idx);
+    const auto steps = steps_calling(catalog, op, service);
+    if (!steps.empty()) {
+      *fail_step = steps[rng.next_below(steps.size())];
+      return op_idx;
+    }
+  }
+  const auto op_idx = pick_faultable_op(catalog, rng);
+  const auto steps = state_change_steps(catalog, catalog.operation(op_idx));
+  *fail_step = steps.front();
+  return op_idx;
+}
+
+InjectedFault sample_plain_fault(const tempest::TempestCatalog& catalog,
+                                 double window_s, Rng& rng) {
+  InjectedFault f;
+  f.op_index = pick_faultable_op(catalog, rng);
+  const auto steps = state_change_steps(catalog,
+                                        catalog.operation(f.op_index));
+  f.fail_step = steps[rng.next_below(steps.size())];
+  f.status = kStatuses[rng.next_below(kStatuses.size())];
+  f.start_offset_s = (0.2 + 0.6 * rng.next_double()) * window_s;
+  return f;
+}
+
+InjectedFault sample_fault_calling(const tempest::TempestCatalog& catalog,
+                                   ServiceKind service, double window_s,
+                                   Rng& rng) {
+  InjectedFault f;
+  f.op_index = pick_op_calling(catalog, service, rng, &f.fail_step);
+  f.status = kStatuses[rng.next_below(kStatuses.size())];
+  f.start_offset_s = (0.2 + 0.6 * rng.next_double()) * window_s;
+  return f;
+}
+
+}  // namespace
+
+ScenarioGenerator::ScenarioGenerator(const tempest::TempestCatalog* catalog,
+                                     CampaignPlan plan)
+    : catalog_(catalog), plan_(plan) {}
+
+ScenarioSpec ScenarioGenerator::generate_one(std::uint64_t index) const {
+  ScenarioSpec spec;
+  spec.id = index;
+  spec.fault_class = static_cast<FaultClass>(index % kFaultClasses);
+  spec.seed = derive_seed(plan_.seed, SeedStream::Scenario, index);
+  spec.concurrent_tests = plan_.concurrent_tests;
+  spec.window_s = plan_.window_s;
+
+  // Parameter sampling draws from a stream independent of the seeds the
+  // orchestrator hands to the run-time consumers.
+  Rng rng(derive_seed(spec.seed, SeedStream::Generator));
+  const auto& catalog = *catalog_;
+  const std::size_t max_faults =
+      plan_.max_concurrent_faults > 0 ? plan_.max_concurrent_faults : 1;
+
+  const auto env_window = [&](EnvFault& env) {
+    // Onset after a clean prefix: every injected workload fault launches
+    // at >= 0.2 × window, so the perturbation is active for all of them,
+    // while the prefix gives the window analysis uncontaminated baseline
+    // samples (a perturbation spanning the entire capture is statistically
+    // indistinguishable from the node's normal level).
+    env.start_s = 0.1 * spec.window_s;
+    env.duration_s = spec.window_s + 60.0;
+  };
+
+  switch (spec.fault_class) {
+    case FaultClass::OpError:
+      spec.faults.push_back(sample_plain_fault(catalog, spec.window_s, rng));
+      break;
+
+    case FaultClass::EnvCpuSurge: {
+      spec.env.kind = EnvFault::Kind::CpuSurge;
+      spec.env.service =
+          kSurgeServices[rng.next_below(kSurgeServices.size())];
+      // A whole-window surge leaves no clean in-capture baseline for the
+      // relative window test, so draws must clear the absolute "CPU pegged
+      // above 90%" rule: idle baseline ~8% + 85..97 pts ≈ 93..105%.
+      spec.env.intensity = 85.0 + 12.0 * rng.next_double();
+      env_window(spec.env);
+      spec.faults.push_back(sample_fault_calling(catalog, spec.env.service,
+                                                 spec.window_s, rng));
+      break;
+    }
+
+    case FaultClass::EnvDiskExhaustion: {
+      spec.env.kind = EnvFault::Kind::DiskExhaustion;
+      spec.env.service = kDiskServices[rng.next_below(kDiskServices.size())];
+      // 199.1k..199.9k MB off the 200k baseline leaves 100..900 MB free —
+      // under the absolute "below 1 GB" health rule.  (The relative window
+      // test cannot see a fault active for the whole capture: its baseline
+      // samples are equally depressed.)
+      spec.env.intensity = 199'100.0 + 800.0 * rng.next_double();
+      env_window(spec.env);
+      spec.faults.push_back(sample_fault_calling(catalog, spec.env.service,
+                                                 spec.window_s, rng));
+      break;
+    }
+
+    case FaultClass::EnvDaemonCrash: {
+      const auto& site = kCrashSites[rng.next_below(kCrashSites.size())];
+      spec.env.kind = EnvFault::Kind::DaemonCrash;
+      spec.env.service = site.service;
+      spec.env.daemon = site.daemon;
+      env_window(spec.env);
+      spec.faults.push_back(sample_plain_fault(catalog, spec.window_s, rng));
+      break;
+    }
+
+    case FaultClass::EnvLinkLatency: {
+      spec.env.kind = EnvFault::Kind::LinkLatency;
+      spec.env.service = kLinkServices[rng.next_below(kLinkServices.size())];
+      spec.env.intensity = 20.0 + 100.0 * rng.next_double();  // extra ms
+      env_window(spec.env);
+      spec.faults.push_back(sample_plain_fault(catalog, spec.window_s, rng));
+      break;
+    }
+
+    case FaultClass::WireChaos: {
+      spec.faults.push_back(sample_plain_fault(catalog, spec.window_s, rng));
+      auto& w = spec.wire;
+      w.drop_rate = 0.01 + 0.05 * rng.next_double();
+      w.truncate_rate = 0.05 * rng.next_double();
+      w.corrupt_rate = 0.04 * rng.next_double();
+      w.duplicate_rate = 0.03 * rng.next_double();
+      w.reorder_rate = 0.03 * rng.next_double();
+      if (rng.chance(0.25)) w.burst_rate = 0.002 + 0.004 * rng.next_double();
+      if (rng.chance(0.25)) w.clock_skew_max_ms = 20.0 * rng.next_double();
+      break;
+    }
+
+    case FaultClass::MonitorChaos: {
+      const auto& site = kCrashSites[rng.next_below(kCrashSites.size())];
+      spec.env.kind = EnvFault::Kind::DaemonCrash;
+      spec.env.service = site.service;
+      spec.env.daemon = site.daemon;
+      env_window(spec.env);
+      spec.faults.push_back(sample_plain_fault(catalog, spec.window_s, rng));
+      auto& m = spec.monitor;
+      m.probe_drop_rate = 0.02 + 0.08 * rng.next_double();
+      m.probe_timeout_rate = 0.02 + 0.06 * rng.next_double();
+      m.probe_delay_rate = 0.04 * rng.next_double();
+      m.false_positive_rate = 0.02 * rng.next_double();
+      m.false_negative_rate = 0.02 * rng.next_double();
+      break;
+    }
+
+    case FaultClass::MultiIndependent: {
+      const std::size_t n =
+          2 + (max_faults > 2 ? rng.next_below(max_faults - 1) : 0);
+      // Distinct operations: two faults in the same template would be one
+      // fault to the detector's suppression logic.  Bounded attempts so a
+      // tiny catalog cannot spin.
+      for (int tries = 0; tries < 64 && spec.faults.size() < n; ++tries) {
+        auto f = sample_plain_fault(catalog, spec.window_s, rng);
+        bool dup = false;
+        for (const auto& g : spec.faults) dup |= g.op_index == f.op_index;
+        if (!dup) spec.faults.push_back(f);
+      }
+      break;
+    }
+
+    case FaultClass::Cascade: {
+      const auto& site = kCrashSites[rng.next_below(kCrashSites.size())];
+      spec.env.kind = EnvFault::Kind::DaemonCrash;
+      spec.env.service = site.service;
+      spec.env.daemon = site.daemon;
+      env_window(spec.env);
+      // Several dependent failures downstream of the one root cause.
+      const std::size_t n = std::max<std::size_t>(2, max_faults);
+      for (std::size_t i = 0; i < n && spec.faults.size() < max_faults + 1;
+           ++i) {
+        auto f = sample_fault_calling(catalog, spec.env.service,
+                                      spec.window_s, rng);
+        bool dup = false;
+        for (const auto& g : spec.faults) dup |= g.op_index == f.op_index;
+        if (!dup) spec.faults.push_back(f);
+      }
+      if (spec.faults.empty()) {
+        spec.faults.push_back(sample_fault_calling(catalog, spec.env.service,
+                                                   spec.window_s, rng));
+      }
+      break;
+    }
+  }
+
+  // Chaos substrates get their own derived seeds regardless of rates (a
+  // zero-rate config never draws, so this is free for quiet classes).
+  spec.wire.seed = derive_seed(spec.seed, SeedStream::WireChaos);
+  spec.monitor.seed = derive_seed(spec.seed, SeedStream::MonitorChaos);
+  return spec;
+}
+
+std::vector<ScenarioSpec> ScenarioGenerator::generate() const {
+  std::vector<ScenarioSpec> out;
+  out.reserve(plan_.scenarios);
+  for (std::uint64_t i = 0; i < plan_.scenarios; ++i)
+    out.push_back(generate_one(i));
+  return out;
+}
+
+}  // namespace gretel::campaign

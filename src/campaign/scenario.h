@@ -1,0 +1,98 @@
+// Scenario vocabulary of the fault-campaign engine.
+//
+// A scenario is one fully-specified end-to-end experiment: a background
+// workload mix, one or more injected faults (workload errors, environmental
+// perturbations, wire chaos, monitoring chaos — alone or combined), and the
+// derived seeds that make the whole run reproducible from the campaign
+// seed.  The generator (generator.h) enumerates/samples these; the
+// orchestrator (orchestrator.h) runs each one through the full
+// capture→detect→diagnose pipeline and scores the outcome.
+//
+// Scenario classes follow the fault-injection-analytics methodology of
+// arXiv:2010.00331 (sweep generated campaigns, cluster the failure modes)
+// and include the multi-fault shapes that arXiv's failure-propagation work
+// motivates: concurrent-independent faults and correlated cascades where
+// one environmental root cause drives several workload failures.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/chaos.h"
+#include "monitor/probe.h"
+#include "wire/api.h"
+
+namespace gretel::campaign {
+
+// The campaign's fault-space axes, as coverage classes.  Single-fault
+// classes are the paper's Fig. 8 table stakes; WireChaos/MonitorChaos
+// stress the telemetry substrates; MultiIndependent and Cascade are the
+// multi-fault shapes.
+enum class FaultClass : std::uint8_t {
+  OpError,           // one operational REST/RPC error
+  EnvCpuSurge,       // CPU surge + correlated operational error
+  EnvDiskExhaustion, // disk exhaustion + correlated operational error
+  EnvDaemonCrash,    // daemon crash + correlated operational error
+  EnvLinkLatency,    // injected link latency + correlated operational error
+  WireChaos,         // operational error observed through a degraded tap
+  MonitorChaos,      // daemon crash + op error, monitoring plane degraded
+  MultiIndependent,  // concurrent unrelated operational errors
+  Cascade,           // one env root cause, several dependent op errors
+};
+inline constexpr std::size_t kFaultClasses = 9;
+
+const char* to_string(FaultClass c);
+
+// One injected workload fault: operation `op_index` of the catalog fails at
+// `fail_step` with `status`, launched `start_offset_s` into the window.
+struct InjectedFault {
+  std::size_t op_index = 0;
+  std::size_t fail_step = 0;
+  std::uint16_t status = 500;
+  double start_offset_s = 0.0;
+};
+
+// The environmental half of a correlated scenario (env classes, Cascade,
+// MonitorChaos): a perturbation of `service`'s node(s) that is the ground
+// truth root cause the analyzer should localize.
+struct EnvFault {
+  enum class Kind : std::uint8_t {
+    None,
+    CpuSurge,        // intensity = delta percentage points
+    DiskExhaustion,  // intensity = free-MB drop
+    DaemonCrash,     // daemon names the crashed software
+    LinkLatency,     // intensity = extra one-way latency in ms
+  };
+  Kind kind = Kind::None;
+  wire::ServiceKind service = wire::ServiceKind::Nova;
+  std::string daemon;       // DaemonCrash only
+  double intensity = 0.0;
+  double start_s = 0.0;     // relative to the workload window start
+  double duration_s = 0.0;  // 0 = whole run
+};
+
+struct ScenarioSpec {
+  std::uint64_t id = 0;
+  FaultClass fault_class = FaultClass::OpError;
+  // Per-scenario root seed, splitmix64-derived from the campaign seed
+  // (util/seed.h); every RNG consumer forks its own stream off this.
+  std::uint64_t seed = 0;
+
+  // Workload mix.
+  int concurrent_tests = 12;
+  double window_s = 45.0;
+
+  std::vector<InjectedFault> faults;
+  EnvFault env;
+
+  // Telemetry-substrate chaos; zero-rate (strict no-op) unless the class
+  // exercises that substrate.
+  net::ChaosConfig wire;
+  monitor::MonitorChaosConfig monitor;
+
+  bool has_env() const { return env.kind != EnvFault::Kind::None; }
+  bool multi_fault() const { return faults.size() > 1; }
+};
+
+}  // namespace gretel::campaign

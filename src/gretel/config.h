@@ -233,6 +233,30 @@ struct GretelConfig {
   // analysis by at most this budget, never stall it.  0 = unbounded.
   double probe_budget_ms = 0.0;
 
+  // --- fault-campaign engine (src/campaign/; see docs/ARCHITECTURE.md,
+  // "Campaign engine & failure-mode clustering").  These knobs bound and
+  // seed orchestrated multi-fault sweeps; they have no effect on a plain
+  // analyzer. ---
+
+  // (campaign) · 0xCA59A16E · root seed of a campaign.  Every scenario's
+  // workload/executor/chaos/metric seeds are splitmix64-derived from
+  // (this, stream, scenario index) — see util/seed.h — so scenario k and
+  // k+1 draw uncorrelated streams and one seed reproduces a whole sweep.
+  std::uint64_t campaign_seed = 0xCA59A16Eull;
+
+  // (campaign) · 200000 · per-scenario event budget: the orchestrator
+  // truncates a scenario's (post-chaos) wire stream to this many records
+  // before analysis, so one pathological scenario cannot run away with the
+  // sweep.  Deterministic — truncation happens at a fixed input index.
+  // 0 = unbounded.
+  std::size_t campaign_budget_events = 200000;
+
+  // (campaign) · 2 · maximum simultaneous injected faults per generated
+  // scenario (multi-fault classes: concurrent-independent and cascading
+  // draw up to this many workload faults on top of any environmental root
+  // cause).
+  std::size_t campaign_max_concurrent_faults = 2;
+
   std::size_t alpha() const {
     const auto rate_window =
         static_cast<std::size_t>(p_rate * t_seconds);

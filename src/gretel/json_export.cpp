@@ -121,28 +121,29 @@ std::string to_json(const Diagnosis& d, const wire::ApiCatalog& catalog,
   }
   out += ", \"causes\": [";
   for (std::size_t i = 0; i < d.root_cause.causes.size(); ++i) {
-    const auto& c = d.root_cause.causes[i];
     if (i) out += ", ";
-    out += "{\"node\": ";
-    out += std::to_string(c.node.value());
-    out += ", \"kind\": \"";
-    out += c.kind == CauseKind::SoftwareFailure ? "software" : "resource";
-    out += "\", \"detail\": \"";
-    out += json_escape(c.detail);
-    // Evidence quality rides along only when it is weaker than the legacy
-    // implicit Confirmed, keeping default documents byte-identical.
-    if (c.evidence != monitor::EvidenceStatus::Confirmed) {
-      out += "\", \"evidence\": \"";
-      out += monitor::to_string(c.evidence);
-      out += "\", \"confidence\": ";
-      append_number(out, c.confidence);
-      out += '}';
-      continue;
-    }
-    out += "\"}";
+    append_cause_json(out, d.root_cause.causes[i]);
   }
   out += "]}}";
   return out;
+}
+
+void append_cause_json(std::string& out, const Cause& c) {
+  out += "{\"node\": ";
+  out += std::to_string(c.node.value());
+  out += ", \"kind\": \"";
+  out += c.kind == CauseKind::SoftwareFailure ? "software" : "resource";
+  out += "\", \"detail\": \"";
+  out += json_escape(c.detail);
+  if (c.evidence != monitor::EvidenceStatus::Confirmed) {
+    out += "\", \"evidence\": \"";
+    out += monitor::to_string(c.evidence);
+    out += "\", \"confidence\": ";
+    append_number(out, c.confidence);
+    out += '}';
+    return;
+  }
+  out += "\"}";
 }
 
 std::string to_json(std::span<const Diagnosis> diagnoses,

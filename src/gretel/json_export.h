@@ -16,6 +16,13 @@ namespace gretel::core {
 // Escapes a string for inclusion inside a JSON string literal.
 std::string json_escape(std::string_view s);
 
+// Appends one cause as a JSON object.  Evidence quality rides along only
+// when weaker than the legacy implicit Confirmed, keeping default
+// documents byte-identical.  Shared by the diagnosis export below and the
+// campaign report fingerprint (src/campaign/fingerprint.cpp), so both
+// speak the exact same cause vocabulary.
+void append_cause_json(std::string& out, const Cause& cause);
+
 // One diagnosis as a JSON object.
 std::string to_json(const Diagnosis& diagnosis,
                     const wire::ApiCatalog& catalog,

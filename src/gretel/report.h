@@ -90,4 +90,12 @@ struct Diagnosis {
   RootCauseReport root_cause;
 };
 
+// Canonical (presentation-independent) ordering of causes: by kind, node,
+// detail, then evidence status — deliberately ignoring score and
+// confidence, whose float values rank ties differently across backends.
+// The campaign fingerprint sorts causes with this before hashing so that
+// cosmetic ordering differences within a score tie cannot change a
+// report's failure-mode signature.  Implemented in root_cause.cpp.
+bool cause_canonical_less(const Cause& a, const Cause& b);
+
 }  // namespace gretel::core

@@ -188,4 +188,15 @@ RootCauseReport RootCauseEngine::analyze(const FaultReport& fault) const {
   return report;
 }
 
+bool cause_canonical_less(const Cause& a, const Cause& b) {
+  if (a.kind != b.kind) {
+    return static_cast<std::uint8_t>(a.kind) <
+           static_cast<std::uint8_t>(b.kind);
+  }
+  if (a.node.value() != b.node.value()) return a.node.value() < b.node.value();
+  if (a.detail != b.detail) return a.detail < b.detail;
+  return static_cast<std::uint8_t>(a.evidence) <
+         static_cast<std::uint8_t>(b.evidence);
+}
+
 }  // namespace gretel::core

@@ -75,7 +75,7 @@ double uniform(std::uint64_t seed, std::uint64_t node,
 }  // namespace
 
 MonitorChaos::MonitorChaos(MonitorChaosConfig config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)), audit_(config_.audit_limit) {}
 
 std::uint64_t MonitorChaos::count(MonitorChaosAction action) const {
   return counts_[static_cast<std::size_t>(action)];

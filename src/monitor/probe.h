@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "stack/faults.h"
+#include "util/capped_log.h"
 #include "util/time.h"
 #include "wire/endpoint.h"
 
@@ -119,6 +120,11 @@ struct MonitorChaosConfig {
   // so not audited as injections.
   std::vector<stack::MonitorAgentFault> agent_outages;
 
+  // Audit-log retention: newest `audit_limit` injections kept (0 =
+  // unbounded).  count() totals stay exact past the cap; audit().dropped()
+  // counts the shed entries.
+  std::size_t audit_limit = 65536;
+
   bool enabled() const {
     return probe_drop_rate > 0 || probe_delay_rate > 0 ||
            probe_timeout_rate > 0 || false_positive_rate > 0 ||
@@ -163,14 +169,16 @@ class MonitorChaos {
                 std::int64_t tick_nanos, int attempt) const;
 
   const MonitorChaosConfig& config() const { return config_; }
-  const std::vector<MonitorInjection>& audit() const { return audit_; }
+  // Newest config.audit_limit injections in order; count() totals remain
+  // exact past the cap (audit().dropped() counts shed entries).
+  const util::CappedLog<MonitorInjection>& audit() const { return audit_; }
   std::uint64_t count(MonitorChaosAction action) const;
 
  private:
   bool agent_crashed_at(wire::NodeId node, util::SimTime t);
 
   MonitorChaosConfig config_;
-  std::vector<MonitorInjection> audit_;
+  util::CappedLog<MonitorInjection> audit_;
   std::uint64_t counts_[7] = {};
   // Rate-based crash onsets already audited (dedup across queries).
   std::set<std::pair<std::uint8_t, std::int64_t>> crash_onsets_seen_;

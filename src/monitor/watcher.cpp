@@ -164,7 +164,17 @@ ProbeStats DependencyWatcher::probe_stats() const {
 }
 
 std::vector<MonitorInjection> DependencyWatcher::chaos_audit() const {
-  return engine_ ? engine_->chaos().audit() : std::vector<MonitorInjection>{};
+  return engine_ ? engine_->chaos().audit().snapshot()
+                 : std::vector<MonitorInjection>{};
+}
+
+std::uint64_t DependencyWatcher::chaos_count(
+    MonitorChaosAction action) const {
+  return engine_ ? engine_->chaos().count(action) : 0;
+}
+
+std::uint64_t DependencyWatcher::chaos_audit_dropped() const {
+  return engine_ ? engine_->chaos().audit().dropped() : 0;
 }
 
 }  // namespace gretel::monitor

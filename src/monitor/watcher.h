@@ -89,6 +89,12 @@ class DependencyWatcher {
   // Probe-plane counters and chaos audit; zero/empty in oracle mode.
   ProbeStats probe_stats() const;
   std::vector<MonitorInjection> chaos_audit() const;
+  // Exact per-action injection totals — independent of the audit log's
+  // retention cap, so counter reconciliation stays exact even when the
+  // entry list was shed.  Zero in oracle mode.
+  std::uint64_t chaos_count(MonitorChaosAction action) const;
+  // Audit entries shed past MonitorChaosConfig::audit_limit.
+  std::uint64_t chaos_audit_dropped() const;
 
  private:
   const stack::Deployment* deployment_;

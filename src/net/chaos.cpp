@@ -22,7 +22,8 @@ const char* to_string(ChaosAction action) {
 }
 
 ChaosTap::ChaosTap(ChaosConfig config, Sink sink)
-    : config_(config), sink_(std::move(sink)), rng_(config.seed) {}
+    : config_(config), sink_(std::move(sink)), rng_(config.seed),
+      audit_(config.audit_limit) {}
 
 std::int64_t ChaosTap::skew_for(wire::NodeId node,
                                 std::uint64_t input_index) {
@@ -222,7 +223,7 @@ std::vector<WireRecord> ChaosTap::apply(const ChaosConfig& config,
   for (const auto& r : records) tap.on_record(r);
   tap.finish();
   if (stats) *stats = tap.stats();
-  if (audit) *audit = tap.audit();
+  if (audit) *audit = tap.audit().snapshot();
   return out;
 }
 

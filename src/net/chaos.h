@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "net/capture.h"
+#include "util/capped_log.h"
 #include "util/rng.h"
 
 namespace gretel::net {
@@ -111,6 +112,13 @@ struct ChaosConfig {
   std::size_t stall_length = 32;
   std::size_t stall_buffer = 16;
 
+  // Audit-log retention: the newest `audit_limit` injections are kept for
+  // reconciliation (0 = unbounded).  Aggregate stats() stay exact past the
+  // cap; only the retained entry list is bounded, so thousand-scenario
+  // campaigns cannot grow memory without bound.  audit().dropped() counts
+  // the shed entries.
+  std::size_t audit_limit = 65536;
+
   bool enabled() const {
     return drop_rate > 0 || burst_rate > 0 || truncate_rate > 0 ||
            corrupt_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
@@ -131,7 +139,9 @@ class ChaosTap {
   void finish();
 
   const ChaosStats& stats() const { return stats_; }
-  const std::vector<ChaosInjection>& audit() const { return audit_; }
+  // Newest config.audit_limit injections in arrival order; dropped() on the
+  // log counts entries shed past the cap (aggregate stats() stay exact).
+  const util::CappedLog<ChaosInjection>& audit() const { return audit_; }
 
   // One-shot convenience: runs a whole capture through a fresh tap and
   // returns the degraded capture (what a lossy mirror port would have
@@ -160,7 +170,7 @@ class ChaosTap {
   Sink sink_;
   util::Rng rng_;
   ChaosStats stats_;
-  std::vector<ChaosInjection> audit_;
+  util::CappedLog<ChaosInjection> audit_;
   std::unordered_map<std::uint8_t, std::int64_t> node_skew_ns_;
   std::vector<Held> held_;  // reorder holding pen (tiny, bounded)
   std::deque<std::pair<WireRecord, std::uint64_t>> stall_buffer_;

@@ -53,6 +53,29 @@ inline OperationalFault unauthorized_fault(std::size_t step) {
 inline OperationalFault conflict_fault(std::size_t step) {
   return {step, 409, "Conflict", true};
 }
+inline OperationalFault service_unavailable_fault(std::size_t step) {
+  return {step, 503, "Service Unavailable", true};
+}
+
+// Canonical fault shape for an HTTP status — the error text a real
+// OpenStack service would relay for that code.  Campaign generators draw
+// statuses, not shapes, so they all funnel through here; unknown codes
+// get the generic 500 text with the drawn status preserved.
+inline OperationalFault fault_for_status(std::size_t step,
+                                         std::uint16_t status) {
+  switch (status) {
+    case 401: return unauthorized_fault(step);
+    case 409: return conflict_fault(step);
+    case 413: return entity_too_large_fault(step);
+    case 503: return service_unavailable_fault(step);
+    default: {
+      OperationalFault f;
+      f.fail_step = step;
+      f.status = status;
+      return f;
+    }
+  }
+}
 
 // A fault of the *monitoring plane itself*: the agent on one node stops
 // answering probes for a window.  A wedged agent accepts probes and hangs,

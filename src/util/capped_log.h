@@ -1,0 +1,91 @@
+// Bounded append-only audit log: a capped ring plus an overflow counter.
+//
+// The chaos injectors (net::ChaosTap, monitor::MonitorChaos) append one
+// entry per injection so tests can reconcile pipeline counters against
+// exactly what was injected.  A thousand-scenario fault campaign injects
+// millions of faults, so an unbounded vector would grow memory without
+// bound; this log retains the newest `cap` entries in arrival order and
+// counts what it sheds.  Under the cap it is exactly the vector it
+// replaces — nothing is dropped and iteration order is append order — so
+// exact-reconciliation tests keep their semantics; over the cap, the
+// aggregate counters the injectors maintain separately remain exact while
+// the retained window slides forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gretel::util {
+
+template <typename T>
+class CappedLog {
+ public:
+  // cap = 0 means unbounded (a plain vector).
+  explicit CappedLog(std::size_t cap = 0) : cap_(cap) {}
+
+  void set_cap(std::size_t cap) { cap_ = cap; }
+  std::size_t cap() const { return cap_; }
+
+  void push_back(T value) {
+    if (cap_ == 0 || entries_.size() < cap_) {
+      entries_.push_back(std::move(value));
+      return;
+    }
+    // Full: overwrite the oldest retained entry.
+    entries_[head_] = std::move(value);
+    head_ = (head_ + 1) % cap_;
+    ++dropped_;
+  }
+
+  // Retained entries (≤ cap when capped).
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  // Entries shed to the cap; size() + dropped() is everything appended.
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t total_appended() const { return size() + dropped_; }
+
+  // i-th retained entry in arrival order (0 = oldest retained).
+  const T& operator[](std::size_t i) const {
+    return entries_[(head_ + i) % entries_.size()];
+  }
+
+  // Arrival-order iteration (range-for compatible).
+  class const_iterator {
+   public:
+    const_iterator(const CappedLog* log, std::size_t i) : log_(log), i_(i) {}
+    const T& operator*() const { return (*log_)[i_]; }
+    const T* operator->() const { return &(*log_)[i_]; }
+    const_iterator& operator++() { ++i_; return *this; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+
+   private:
+    const CappedLog* log_;
+    std::size_t i_;
+  };
+  const_iterator begin() const { return {this, 0}; }
+  const_iterator end() const { return {this, entries_.size()}; }
+
+  // Retained entries materialized in arrival order.
+  std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(entries_.size());
+    for (const auto& e : *this) out.push_back(e);
+    return out;
+  }
+
+  void clear() {
+    entries_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<T> entries_;
+  std::size_t head_ = 0;  // oldest retained entry once the ring is full
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace gretel::util

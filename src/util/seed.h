@@ -1,0 +1,57 @@
+// Per-scenario seed derivation for fault campaigns.
+//
+// A campaign runs thousands of scenarios, each of which seeds several
+// independent RNG consumers (the workload executor, ChaosTap, MonitorChaos,
+// the resource monitor).  Deriving those child seeds as `root + k` is
+// dangerously correlated: xoshiro's splitmix seeding and the stateless
+// per-probe hash draws both mix *one* word, so adjacent additive seeds
+// produce measurably related low bits across streams.  Instead every child
+// seed is one splitmix64 step over a mix of (root, stream tag, index) —
+// splitmix64 is a bijective avalanche permutation, so distinct inputs give
+// uncorrelated, collision-free outputs (the same construction Rng itself
+// uses to expand a seed into its 256-bit state).
+#pragma once
+
+#include <cstdint>
+
+namespace gretel::util {
+
+// One splitmix64 step: bijective avalanche mix of a 64-bit word.
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Child seed for stream `stream` of scenario `index` under campaign seed
+// `root`.  Each argument passes through its own splitmix step before being
+// combined, so (root, 0, 1) and (root, 1, 0) land in unrelated orbits and
+// scenario k's streams share nothing with scenario k+1's.
+inline constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                           std::uint64_t stream,
+                                           std::uint64_t index = 0) {
+  return splitmix64(splitmix64(root) ^
+                    splitmix64(stream * 0xA24BAED4963EE407ull + 1) ^
+                    splitmix64(index * 0x9FB21C651E98DF25ull + 2));
+}
+
+// Well-known stream tags for the campaign engine's consumers.  Kept small
+// and explicit so a scenario's derivation chain is auditable.
+enum class SeedStream : std::uint64_t {
+  Workload = 1,      // tempest workload sampling
+  Executor = 2,      // WorkflowExecutor timing/noise
+  WireChaos = 3,     // net::ChaosTap
+  MonitorChaos = 4,  // monitor::MonitorChaos
+  Metrics = 5,       // monitor::ResourceMonitor sampling jitter
+  Generator = 6,     // scenario parameter sampling
+  Scenario = 7,      // per-scenario root (children derive from this)
+};
+
+inline constexpr std::uint64_t derive_seed(std::uint64_t root,
+                                           SeedStream stream,
+                                           std::uint64_t index = 0) {
+  return derive_seed(root, static_cast<std::uint64_t>(stream), index);
+}
+
+}  // namespace gretel::util

@@ -1,0 +1,153 @@
+// Bounded audit logs on the chaos injectors: the retained entry list is
+// capped (campaigns inject millions of faults), while the aggregate
+// counters stay exact and the overflow accounting reconciles.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "monitor/probe.h"
+#include "net/chaos.h"
+
+namespace gretel {
+namespace {
+
+std::vector<net::WireRecord> make_records(std::size_t n) {
+  std::vector<net::WireRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    net::WireRecord r;
+    r.ts = util::SimTime(static_cast<std::int64_t>(1000000ULL * (i + 1)));
+    r.src_node = wire::NodeId(static_cast<std::uint8_t>(i % 3));
+    r.dst_node = wire::NodeId(static_cast<std::uint8_t>((i + 1) % 3));
+    r.conn_id = static_cast<std::uint32_t>(i);
+    r.bytes = "frame-" + std::to_string(i);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+TEST(ChaosTapAuditCap, StatsStayExactWhenEntriesShed) {
+  net::ChaosConfig config;
+  config.seed = 99;
+  config.drop_rate = 0.3;
+  config.corrupt_rate = 0.2;
+  config.audit_limit = 0;  // reference: unbounded
+  const auto records = make_records(2000);
+
+  net::ChaosStats ref_stats;
+  std::vector<net::ChaosInjection> ref_audit;
+  net::ChaosTap::apply(config, records, &ref_stats, &ref_audit);
+  ASSERT_GT(ref_audit.size(), 64u) << "rates too low to exercise the cap";
+
+  config.audit_limit = 64;
+  std::vector<net::WireRecord> sink;
+  net::ChaosTap tap(config, [&](const net::WireRecord& r) {
+    sink.push_back(r);
+  });
+  for (const auto& r : records) tap.on_record(r);
+  tap.finish();
+
+  // Same seed, same fate: aggregate stats are unchanged by the cap.
+  const auto& stats = tap.stats();
+  EXPECT_EQ(stats.records_in, ref_stats.records_in);
+  EXPECT_EQ(stats.records_out, ref_stats.records_out);
+  EXPECT_EQ(stats.dropped_uniform, ref_stats.dropped_uniform);
+  EXPECT_EQ(stats.corrupted, ref_stats.corrupted);
+
+  // Overflow accounting: retained + shed == everything ever appended, and
+  // the retained window is exactly the newest entries of the reference.
+  const auto& audit = tap.audit();
+  EXPECT_EQ(audit.size(), 64u);
+  EXPECT_EQ(audit.total_appended(), ref_audit.size());
+  EXPECT_EQ(audit.dropped(), ref_audit.size() - 64u);
+  for (std::size_t i = 0; i < audit.size(); ++i) {
+    const auto& want = ref_audit[ref_audit.size() - 64 + i];
+    EXPECT_EQ(audit[i].input_index, want.input_index) << i;
+    EXPECT_EQ(audit[i].action, want.action) << i;
+  }
+}
+
+TEST(ChaosTapAuditCap, UnderCapIsIdenticalToUnbounded) {
+  net::ChaosConfig config;
+  config.seed = 7;
+  config.drop_rate = 0.05;
+  config.audit_limit = 0;
+  const auto records = make_records(200);
+
+  std::vector<net::ChaosInjection> ref_audit;
+  net::ChaosTap::apply(config, records, nullptr, &ref_audit);
+  ASSERT_LT(ref_audit.size(), 65536u);
+
+  config.audit_limit = 65536;  // the default cap, never reached here
+  net::ChaosStats stats;
+  std::vector<net::ChaosInjection> capped_audit;
+  net::ChaosTap::apply(config, records, &stats, &capped_audit);
+  ASSERT_EQ(capped_audit.size(), ref_audit.size());
+  for (std::size_t i = 0; i < ref_audit.size(); ++i) {
+    EXPECT_EQ(capped_audit[i].input_index, ref_audit[i].input_index);
+    EXPECT_EQ(capped_audit[i].action, ref_audit[i].action);
+    EXPECT_EQ(capped_audit[i].detail, ref_audit[i].detail);
+  }
+}
+
+TEST(MonitorChaosAuditCap, CountsStayExactWhenEntriesShed) {
+  monitor::MonitorChaosConfig config;
+  config.seed = 31;
+  config.probe_drop_rate = 0.4;
+  config.probe_timeout_rate = 0.2;
+  config.audit_limit = 32;
+  monitor::MonitorChaos chaos(config);
+
+  std::uint64_t fired = 0;
+  for (int tick = 0; tick < 4000; ++tick) {
+    const auto fate = chaos.probe_fate(wire::NodeId(1), "nova-conductor",
+                                       tick * 1000000LL, 0, true);
+    fired += fate.dropped + fate.timed_out + fate.delayed + fate.flipped;
+  }
+  ASSERT_GT(fired, 32u) << "rates too low to exercise the cap";
+
+  using MA = monitor::MonitorChaosAction;
+  std::uint64_t total_counts = 0;
+  for (auto a : {MA::ProbeDrop, MA::ProbeDelay, MA::ProbeTimeout,
+                 MA::FalsePositive, MA::FalseNegative, MA::AgentCrash,
+                 MA::MetricFreeze})
+    total_counts += chaos.count(a);
+
+  // count() totals are exact (they live outside the log) and reconcile
+  // with the capped log's overflow accounting.
+  EXPECT_EQ(total_counts, fired);
+  const auto& audit = chaos.audit();
+  EXPECT_EQ(audit.size(), 32u);
+  EXPECT_EQ(audit.total_appended(), fired);
+  EXPECT_EQ(audit.dropped(), fired - 32u);
+}
+
+TEST(MonitorChaosAuditCap, SameSeedSameInjectionsUnderAnyCap) {
+  monitor::MonitorChaosConfig config;
+  config.seed = 17;
+  config.probe_drop_rate = 0.3;
+  config.audit_limit = 0;
+  monitor::MonitorChaos unbounded(config);
+  config.audit_limit = 16;
+  monitor::MonitorChaos capped(config);
+
+  for (int tick = 0; tick < 500; ++tick) {
+    unbounded.probe_fate(wire::NodeId(2), "ntpd", tick * 1000000LL, 0, true);
+    capped.probe_fate(wire::NodeId(2), "ntpd", tick * 1000000LL, 0, true);
+  }
+  using MA = monitor::MonitorChaosAction;
+  EXPECT_EQ(capped.count(MA::ProbeDrop), unbounded.count(MA::ProbeDrop));
+  // Retained tail matches the unbounded log's newest entries.
+  const auto ref = unbounded.audit().snapshot();
+  const auto& audit = capped.audit();
+  ASSERT_GE(ref.size(), audit.size());
+  for (std::size_t i = 0; i < audit.size(); ++i) {
+    const auto& want = ref[ref.size() - audit.size() + i];
+    EXPECT_EQ(audit[i].tick, want.tick) << i;
+    EXPECT_EQ(audit[i].action, want.action) << i;
+  }
+}
+
+}  // namespace
+}  // namespace gretel

@@ -1,0 +1,55 @@
+// CappedLog (util/capped_log.h): under the cap it is exactly a vector;
+// over the cap it keeps the newest entries and counts what it sheds.
+#include <gtest/gtest.h>
+
+#include "util/capped_log.h"
+
+namespace gretel::util {
+namespace {
+
+TEST(CappedLog, UncappedBehavesLikeVector) {
+  CappedLog<int> log;  // cap 0 = unbounded
+  for (int i = 0; i < 1000; ++i) log.push_back(i);
+  EXPECT_EQ(log.size(), 1000u);
+  EXPECT_EQ(log.dropped(), 0u);
+  EXPECT_EQ(log.total_appended(), 1000u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(CappedLog, UnderCapNothingDrops) {
+  CappedLog<int> log(16);
+  for (int i = 0; i < 16; ++i) log.push_back(i);
+  EXPECT_EQ(log.size(), 16u);
+  EXPECT_EQ(log.dropped(), 0u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(log[i], i);
+}
+
+TEST(CappedLog, OverCapKeepsNewestInArrivalOrder) {
+  CappedLog<int> log(4);
+  for (int i = 0; i < 11; ++i) log.push_back(i);
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 7u);
+  EXPECT_EQ(log.total_appended(), 11u);
+  // Newest 4, oldest retained first.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(log[i], 7 + i);
+
+  // Iteration and snapshot agree with operator[].
+  int expect = 7;
+  for (int v : log) EXPECT_EQ(v, expect++);
+  const auto snap = log.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(snap[i], 7 + i);
+}
+
+TEST(CappedLog, ClearResetsEverything) {
+  CappedLog<int> log(2);
+  for (int i = 0; i < 5; ++i) log.push_back(i);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  log.push_back(42);
+  EXPECT_EQ(log[0], 42);
+}
+
+}  // namespace
+}  // namespace gretel::util
