@@ -29,6 +29,15 @@ struct CampaignPlan {
   int concurrent_tests = 12;
   double window_s = 45.0;
 
+  // Streaming execution: feed each scenario through the StreamAnalyzer
+  // front end (bounded source ring, periodic detection ticks) instead of
+  // the batch on_wire/finish path, and record the fault-injection-to-
+  // first-report latency per scenario.  Scoring is unchanged; reports are
+  // tick-quantized, so fingerprints may differ from batch mode.
+  bool streaming = false;
+  // Tick cadence for streaming execution (<= 0 keeps the config default).
+  double stream_tick_ms = 0.0;
+
   // Reads the campaign_* knobs from the promoted GretelConfig rows.
   static CampaignPlan from(const core::GretelConfig& config) {
     CampaignPlan p;

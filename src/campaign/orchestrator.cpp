@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <exception>
+#include <optional>
 #include <unordered_map>
 
 #include "gretel/analyzer.h"
 #include "monitor/metrics.h"
 #include "net/chaos.h"
+#include "stream/stream_analyzer.h"
 #include "tempest/workload.h"
 #include "util/seed.h"
 
@@ -206,7 +208,30 @@ ScenarioResult CampaignOrchestrator::run_guarded(
     opt.probed_monitoring = true;
     opt.monitor_chaos = spec.monitor;
   }
-  core::Analyzer analyzer(&training_->db, &catalog.apis(), &deployment, opt);
+  if (plan_.streaming && plan_.stream_tick_ms > 0.0)
+    opt.config.stream_tick_ms = plan_.stream_tick_ms;
+
+  // Streaming execution reuses the exact batch pipeline behind the
+  // StreamAnalyzer front end; scoring below reads whichever diagnosis set
+  // the chosen path produced.
+  std::optional<core::Analyzer> batch;
+  std::optional<stream::StreamAnalyzer> streamer;
+  std::vector<core::Diagnosis> streamed;
+  util::SimTime first_report_at;
+  bool saw_report = false;
+  if (plan_.streaming) {
+    streamer.emplace(&training_->db, &catalog.apis(), &deployment, opt,
+                     [&](const stream::StreamReport& r) {
+                       if (!saw_report) {
+                         saw_report = true;
+                         first_report_at = r.emitted_at;
+                       }
+                       streamed.push_back(r.diagnosis);
+                     });
+  } else {
+    batch.emplace(&training_->db, &catalog.apis(), &deployment, opt);
+  }
+  core::Analyzer& analyzer = plan_.streaming ? streamer->analyzer() : *batch;
 
   monitor::ResourceMonitor mon(&deployment, SimDuration::seconds(1),
                                derive_seed(spec.seed, SeedStream::Metrics));
@@ -214,8 +239,37 @@ ScenarioResult CampaignOrchestrator::run_guarded(
                    records.back().ts + SimDuration::seconds(3),
                    analyzer.metrics());
 
-  for (const auto& r : degraded) analyzer.on_wire(r);
-  analyzer.finish();
+  if (plan_.streaming) {
+    for (const auto& r : degraded) {
+      streamer->advance_to(r.ts);
+      streamer->offer(r);
+    }
+    streamer->finish();
+    const auto& sc = streamer->counters();
+    result.stream_ticks = sc.ticks;
+    result.stream_shed = sc.shed;
+    // Flow reconciliation: every offered record is ingested or shed, and
+    // finish() left nothing queued.  A mismatch means the admission
+    // bookkeeping lied — a Crashed outcome like the other ledgers.
+    if (sc.offered != sc.ingested + sc.shed || streamer->queued() != 0) {
+      result.outcome = Outcome::Crashed;
+      result.note = "stream shed/ingest reconciliation failed";
+      return result;
+    }
+    if (saw_report && !spec.faults.empty()) {
+      double first_fault_s = spec.faults.front().start_offset_s;
+      for (const auto& f : spec.faults)
+        first_fault_s = std::min(first_fault_s, f.start_offset_s);
+      const auto injected =
+          SimTime::epoch() +
+          SimDuration::nanos(static_cast<std::int64_t>(first_fault_s * 1e9));
+      result.first_report_latency_ms =
+          std::max(0.0, (first_report_at - injected).to_millis());
+    }
+  } else {
+    for (const auto& r : degraded) analyzer.on_wire(r);
+    analyzer.finish();
+  }
 
   // Decode-side reconciliation: every quarantined frame must trace back to
   // an injected truncation/corruption, and the health counters must agree
@@ -256,7 +310,7 @@ ScenarioResult CampaignOrchestrator::run_guarded(
     result.audit_shed += w.chaos_audit_dropped();
   }
 
-  const auto& diagnoses = analyzer.diagnoses();
+  const auto& diagnoses = plan_.streaming ? streamed : analyzer.diagnoses();
   result.diagnoses = diagnoses.size();
   result.fingerprint =
       report_fingerprint(diagnoses, catalog.apis(), training_->db);

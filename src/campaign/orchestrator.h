@@ -54,6 +54,13 @@ struct ScenarioResult {
   // Audit entries shed past the retention caps (0 unless a scenario's
   // injection volume exceeded them; aggregate stats stay exact regardless).
   std::uint64_t audit_shed = 0;
+  // Streaming execution only (CampaignPlan::streaming): detection ticks
+  // run, records shed at admission, and the latency from the earliest
+  // fault injection to the first emitted report (-1 when the scenario has
+  // no faults or nothing was reported).
+  std::uint64_t stream_ticks = 0;
+  std::uint64_t stream_shed = 0;
+  double first_report_latency_ms = -1.0;
   std::string note;  // crash reason / reconciliation detail, else empty
 };
 

@@ -1,5 +1,6 @@
 #include "detect/latency_tracker.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "detect/level_shift.h"
@@ -25,6 +26,56 @@ LatencyTracker::PerApi& LatencyTracker::per_api(wire::ApiId api) {
     it = state_.emplace(api, PerApi{{}, factory_()}).first;
   }
   return it->second;
+}
+
+void LatencyTracker::sweep_now(util::SimTime now) {
+  if (orphan_timeout_seconds_ <= 0.0) return;
+  observes_since_sweep_ = 0;
+  sweep_orphans(now);
+}
+
+bool LatencyTracker::stale(const InflightEntry& e) const {
+  if (e.rpc) {
+    const auto it = pending_rpc_.find(e.key);
+    return it == pending_rpc_.end() || it->second != e.ts;
+  }
+  const auto it = pending_rest_.find(static_cast<std::uint32_t>(e.key));
+  return it == pending_rest_.end() || it->second != e.ts;
+}
+
+void LatencyTracker::note_inflight(std::uint64_t key, util::SimTime ts,
+                                   bool rpc) {
+  inflight_fifo_.push_back({key, ts, rpc});
+
+  // Pairing and the orphan sweep erase map entries but leave their FIFO
+  // records behind (no per-map back-index), and pops only advance the head
+  // index.  When dead entries dominate, one pass reclaims them — amortized
+  // O(1) per insert, and the queue stays O(pending + cap).
+  const std::size_t slack = inflight_cap_ + 64;
+  if (inflight_fifo_.size() > 2 * (pending() + slack)) {
+    std::size_t w = 0;
+    for (std::size_t r = inflight_head_; r < inflight_fifo_.size(); ++r) {
+      if (!stale(inflight_fifo_[r])) inflight_fifo_[w++] = inflight_fifo_[r];
+    }
+    inflight_fifo_.resize(w);
+    inflight_head_ = 0;
+  }
+
+  // Enforce the cap: evict the oldest still-pending request, exactly
+  // accounted.  A request evicted here is one the stream lost the response
+  // to (or will look like it did) — the same degradation the orphan reaper
+  // accounts, but forced early by memory pressure.
+  while (pending() > inflight_cap_ &&
+         inflight_head_ < inflight_fifo_.size()) {
+    const InflightEntry entry = inflight_fifo_[inflight_head_++];
+    if (stale(entry)) continue;
+    if (entry.rpc) {
+      pending_rpc_.erase(entry.key);
+    } else {
+      pending_rest_.erase(static_cast<std::uint32_t>(entry.key));
+    }
+    ++guards_.inflight_evicted;
+  }
 }
 
 void LatencyTracker::sweep_orphans(util::SimTime now) {
@@ -60,8 +111,10 @@ std::optional<LatencyAlarm> LatencyTracker::observe(
   if (event.is_request()) {
     if (event.kind == wire::ApiKind::Rest) {
       pending_rest_[event.conn_id] = event.ts;
+      if (inflight_cap_ > 0) note_inflight(event.conn_id, event.ts, false);
     } else {
       pending_rpc_[event.msg_id] = event.ts;
+      if (inflight_cap_ > 0) note_inflight(event.msg_id, event.ts, true);
     }
     return std::nullopt;
   }
@@ -106,6 +159,15 @@ std::optional<LatencyAlarm> LatencyTracker::observe(
   auto& pa = per_api(event.api);
   pa.series.add(t_s, latency_ms);
   ++samples_;
+  if (sketch_enabled_) pa.sketch.add(latency_ms);
+  if (series_cap_ > 0 && pa.series.size() > series_cap_) {
+    // Compact to cap/2 so trims are amortized, not per-sample; the sketch
+    // above keeps the full-history quantiles.
+    const std::size_t keep = std::max<std::size_t>(1, series_cap_ / 2);
+    const std::size_t drop = pa.series.size() - keep;
+    pa.series.drop_front(drop);
+    guards_.series_trimmed += drop;
+  }
 
   const auto alarm = pa.detector->observe(t_s, latency_ms);
   if (!alarm) return std::nullopt;
@@ -115,6 +177,18 @@ std::optional<LatencyAlarm> LatencyTracker::observe(
 const util::TimeSeries* LatencyTracker::series(wire::ApiId api) const {
   const auto it = state_.find(api);
   return it == state_.end() ? nullptr : &it->second.series;
+}
+
+const util::QuantileSketch* LatencyTracker::sketch(wire::ApiId api) const {
+  const auto it = state_.find(api);
+  if (it == state_.end() || it->second.sketch.count() == 0) return nullptr;
+  return &it->second.sketch;
+}
+
+std::size_t LatencyTracker::series_points() const {
+  std::size_t total = 0;
+  for (const auto& [api, pa] : state_) total += pa.series.size();
+  return total;
 }
 
 }  // namespace gretel::detect

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "detect/outlier.h"
+#include "util/quantile_sketch.h"
 #include "util/stats.h"
 #include "util/time.h"
 #include "wire/message.h"
@@ -41,6 +42,13 @@ struct LatencyGuardStats {
   // from the pending maps, or rejected when the response finally limped in
   // past the deadline.  Each lost exchange is counted exactly once.
   std::uint64_t orphans_reaped = 0;
+  // Streaming only (in-flight cap armed): oldest pending requests evicted
+  // to hold the table under the cap when losses outpace the orphan reaper.
+  std::uint64_t inflight_evicted = 0;
+  // Streaming only (series cap armed): retained latency samples trimmed
+  // from the front of per-API series.  The P² sketch still saw them — only
+  // the raw retained window shrinks.
+  std::uint64_t series_trimmed = 0;
 };
 
 class LatencyTracker {
@@ -70,8 +78,36 @@ class LatencyTracker {
   }
   const LatencyGuardStats& guard_stats() const { return guards_; }
 
+  // Time-based sweep for streaming mode.  The observe-cadence sweep above
+  // only fires while events flow; an idle stream would never reap its
+  // orphans.  The stream tick calls this with the watermark instead.
+  // Admission is still decided at pairing time, so output is unaffected.
+  void sweep_now(util::SimTime now);
+
+  // --- streaming bounds (all off by default; batch behavior is exactly
+  // unchanged while they stay off) ---
+
+  // Caps the pending-request table at `cap` entries; the oldest pending
+  // request is evicted with accounting (guards().inflight_evicted) when a
+  // new one would exceed it.  0 = unbounded.
+  void set_inflight_cap(std::size_t cap) { inflight_cap_ = cap; }
+
+  // Retains only the newest latency samples per API: once a series exceeds
+  // `cap` points it is compacted to cap/2 (amortized O(1) per sample).
+  // Detection is unaffected — the level-shift detector owns its own
+  // bounded window; only the retained raw series shrinks.  0 = unbounded.
+  void set_series_cap(std::size_t cap) { series_cap_ = cap; }
+
+  // Feeds every admitted latency sample into a constant-memory P² sketch
+  // per API (full-history baseline quantiles that survive series trims).
+  void set_sketch_enabled(bool on) { sketch_enabled_ = on; }
+
   // Latency series recorded so far for an API (milliseconds).
   const util::TimeSeries* series(wire::ApiId api) const;
+
+  // P² baseline sketch for an API; null until a sample was admitted with
+  // the sketch enabled.
+  const util::QuantileSketch* sketch(wire::ApiId api) const;
 
   // Requests that never saw a response (diagnostic).
   std::size_t pending() const {
@@ -79,22 +115,50 @@ class LatencyTracker {
   }
   std::uint64_t samples() const { return samples_; }
 
+  // Footprint accounting for the streaming soak assertions.
+  std::size_t series_points() const;
+  std::size_t inflight_queue() const {
+    return inflight_fifo_.size() - inflight_head_;
+  }
+
  private:
   struct PerApi {
     util::TimeSeries series;
     std::unique_ptr<OutlierDetector> detector;
+    util::QuantileSketch sketch;
+  };
+
+  // Insertion-order record for the in-flight cap.  Entries are never
+  // eagerly removed on pairing (that would need a per-map index); instead
+  // an entry is "stale" when its key no longer maps to its timestamp, and
+  // stale entries are skipped during eviction and compacted lazily.
+  struct InflightEntry {
+    std::uint64_t key;
+    util::SimTime ts;
+    bool rpc;
   };
 
   PerApi& per_api(wire::ApiId api);
   void sweep_orphans(util::SimTime now);
+  bool stale(const InflightEntry& e) const;
+  void note_inflight(std::uint64_t key, util::SimTime ts, bool rpc);
 
   Factory factory_;
   std::unordered_map<std::uint32_t, util::SimTime> pending_rest_;  // conn_id
   std::unordered_map<std::uint64_t, util::SimTime> pending_rpc_;   // msg_id
   std::unordered_map<wire::ApiId, PerApi> state_;
+  // FIFO as vector + head index (a deque's move ctor is not noexcept,
+  // which would pessimize LatencyShardSet's tracker vector).  Entries
+  // before inflight_head_ are consumed; compaction reclaims them together
+  // with stale live entries.
+  std::vector<InflightEntry> inflight_fifo_;
+  std::size_t inflight_head_ = 0;
   std::uint64_t samples_ = 0;
   double orphan_timeout_seconds_ = 0.0;
   std::uint32_t observes_since_sweep_ = 0;
+  std::size_t inflight_cap_ = 0;
+  std::size_t series_cap_ = 0;
+  bool sketch_enabled_ = false;
   LatencyGuardStats guards_;
 };
 

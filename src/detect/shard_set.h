@@ -56,12 +56,43 @@ class LatencyShardSet {
     for (auto& s : shards_) s.set_orphan_timeout_seconds(seconds);
   }
 
+  // Streaming bounds, fanned out per shard (quiescent pipeline only; the
+  // stream analyzer applies them before any event flows).
+  void set_inflight_cap(std::size_t per_shard_cap) {
+    for (auto& s : shards_) s.set_inflight_cap(per_shard_cap);
+  }
+  void set_series_cap(std::size_t cap) {
+    for (auto& s : shards_) s.set_series_cap(cap);
+  }
+  void set_sketch_enabled(bool on) {
+    for (auto& s : shards_) s.set_sketch_enabled(on);
+  }
+
+  // Time-based orphan sweep across every shard (quiescent pipeline only —
+  // the stream tick runs it right after a drain, when workers are parked).
+  void sweep_now(util::SimTime now) {
+    for (auto& s : shards_) s.sweep_now(now);
+  }
+
   // Aggregated views over all shards (quiescent pipeline only).
   const util::TimeSeries* series(wire::ApiId api) const {
     return shards_[shard_of(api)].series(api);
   }
+  const util::QuantileSketch* sketch(wire::ApiId api) const {
+    return shards_[shard_of(api)].sketch(api);
+  }
   std::uint64_t samples() const;
   std::size_t pending() const;
+  std::size_t series_points() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.series_points();
+    return total;
+  }
+  std::size_t inflight_queue() const {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s.inflight_queue();
+    return total;
+  }
   LatencyGuardStats guards_total() const {
     LatencyGuardStats total;
     for (const auto& s : shards_) {
@@ -69,6 +100,8 @@ class LatencyShardSet {
       total.clamped_negative += g.clamped_negative;
       total.rejected_nonfinite += g.rejected_nonfinite;
       total.orphans_reaped += g.orphans_reaped;
+      total.inflight_evicted += g.inflight_evicted;
+      total.series_trimmed += g.series_trimmed;
     }
     return total;
   }

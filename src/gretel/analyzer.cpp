@@ -43,9 +43,32 @@ Analyzer::Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
                   Diagnosis d;
                   d.fault = fault;
                   if (run_root_cause_) d.root_cause = rca_.analyze(fault);
-                  diagnoses_.push_back(std::move(d));
+                  if (diagnosis_sink_) {
+                    sink_stale_series_ += d.root_cause.stale_series;
+                    diagnosis_sink_(d);
+                  } else {
+                    diagnoses_.push_back(std::move(d));
+                  }
                 }),
-      run_root_cause_(options.run_root_cause) {}
+      run_root_cause_(options.run_root_cause),
+      diagnosis_sink_(std::move(options.diagnosis_sink)) {
+  if (options.streaming) {
+    // Arm every bounded-state knob.  Detection output is unaffected by the
+    // series cap and sketches (the level-shift detector owns its own
+    // bounded window); the in-flight cap only engages under sustained
+    // response loss, and metric retention only trims history the RCA
+    // window can no longer reach.
+    auto& latency = detector_.latency_shards();
+    const auto& cfg = detector_.config();
+    latency.set_series_cap(cfg.stream_series_cap);
+    if (cfg.stream_inflight_cap > 0) {
+      latency.set_inflight_cap(std::max<std::size_t>(
+          64, cfg.stream_inflight_cap / latency.num_shards()));
+    }
+    latency.set_sketch_enabled(true);
+    metrics_.set_retention_seconds(cfg.stream_metrics_retention_s);
+  }
+}
 
 void Analyzer::on_wire(const net::WireRecord& record) {
   const auto failures_before = tap_.stats().decode_failures;
@@ -102,7 +125,7 @@ void Analyzer::on_metric(wire::NodeId node, net::ResourceKind kind,
 
 void Analyzer::finish() { detector_.flush(); }
 
-monitor::PipelineHealthCounters Analyzer::health() const {
+monitor::PipelineHealthCounters Analyzer::health() {
   const auto& tap = tap_.stats();
   const auto& det = detector_.stats();
   monitor::PipelineHealthCounters h;
@@ -129,7 +152,15 @@ monitor::PipelineHealthCounters Analyzer::health() const {
   h.breaker_skips = probe.breaker_skips;
   h.flap_suppressed = probe.flap_suppressed;
   h.probe_budget_exhausted = probe.budget_exhausted;
+  h.stale_series = sink_stale_series_;
   for (const auto& d : diagnoses_) h.stale_series += d.root_cause.stale_series;
+  // Streaming bounds + per-shard liveness.
+  h.inflight_evicted = det.inflight_evicted;
+  h.series_trimmed = det.series_trimmed;
+  for (const auto& s : detector_.shard_health()) {
+    h.shard_progress_age_ms.push_back(s.progress_age_ms);
+    if (s.stalled) ++h.stalled_shards;
+  }
   return h;
 }
 

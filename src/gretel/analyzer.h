@@ -18,6 +18,7 @@
 // on them are read.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -43,6 +44,16 @@ class Analyzer {
     // delays, timeouts, flipped results, agent crashes, frozen streams).
     // Only consulted when probed_monitoring is set.
     monitor::MonitorChaosConfig monitor_chaos;
+    // Streaming mode: arms every bounded-state knob in config (series cap,
+    // in-flight cap + P² sketches, metric retention) so per-API and
+    // pending-request state stays O(1) in stream length.  Off (the
+    // default) keeps batch behavior byte-identical to pre-streaming
+    // builds — the caps never engage.
+    bool streaming = false;
+    // When set, each Diagnosis is delivered here instead of being
+    // accumulated in diagnoses() — the streaming path's bounded
+    // alternative to the (unbounded) retained vector.
+    std::function<void(const Diagnosis&)> diagnosis_sink;
   };
 
   Analyzer(const FingerprintDb* db, const wire::ApiCatalog* catalog,
@@ -68,6 +79,18 @@ class Analyzer {
   // Flushes pending snapshots at end of stream.
   void finish();
 
+  // Incremental streaming tick (see AnomalyDetector::tick): emits ready
+  // reports, force-emits overdue ones, sweeps orphans, runs the
+  // steady-state stall watchdog.  `now` is the stream watermark.
+  void tick(util::SimTime now) { detector_.tick(now); }
+
+  // Telemetry-loss notification from a streaming admission layer (records
+  // shed before decode): folded into the detector's window-loss
+  // annotation exactly like a quarantined frame.
+  void record_ingest_loss(std::uint64_t count) {
+    detector_.record_loss(count);
+  }
+
   const std::vector<Diagnosis>& diagnoses() const { return diagnoses_; }
   const AnomalyDetector::Stats& detector_stats() const {
     return detector_.stats();
@@ -76,9 +99,10 @@ class Analyzer {
 
   // Flat degraded-telemetry counter snapshot for operator export (see
   // monitor::PipelineHealthCounters).  The detector-side totals are
-  // aggregated at quiescent points, so call after finish() for exact
-  // values.
-  monitor::PipelineHealthCounters health() const;
+  // aggregated at quiescent points, so call after finish() (or a tick())
+  // for exact values.  Non-const: refreshing the per-shard last-progress
+  // clocks is part of the snapshot.
+  monitor::PipelineHealthCounters health();
 
   // Monitoring-side stores feeding the root-cause engine.
   monitor::MetricsStore& metrics() { return metrics_; }
@@ -116,7 +140,11 @@ class Analyzer {
   RootCauseEngine rca_;
   AnomalyDetector detector_;
   bool run_root_cause_;
+  std::function<void(const Diagnosis&)> diagnosis_sink_;
   std::vector<Diagnosis> diagnoses_;
+  // Stale-series total accumulated as diagnoses flow through the sink
+  // (health() can no longer sum over a retained vector in sink mode).
+  std::uint64_t sink_stale_series_ = 0;
   // Decoded-event buffer for on_wire_batch (capacity retained across
   // batches; bounded by config.ingest_batch).
   std::vector<wire::Event> event_scratch_;

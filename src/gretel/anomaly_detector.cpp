@@ -250,12 +250,7 @@ void AnomalyDetector::run_snapshot(const PendingSnapshot& pending) {
   if (callback_) callback_(report);
 }
 
-void AnomalyDetector::flush() {
-  if (pipeline_) {
-    sync_shards(/*force=*/true);
-  } else {
-    run_ready(/*force=*/true);
-  }
+void AnomalyDetector::refresh_guard_stats() {
   // Quiescent point: snapshot the degraded-telemetry accounting.  The
   // latency guard totals are only aggregated here because reading shard
   // trackers requires the workers to be parked.
@@ -265,6 +260,52 @@ void AnomalyDetector::flush() {
   stats_.orphans_reaped = guards.orphans_reaped;
   stats_.latency_clamped = guards.clamped_negative;
   stats_.latency_rejected = guards.rejected_nonfinite;
+  stats_.inflight_evicted = guards.inflight_evicted;
+  stats_.series_trimmed = guards.series_trimmed;
+}
+
+void AnomalyDetector::flush() {
+  if (pipeline_) {
+    sync_shards(/*force=*/true);
+  } else {
+    run_ready(/*force=*/true);
+  }
+  refresh_guard_stats();
+}
+
+void AnomalyDetector::tick(util::SimTime now) {
+  if (pipeline_) {
+    // Steady-state watchdog first: a wedged shard is flagged while it still
+    // holds backlog, before the drain below either abandons it (watchdog
+    // armed) or blocks on it.
+    pipeline_->check_stalls();
+    sync_shards(/*force=*/false);
+  } else {
+    run_ready(/*force=*/false);
+  }
+
+  // Deadline forcing: a pending trigger whose future half-window never
+  // filled (the stream went quiet) is emitted with the context that did
+  // arrive rather than waiting for traffic that may never come.
+  if (config_.stream_max_report_delay_s > 0.0) {
+    auto it = pending_.begin();
+    while (it != pending_.end()) {
+      if ((now - it->triggered_at).to_seconds() >
+          config_.stream_max_report_delay_s) {
+        ++stats_.forced_reports;
+        run_snapshot(*it);
+        it = pending_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Time-based orphan sweep (the observe-cadence sweep only fires while
+  // events flow).  Safe here: the drain above parked every shard worker.
+  latency_.sweep_now(now);
+  refresh_guard_stats();
+  if (pipeline_) stats_.watchdog_trips = pipeline_->watchdog_trips();
 }
 
 }  // namespace gretel::core

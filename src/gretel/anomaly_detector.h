@@ -67,6 +67,23 @@ class AnomalyDetector {
   // With shards, also joins the workers' in-flight work first.
   void flush();
 
+  // Incremental streaming tick (stream_tick_ms cadence): joins the shard
+  // workers and emits every report whose future context is ready — without
+  // ending the stream — then force-emits pending triggers older than
+  // stream_max_report_delay_s (a fault followed by silence still reports
+  // within a bounded delay), time-sweeps the orphan reaper (an idle stream
+  // never reaches the observe-cadence sweep), runs the steady-state stall
+  // watchdog, and refreshes the quiescent guard statistics.  `now` is the
+  // stream watermark in sim time.  Batch callers never need this; calling
+  // it between batches changes drain cadence but not output (triggers
+  // merge in sequence order regardless of join timing).
+  void tick(util::SimTime now);
+
+  // Per-shard liveness from the pipeline (empty on the serial path).
+  std::vector<ShardHealth> shard_health() {
+    return pipeline_ ? pipeline_->shard_health() : std::vector<ShardHealth>{};
+  }
+
   // Telemetry-loss notification from the ingestion layer: `count` frames
   // between the previous event and the next one were lost before decoding
   // (quarantined as malformed, dropped by a lossy tap, ...).  Folded into
@@ -92,6 +109,10 @@ class AnomalyDetector {
     std::uint64_t latency_rejected = 0;     // non-finite samples rejected
     std::uint64_t stale_freezes = 0;
     std::uint64_t degraded_reports = 0;     // reports with window losses
+    // Streaming only.
+    std::uint64_t inflight_evicted = 0;     // pending requests evicted by cap
+    std::uint64_t series_trimmed = 0;       // retained samples trimmed by cap
+    std::uint64_t forced_reports = 0;       // emitted past the delay deadline
   };
   const Stats& stats() const { return stats_; }
 
@@ -127,6 +148,8 @@ class AnomalyDetector {
   // Folds pipeline overflow drops accrued since the last call into the
   // window loss count (each dropped event is a gap the snapshot can't see).
   void fold_overflow_losses();
+  // Quiescent guard-stat snapshot shared by flush() and tick().
+  void refresh_guard_stats();
 
   const wire::ApiCatalog* catalog_;
   GretelConfig config_;

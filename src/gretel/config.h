@@ -21,6 +21,19 @@
 
 namespace gretel::core {
 
+// Streaming admission policy when the bounded source ring is full and the
+// producer keeps pushing (i.e. it ignores the credit scheme).  Either way
+// every shed record is accounted exactly and attributed as a window loss at
+// the position it would have occupied, so downstream reports carry the
+// degraded-confidence annotation.
+enum class StreamShedPolicy : std::uint8_t {
+  // Refuse the new record (freshest data is lost; queued context survives).
+  DropNewest,
+  // Evict the oldest queued record to admit the new one (context is lost;
+  // the stream stays current — the usual choice for live detection).
+  DropOldest,
+};
+
 // What the sharded pipeline does when a shard's ring (plus its spill
 // queue) is full — i.e. one shard worker has fallen far behind ingestion.
 enum class OverflowPolicy : std::uint8_t {
@@ -256,6 +269,66 @@ struct GretelConfig {
   // draw up to this many workload faults on top of any environmental root
   // cause).
   std::size_t campaign_max_concurrent_faults = 2;
+
+  // --- streaming mode (src/stream/; see docs/ARCHITECTURE.md, "Streaming
+  // mode").  These knobs only take effect when an Analyzer is constructed
+  // with Options::streaming = true (which StreamAnalyzer does); a batch
+  // analyzer ignores them entirely, so batch output is byte-identical to
+  // pre-streaming builds. ---
+
+  // (streaming) · 250 · incremental detection cadence in simulated
+  // milliseconds: StreamAnalyzer drains its source ring, runs the
+  // detector, force-emits overdue snapshots, sweeps orphans and refreshes
+  // health once per tick as the watermark crosses each boundary.
+  double stream_tick_ms = 250.0;
+
+  // (streaming) · 8192 · capacity of the bounded source ring between the
+  // producer and the pipeline, in records.  Credits granted to the
+  // producer equal the free capacity (with low-watermark hysteresis: once
+  // the ring fills, credits stay at zero until it drains to half), so a
+  // cooperating producer never sheds.
+  std::size_t stream_source_ring = 8192;
+
+  // (streaming) · DropOldest · what admission does when the ring is full
+  // and the producer pushes anyway.  Every shed record is accounted and
+  // attributed as a window loss in place.
+  StreamShedPolicy stream_shed_policy = StreamShedPolicy::DropOldest;
+
+  // (streaming) · 4096 · cap on the in-flight (request-awaiting-response)
+  // table across all latency shards; per shard the cap divides evenly
+  // (floor 64).  When a tap loses responses faster than the orphan
+  // timeout reclaims them, the oldest pending request is evicted with
+  // accounting (guard stat inflight_evicted) instead of growing the map.
+  // Under cap pressure eviction order depends on the shard layout, so a
+  // saturated streaming run is not byte-identical across shard counts —
+  // batch mode (cap unset) keeps the full determinism contract.
+  std::size_t stream_inflight_cap = 4096;
+
+  // (streaming) · 2048 · retained recent latency samples per API.  Batch
+  // mode keeps every sample for exact CDFs; streaming keeps the newest
+  // [cap/2, cap] (amortized compaction) for report context, and the
+  // constant-memory P² sketch (util/quantile_sketch.h) carries the
+  // full-history baseline quantiles.  Detection is unaffected: the
+  // level-shift detector owns its own bounded window.
+  std::size_t stream_series_cap = 2048;
+
+  // (streaming) · 0 = unbounded · metric-store retention horizon in
+  // seconds.  When set, samples older than (newest − horizon) are trimmed
+  // per series; must comfortably exceed rca_window_pad_seconds plus the
+  // report-emission delay or RCA loses its baseline context.
+  double stream_metrics_retention_s = 0.0;
+
+  // (streaming) · 256 · StreamAnalyzer keeps the most recent reports in a
+  // bounded ring for pull-based consumers; older reports are evicted with
+  // accounting.  Push consumers (the report sink callback) see every
+  // report regardless.
+  std::size_t stream_report_cap = 256;
+
+  // (streaming) · 2.0 · deadline, in seconds, after which a pending
+  // trigger whose future half-window has not filled (the stream went
+  // quiet) is force-emitted with the context that did arrive, so a fault
+  // followed by silence still reports within a bounded delay.
+  double stream_max_report_delay_s = 2.0;
 
   std::size_t alpha() const {
     const auto rate_window =

@@ -46,8 +46,10 @@ ShardPipeline::ShardPipeline(detect::LatencyShardSet* latency,
   wake_threshold_ =
       resilience.wake_events == 0 ? auto_threshold : resilience.wake_events;
   shards_.reserve(latency_->num_shards());
+  const auto now = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < latency_->num_shards(); ++i) {
     shards_.push_back(std::make_unique<Shard>(ring_capacity));
+    shards_.back()->progress_at = now;
   }
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->worker = std::thread([this, i] { worker_loop(i); });
@@ -447,6 +449,61 @@ void ShardPipeline::drain(std::vector<ShardTrigger>* out) {
                    [](const ShardTrigger& a, const ShardTrigger& b) {
                      return a.seq < b.seq;
                    });
+}
+
+void ShardPipeline::refresh_progress(
+    std::chrono::steady_clock::time_point now) {
+  const double grace_ms = resilience_.watchdog_ms;
+  for (auto& sp : shards_) {
+    auto& shard = *sp;
+    const std::uint64_t consumed =
+        shard.consumed.load(std::memory_order_acquire);
+    if (consumed != shard.seen_consumed) {
+      shard.seen_consumed = consumed;
+      shard.progress_at = now;
+      shard.stall_flagged = 0;
+    }
+    if (shard.submitted == consumed) {
+      // Empty ring: idle, not stalled.
+      shard.progress_at = now;
+      shard.stall_flagged = 0;
+      continue;
+    }
+    if (grace_ms <= 0.0 || shard.stall_flagged) continue;
+    const double age_ms =
+        std::chrono::duration<double, std::milli>(now - shard.progress_at)
+            .count();
+    if (age_ms >= grace_ms) {
+      shard.stall_flagged = 1;
+      ++watchdog_trips_;
+    }
+  }
+}
+
+std::size_t ShardPipeline::check_stalls() {
+  refresh_progress(std::chrono::steady_clock::now());
+  std::size_t stalled = 0;
+  for (const auto& sp : shards_) stalled += sp->stall_flagged ? 1 : 0;
+  return stalled;
+}
+
+std::vector<ShardHealth> ShardPipeline::shard_health() {
+  const auto now = std::chrono::steady_clock::now();
+  refresh_progress(now);
+  std::vector<ShardHealth> out;
+  out.reserve(shards_.size());
+  for (const auto& sp : shards_) {
+    ShardHealth h;
+    h.submitted = sp->submitted;
+    h.consumed = sp->seen_consumed;
+    h.backlog = h.submitted - h.consumed;
+    h.progress_age_ms =
+        std::chrono::duration<double, std::milli>(now - sp->progress_at)
+            .count();
+    h.stalled = sp->stall_flagged != 0;
+    out.push_back(h);
+  }
+  return out;
 }
 
 std::uint64_t ShardPipeline::rpc_errors() const {

@@ -38,6 +38,7 @@
 //    single-core host this turns the join into a function call.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -73,6 +74,18 @@ struct ResilienceOptions {
   // a throughput knob: drains publish every pending wake and a full ring
   // always wakes its worker, so no event can be stranded.
   std::size_t wake_events = 0;
+};
+
+// Per-shard liveness snapshot (coordinator thread only; see
+// ShardPipeline::shard_health).  progress_age_ms is wall time since the
+// shard last made progress: consumed events, or was observed with an empty
+// ring (an idle shard is not a stalled shard).
+struct ShardHealth {
+  std::uint64_t submitted = 0;
+  std::uint64_t consumed = 0;
+  std::uint64_t backlog = 0;
+  double progress_age_ms = 0.0;
+  bool stalled = false;
 };
 
 // A trigger candidate discovered by a shard worker.  Suppression and
@@ -129,9 +142,25 @@ class ShardPipeline {
   // Events lost to DropOldestWithAccounting or a watchdog-abandoned submit;
   // each is a detection gap the caller should fold into its loss annotation.
   std::uint64_t overflow_dropped() const { return overflow_dropped_; }
-  // Times the stall watchdog fired (submit drop, spill abandon, or drain
-  // abandon).
+  // Times the stall watchdog fired (submit drop, spill abandon, drain
+  // abandon, or a steady-state check_stalls episode).
   std::uint64_t watchdog_trips() const { return watchdog_trips_; }
+
+  // Steady-state stall watchdog (coordinator thread).  Historically the
+  // watchdog only ran while a submit or drain was *blocked* on a shard; a
+  // streaming pipeline between drains never entered those paths, so a
+  // wedged worker with a part-full ring went unnoticed until the next
+  // join.  check_stalls() is the tick-driven complement: it refreshes each
+  // shard's last-progress clock and, with the watchdog armed, flags any
+  // shard that holds backlog but has made no progress for watchdog_ms
+  // (one watchdog_trips increment per stall episode; progress clears the
+  // flag).  Returns the number of currently stalled shards.
+  std::size_t check_stalls();
+
+  // Per-shard liveness (coordinator thread): refreshes the progress clocks
+  // the same way check_stalls does, then snapshots them.  Surfaced through
+  // PipelineHealthCounters::shard_progress_age_ms.
+  std::vector<ShardHealth> shard_health();
 
   // Test hook: wedge / un-wedge shard `idx`'s worker (it stops consuming
   // but keeps servicing shutdown).  Exercises the overflow and watchdog
@@ -158,6 +187,13 @@ class ShardPipeline {
     std::uint64_t pending_wakes = 0;   // pushes since the last published wake
     char wake_marked = 0;              // scratch: in wake_list_ this batch
     std::atomic<bool> producer_waiting{false};
+    // Steady-state watchdog bookkeeping (coordinator-owned, updated by
+    // check_stalls/shard_health): the consumed count last seen, when it
+    // last advanced (or the ring was last seen empty), and whether the
+    // current stall episode has already tripped the watchdog.
+    std::uint64_t seen_consumed = 0;
+    std::chrono::steady_clock::time_point progress_at{};
+    char stall_flagged = 0;
 
     // --- worker-owned hot line ---
     alignas(64) std::atomic<std::uint64_t> consumed{0};  // pop count
@@ -215,6 +251,9 @@ class ShardPipeline {
   // Coordinator-side consumption of a claimed shard's ring backlog; the
   // caller must have set shard.claimed under the mutex.
   void help_consume(std::size_t shard_idx);
+  // Shared body of check_stalls()/shard_health(): refreshes every shard's
+  // last-progress clock and flags/unflags stall episodes.
+  void refresh_progress(std::chrono::steady_clock::time_point now);
 
   detect::LatencyShardSet* latency_;
   ResilienceOptions resilience_;

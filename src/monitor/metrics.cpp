@@ -1,5 +1,7 @@
 #include "monitor/metrics.h"
 
+#include <cstdio>
+
 namespace gretel::monitor {
 
 std::string PipelineHealthCounters::to_json() const {
@@ -33,14 +35,34 @@ std::string PipelineHealthCounters::to_json() const {
   field("probe_budget_exhausted", probe_budget_exhausted);
   field("stale_series", stale_series);
   field("frozen_samples", frozen_samples);
-  out += '}';
+  field("inflight_evicted", inflight_evicted);
+  field("series_trimmed", series_trimmed);
+  field("stalled_shards", stalled_shards);
+  out += ", \"shard_progress_age_ms\": [";
+  for (std::size_t i = 0; i < shard_progress_age_ms.size(); ++i) {
+    if (i) out += ", ";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", shard_progress_age_ms[i]);
+    out += buf;
+  }
+  out += "]}";
   return out;
 }
 
 void MetricsStore::record(wire::NodeId node, net::ResourceKind kind,
                           double t_seconds, double value) {
-  series_[key(node, kind)].add(t_seconds, value);
+  auto& series = series_[key(node, kind)];
+  series.add(t_seconds, value);
   ++total_samples_;
+  if (retention_s_ > 0.0) {
+    // Trim from the front up to the horizon.  Each point is scanned once
+    // on its way out, so the cost is amortized O(1) per record.
+    const double cutoff = t_seconds - retention_s_;
+    const auto pts = series.points();
+    std::size_t drop = 0;
+    while (drop < pts.size() && pts[drop].t_seconds < cutoff) ++drop;
+    series.drop_front(drop);
+  }
 }
 
 const util::TimeSeries* MetricsStore::series(wire::NodeId node,
@@ -54,6 +76,12 @@ std::optional<double> MetricsStore::watermark_s(wire::NodeId node,
   const auto it = series_.find(key(node, kind));
   if (it == series_.end() || it->second.empty()) return std::nullopt;
   return it->second.points().back().t_seconds;
+}
+
+std::size_t MetricsStore::retained_points() const {
+  std::size_t total = 0;
+  for (const auto& [k, s] : series_) total += s.size();
+  return total;
 }
 
 void MetricsStore::clear() {

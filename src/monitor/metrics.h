@@ -15,6 +15,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "monitor/probe.h"
 #include "net/node.h"
@@ -44,6 +45,15 @@ struct PipelineHealthCounters {
   std::uint64_t latency_rejected = 0;       // non-finite samples rejected
   std::uint64_t stale_freezes = 0;
   std::uint64_t degraded_reports = 0;
+  // Streaming bounds (zero in batch mode, where the caps stay unset).
+  std::uint64_t inflight_evicted = 0;       // pending requests evicted by cap
+  std::uint64_t series_trimmed = 0;         // retained samples trimmed by cap
+  // Per-shard liveness (sharded pipeline only; empty when serial).  Age in
+  // wall milliseconds since each shard last made progress — consumed
+  // events, or was seen with an empty ring.  stalled_shards counts shards
+  // currently flagged by the steady-state watchdog.
+  std::vector<double> shard_progress_age_ms;
+  std::uint64_t stalled_shards = 0;
   // Monitoring plane (probed watchers; all zero under the oracle substrate).
   std::uint64_t probe_attempts = 0;
   std::uint64_t probe_retries = 0;
@@ -77,7 +87,15 @@ class MetricsStore {
   std::optional<double> watermark_s(wire::NodeId node,
                                     net::ResourceKind kind) const;
 
+  // Streaming retention (0 = keep everything, the batch default): when
+  // set, each record() trims samples older than (newest − horizon) from
+  // that series' front, amortized O(1) per sample.  Must comfortably
+  // exceed the RCA window pad or Is_Anomalous loses baseline context.
+  void set_retention_seconds(double horizon_s) { retention_s_ = horizon_s; }
+
   std::size_t total_samples() const { return total_samples_; }
+  // Points currently held (≤ total_samples once retention trims).
+  std::size_t retained_points() const;
   void clear();
 
  private:
@@ -88,6 +106,7 @@ class MetricsStore {
 
   std::unordered_map<std::uint32_t, util::TimeSeries> series_;
   std::size_t total_samples_ = 0;
+  double retention_s_ = 0.0;
 };
 
 class ResourceMonitor {

@@ -1,0 +1,201 @@
+#include "stream/stream_analyzer.h"
+
+#include <algorithm>
+
+namespace gretel::stream {
+
+std::size_t StateFootprint::approx_bytes() const {
+  // Element-size approximations for the fixed-stride stores; the source
+  // ring adds its actual queued payload bytes on top of the record shells.
+  std::size_t total = source_ring_bytes;
+  total += source_ring_records * sizeof(net::WireRecord);
+  total += window_capacity * (sizeof(wire::Event) + sizeof(std::uint64_t));
+  total += pending_requests * 32;  // hash-map node: key + SimTime + links
+  total += inflight_queue * 24;    // InflightEntry
+  total += series_points * 16;     // (t, value) pair
+  total += metric_points * 16;
+  total += reports_retained * sizeof(StreamReport);
+  return total;
+}
+
+core::Analyzer::Options StreamAnalyzer::prepare(
+    core::Analyzer::Options options, StreamAnalyzer* self) {
+  options.streaming = true;
+  if (options.config.num_shards > 1) {
+    // A streaming front end must degrade around a wedged shard worker,
+    // never block behind it: force the accounted-drop overflow policy and
+    // arm the submit-path watchdog if the caller left it off.
+    options.config.overflow_policy =
+        core::OverflowPolicy::DropOldestWithAccounting;
+    if (options.config.watchdog_ms <= 0.0) options.config.watchdog_ms = 250.0;
+  }
+  // The lambda outlives construction only inside analyzer_, a member of
+  // *self, so capturing the not-yet-constructed `this` is safe: it is not
+  // invoked until events flow.
+  options.diagnosis_sink = [self](const core::Diagnosis& d) {
+    self->on_diagnosis(d);
+  };
+  return options;
+}
+
+StreamAnalyzer::StreamAnalyzer(const core::FingerprintDb* db,
+                               const wire::ApiCatalog* catalog,
+                               const stack::Deployment* deployment,
+                               core::Analyzer::Options options,
+                               ReportSink sink)
+    : cfg_(options.config),
+      tick_len_(util::SimDuration::nanos(std::max<std::int64_t>(
+          1'000'000,
+          static_cast<std::int64_t>(options.config.stream_tick_ms * 1e6)))),
+      sink_(std::move(sink)),
+      analyzer_(db, catalog, deployment, prepare(std::move(options), this)) {
+  // cfg_ keeps the caller's view; the overrides prepare() applied matter
+  // only inside the analyzer (shard plumbing), not to the stream knobs
+  // read here.
+}
+
+util::SimTime StreamAnalyzer::grid_floor(util::SimTime t) const {
+  const auto step = tick_len_.count();
+  return util::SimTime((t.nanos() / step) * step);
+}
+
+bool StreamAnalyzer::offer(const net::WireRecord& record) {
+  if (!started_) {
+    started_ = true;
+    watermark_ = grid_floor(record.ts);
+  }
+  ++counters_.offered;
+
+  const std::size_t cap = std::max<std::size_t>(1, cfg_.stream_source_ring);
+  if (ring_.size() >= cap) {
+    if (!gate_closed_) {
+      gate_closed_ = true;
+      ++counters_.shed_episodes;
+    }
+    ++counters_.shed;
+    if (cfg_.stream_shed_policy == core::StreamShedPolicy::DropNewest) {
+      // The freshest record is the loss; it has no queued successor yet,
+      // so the annotation trails until the next admitted record.
+      ++tail_losses_;
+      return false;
+    }
+    // DropOldest: evict the queue head to stay current.  Its own
+    // losses_before plus itself carry forward to the new head (or to the
+    // tail marker if the ring somehow empties — cap >= 1 prevents that
+    // here, but finish() handles trailing losses anyway).
+    Slot evicted = std::move(ring_.front());
+    ring_.pop_front();
+    ring_bytes_ -= evicted.rec.bytes.size();
+    const std::uint64_t carried = evicted.losses_before + 1;
+    if (!ring_.empty()) {
+      ring_.front().losses_before += carried;
+    } else {
+      tail_losses_ += carried;
+    }
+  }
+
+  Slot slot;
+  slot.rec = record;
+  slot.losses_before = tail_losses_;
+  tail_losses_ = 0;
+  ring_bytes_ += record.bytes.size();
+  ring_.push_back(std::move(slot));
+  return true;
+}
+
+std::size_t StreamAnalyzer::credits() const {
+  if (gate_closed_) return 0;
+  const std::size_t cap = std::max<std::size_t>(1, cfg_.stream_source_ring);
+  return cap > ring_.size() ? cap - ring_.size() : 0;
+}
+
+void StreamAnalyzer::on_metric(wire::NodeId node, net::ResourceKind kind,
+                               double t_seconds, double value) {
+  ++counters_.metrics;
+  analyzer_.on_metric(node, kind, t_seconds, value);
+}
+
+void StreamAnalyzer::advance_to(util::SimTime watermark) {
+  if (!started_) {
+    started_ = true;
+    watermark_ = grid_floor(watermark);
+    return;
+  }
+  while (watermark_ + tick_len_ <= watermark) {
+    watermark_ += tick_len_;
+    run_tick();
+  }
+}
+
+void StreamAnalyzer::drain_ring() {
+  while (!ring_.empty()) {
+    Slot slot = std::move(ring_.front());
+    ring_.pop_front();
+    ring_bytes_ -= slot.rec.bytes.size();
+    if (slot.losses_before > 0)
+      analyzer_.record_ingest_loss(slot.losses_before);
+    analyzer_.on_wire(slot.rec);
+    ++counters_.ingested;
+  }
+  // Hysteresis: the gate reopens only once the ring has drained to half
+  // capacity, so a producer pacing on credits() sees one long closed
+  // window instead of admit/shed flapping at the rim.  A full drain
+  // trivially clears the bar.
+  if (gate_closed_ &&
+      ring_.size() <= std::max<std::size_t>(1, cfg_.stream_source_ring) / 2) {
+    gate_closed_ = false;
+  }
+}
+
+void StreamAnalyzer::run_tick() {
+  ++counters_.ticks;
+  drain_ring();
+  analyzer_.tick(watermark_);
+  const auto bytes = footprint().approx_bytes();
+  peak_state_bytes_ = std::max(peak_state_bytes_, bytes);
+}
+
+void StreamAnalyzer::finish() {
+  drain_ring();
+  if (tail_losses_ > 0) {
+    analyzer_.record_ingest_loss(tail_losses_);
+    tail_losses_ = 0;
+  }
+  finishing_ = true;
+  analyzer_.finish();
+  const auto bytes = footprint().approx_bytes();
+  peak_state_bytes_ = std::max(peak_state_bytes_, bytes);
+}
+
+void StreamAnalyzer::on_diagnosis(const core::Diagnosis& d) {
+  StreamReport report;
+  report.diagnosis = d;
+  report.tick = finishing_ ? 0 : counters_.ticks;
+  report.emitted_at = watermark_;
+  report.report_delay_ms =
+      std::max(0.0, (watermark_ - d.fault.detected_at).to_millis());
+  ++counters_.reports;
+  if (sink_) sink_(report);
+  recent_.push_back(std::move(report));
+  const std::size_t cap = std::max<std::size_t>(1, cfg_.stream_report_cap);
+  while (recent_.size() > cap) {
+    recent_.pop_front();
+    ++counters_.reports_evicted;
+  }
+}
+
+StateFootprint StreamAnalyzer::footprint() {
+  StateFootprint fp;
+  fp.source_ring_records = ring_.size();
+  fp.source_ring_bytes = ring_bytes_;
+  fp.window_capacity = 2 * analyzer_.config().alpha();
+  const auto& latency = analyzer_.latency_shards();
+  fp.pending_requests = latency.pending();
+  fp.inflight_queue = latency.inflight_queue();
+  fp.series_points = latency.series_points();
+  fp.metric_points = analyzer_.metrics().retained_points();
+  fp.reports_retained = recent_.size();
+  return fp;
+}
+
+}  // namespace gretel::stream

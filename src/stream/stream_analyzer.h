@@ -1,0 +1,204 @@
+// Continuous streaming front end for the GRETEL analyzer.
+//
+//   producer ──offer()──▶ [bounded source ring] ──tick──▶ Analyzer
+//                │  credits() / shed                │
+//                └── backpressure ──────────────────┴──▶ StreamReports
+//
+// Batch GRETEL ingests a finite capture and reports at finish(); the
+// StreamAnalyzer runs the same pipeline against an unbounded stream with
+// three hard guarantees (docs/ARCHITECTURE.md, "Streaming mode"):
+//
+//   1. Bounded memory.  Every stateful stage is capped: the source ring
+//      (stream_source_ring), the pending-request tables (stream_inflight_cap
+//      split across shards), retained latency series (stream_series_cap,
+//      with constant-memory P² sketches keeping full-history baselines),
+//      metric retention (stream_metrics_retention_s) and the retained
+//      report ring (stream_report_cap).  footprint() itemizes the state and
+//      the soak test asserts the ceiling is flat under sustained overload.
+//
+//   2. Explicit backpressure with exact shed accounting.  offer() admits a
+//      record or sheds one under stream_shed_policy; credits() tells a
+//      cooperating producer how many records the ring will take without
+//      shedding (0 while the gate is closed — it reopens at half
+//      occupancy, giving hysteresis instead of flapping at the rim).
+//      Every shed record is attributed to its exact stream position via
+//      the same window-loss annotation a quarantined frame gets, so
+//      reports spanning a shed gap carry degraded confidence and
+//      offered == ingested + shed + queued() holds at all times.
+//
+//   3. Bounded report latency.  advance_to(watermark) runs a detection
+//      tick each time the watermark crosses a stream_tick_ms boundary:
+//      queued records are drained into the analyzer, ready reports are
+//      emitted, pending triggers older than stream_max_report_delay_s are
+//      force-emitted with the context that did arrive, idle-stream
+//      orphans are reaped, and the steady-state stall watchdog runs.
+//      Each report is stamped with its emission tick and the
+//      trigger-to-emission delay (bench/bench_stream_latency.cpp measures
+//      the fault-injection-to-first-report distribution on top of this).
+//
+// Determinism caveat: streaming reports are tick-quantized and, under the
+// in-flight cap or shed pressure, depend on arrival timing — the batch
+// byte-identity contract applies to batch mode only (which this class does
+// not touch; all caps default off unless Options::streaming is set).
+//
+// Thread contract: single-threaded, like the Analyzer facade it wraps —
+// one producer thread calls offer()/on_metric()/advance_to()/finish().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "gretel/analyzer.h"
+
+namespace gretel::stream {
+
+// One emitted diagnosis, stamped with its position in stream time.
+struct StreamReport {
+  core::Diagnosis diagnosis;
+  // Tick (1-based) whose drain emitted the report; 0 for reports emitted
+  // by finish() after the last tick.
+  std::uint64_t tick = 0;
+  // Watermark at emission.
+  util::SimTime emitted_at;
+  // Emission lag behind the detection timestamp (the last event of the
+  // frozen window): how long the report waited for future context plus
+  // tick quantization.  Clamped at 0 (a report can freeze a window whose
+  // tail arrived ahead of the watermark).
+  double report_delay_ms = 0.0;
+};
+
+// Flow accounting.  Invariant (asserted by the soak test):
+//   offered == ingested + shed + queued().
+struct StreamCounters {
+  std::uint64_t offered = 0;    // records presented by the producer
+  std::uint64_t ingested = 0;   // records drained into the analyzer
+  std::uint64_t shed = 0;       // records dropped at admission, accounted
+  std::uint64_t shed_episodes = 0;  // gate-open → gate-closed transitions
+  std::uint64_t ticks = 0;
+  std::uint64_t reports = 0;          // total reports emitted
+  std::uint64_t reports_evicted = 0;  // evicted from the retained ring
+  std::uint64_t metrics = 0;          // metric samples forwarded
+};
+
+// Itemized live state, for the bounded-memory soak assertions and the
+// bench's peak-state tripwire.  approx_bytes() is an estimate built from
+// element counts × element sizes (strings inside events/reports are
+// counted for the source ring, where they dominate, and approximated
+// elsewhere); its value is in being monotone in the actual footprint.
+struct StateFootprint {
+  std::size_t source_ring_records = 0;
+  std::size_t source_ring_bytes = 0;  // queued wire payload bytes
+  std::size_t window_capacity = 0;    // dual-buffer slots (fixed: 2α)
+  std::size_t pending_requests = 0;   // latency pending-table entries
+  std::size_t inflight_queue = 0;     // in-flight FIFO bookkeeping entries
+  std::size_t series_points = 0;      // retained latency samples
+  std::size_t metric_points = 0;      // retained metric samples
+  std::size_t reports_retained = 0;
+
+  std::size_t approx_bytes() const;
+};
+
+class StreamAnalyzer {
+ public:
+  using ReportSink = std::function<void(const StreamReport&)>;
+
+  // Wraps a streaming Analyzer (Options::streaming is forced on, arming
+  // every bounded-state knob in options.config).  On a sharded config the
+  // overflow policy is forced to DropOldestWithAccounting and the shard
+  // watchdog is armed (250 ms default) — a streaming front end must shed
+  // around a wedged shard worker, never block behind it.  `sink`, when
+  // set, sees every report at emission; the newest stream_report_cap
+  // reports are also retained in recent_reports() either way.
+  StreamAnalyzer(const core::FingerprintDb* db,
+                 const wire::ApiCatalog* catalog,
+                 const stack::Deployment* deployment,
+                 core::Analyzer::Options options, ReportSink sink = {});
+
+  StreamAnalyzer(const StreamAnalyzer&) = delete;
+  StreamAnalyzer& operator=(const StreamAnalyzer&) = delete;
+
+  // Offers one captured record.  Returns true if it was queued; false if
+  // it was shed (DropNewest) — under DropOldest the new record is always
+  // queued and the return still reports whether *shedding* occurred via
+  // counters().  Never blocks.
+  bool offer(const net::WireRecord& record);
+
+  // Admission credits: how many records offer() will queue without
+  // shedding.  0 while the shed gate is closed (ring hit capacity and has
+  // not yet drained to half).  A cooperating producer paces itself on
+  // this; a non-cooperating one just gets the shed policy.
+  std::size_t credits() const;
+
+  // Metric samples bypass the ring (they are scalar and already bounded
+  // by stream_metrics_retention_s) and go straight to the analyzer.
+  void on_metric(wire::NodeId node, net::ResourceKind kind,
+                 double t_seconds, double value);
+
+  // Advances the stream watermark, running one detection tick per
+  // stream_tick_ms boundary crossed.  The first call (or offer) anchors
+  // the tick grid at the watermark's grid floor, so a capture starting at
+  // t=600s does not replay 2400 empty ticks from the epoch.
+  void advance_to(util::SimTime watermark);
+
+  // End of stream: drains everything still queued, attributes trailing
+  // shed losses, and flushes the analyzer (emitting reports whose future
+  // context never arrived).  Final reports carry tick = 0.
+  void finish();
+
+  const StreamCounters& counters() const { return counters_; }
+  std::size_t queued() const { return ring_.size(); }
+  util::SimTime watermark() const { return watermark_; }
+  bool gate_closed() const { return gate_closed_; }
+
+  // Newest retained reports (bounded by stream_report_cap; older ones
+  // were delivered to the sink and evicted, counters().reports_evicted).
+  const std::deque<StreamReport>& recent_reports() const { return recent_; }
+
+  // Live state itemization and the high-water mark of approx_bytes()
+  // observed at tick boundaries (quiescent points).
+  StateFootprint footprint();
+  std::size_t peak_state_bytes() const { return peak_state_bytes_; }
+
+  // Degraded-telemetry counters of the wrapped pipeline (quiescent
+  // snapshot — call between offers, after a tick, or after finish()).
+  monitor::PipelineHealthCounters health() { return analyzer_.health(); }
+  core::Analyzer& analyzer() { return analyzer_; }
+  const core::Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  struct Slot {
+    net::WireRecord rec;
+    // Records shed immediately before this one (exact stream position for
+    // the window-loss annotation).
+    std::uint64_t losses_before = 0;
+  };
+
+  static core::Analyzer::Options prepare(core::Analyzer::Options options,
+                                         StreamAnalyzer* self);
+  util::SimTime grid_floor(util::SimTime t) const;
+  void on_diagnosis(const core::Diagnosis& d);
+  void drain_ring();
+  void run_tick();
+
+  core::GretelConfig cfg_;       // effective (post-override) config copy
+  util::SimDuration tick_len_;
+  ReportSink sink_;
+  core::Analyzer analyzer_;      // last: its sink lambda captures `this`
+
+  std::deque<Slot> ring_;
+  std::size_t ring_bytes_ = 0;   // queued rec.bytes payload total
+  // Shed losses not yet anchored to a queued record: attributed before
+  // the next admitted record, or at finish() if none follows.
+  std::uint64_t tail_losses_ = 0;
+  bool gate_closed_ = false;
+  bool started_ = false;
+  bool finishing_ = false;
+  util::SimTime watermark_;
+  StreamCounters counters_;
+  std::deque<StreamReport> recent_;
+  std::size_t peak_state_bytes_ = 0;
+};
+
+}  // namespace gretel::stream

@@ -83,6 +83,18 @@ class TimeSeries {
   bool empty() const { return points_.empty(); }
   void clear() { points_.clear(); }
 
+  // Drops the n oldest points (streaming retention/caps).  O(remaining);
+  // callers amortize by dropping in batches rather than one at a time.
+  void drop_front(std::size_t n) {
+    if (n == 0) return;
+    if (n >= points_.size()) {
+      points_.clear();
+      return;
+    }
+    points_.erase(points_.begin(),
+                  points_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
  private:
   std::vector<SeriesPoint> points_;
 };

@@ -142,6 +142,46 @@ TEST(CampaignEngine, SweepIsDeterministicAndReconciles) {
   EXPECT_GT(summary.distinct_fingerprints, 1u);
 }
 
+TEST(CampaignEngine, StreamingSweepReconcilesAndStampsReportLatency) {
+  auto& e = env();
+  auto plan = small_plan(kFaultClasses);
+  plan.streaming = true;
+  plan.stream_tick_ms = 250.0;
+  ScenarioGenerator gen(&e.catalog, plan);
+  CampaignOrchestrator orch(&e.catalog, &e.training, plan);
+  const auto specs = gen.generate();
+  const auto results = orch.run_all(specs);
+  ASSERT_EQ(results.size(), specs.size());
+  std::size_t localized = 0, stamped = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    // A streaming crash includes flow-ledger mismatches (offered !=
+    // ingested + shed after finish) — the note says which.
+    EXPECT_NE(results[i].outcome, Outcome::Crashed)
+        << "scenario " << i << ": " << results[i].note;
+    EXPECT_GT(results[i].stream_ticks, 0u) << i;
+    if (results[i].outcome == Outcome::Localized) ++localized;
+    if (results[i].first_report_latency_ms >= 0.0) ++stamped;
+  }
+  EXPECT_GT(localized, 0u);
+  // Every scenario that emitted a report got a fault-to-report latency.
+  EXPECT_GT(stamped, 0u);
+
+  // Streaming runs the same detection math on a tick cadence: the
+  // localization verdict matches the batch sweep scenario-for-scenario.
+  // (Failure-mode fingerprints may differ — a deadline-forced streaming
+  // report matches on less future context than batch; that quantization
+  // caveat is documented in docs/ARCHITECTURE.md, "Streaming mode".)
+  auto batch_plan = plan;
+  batch_plan.streaming = false;
+  CampaignOrchestrator batch(&e.catalog, &e.training, batch_plan);
+  const auto batch_results = batch.run_all(specs);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].outcome, batch_results[i].outcome) << i;
+    EXPECT_EQ(results[i].stream_ticks > 0, batch_results[i].stream_ticks == 0)
+        << i;  // only the streaming run ticks
+  }
+}
+
 TEST(CampaignEngine, EventBudgetTruncatesDeterministically) {
   auto& e = env();
   auto plan = small_plan(1);

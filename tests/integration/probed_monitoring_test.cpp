@@ -61,6 +61,10 @@ struct Run {
   std::unique_ptr<Analyzer> analyzer;
   const Analyzer* operator->() const { return analyzer.get(); }
   const Analyzer& operator*() const { return *analyzer; }
+  // health() refreshes the per-shard progress clocks, so it needs the
+  // non-const analyzer.
+  Analyzer* operator->() { return analyzer.get(); }
+  Analyzer& operator*() { return *analyzer; }
 };
 
 // The §7.2.3 scenario — an upstream agent crash found by expanded search —
@@ -134,7 +138,7 @@ TEST(ProbedMonitoring, ZeroChaosIsByteIdenticalToOracleAcrossShards) {
     EXPECT_EQ(stats.retries, 0u);
     EXPECT_EQ(stats.probe_failures, 0u);
     EXPECT_TRUE(probed_run->watcher().chaos_audit().empty());
-    const auto health = probed_run->health();
+    const auto health = probed_run.analyzer->health();
     EXPECT_EQ(health.probe_attempts, stats.probes);
     EXPECT_EQ(health.probe_timeouts, 0u);
   }
@@ -272,7 +276,7 @@ TEST(ProbedMonitoring, WedgedAgentCannotStallAnalysisPastBudget) {
   const auto stats = run->watcher().probe_stats();
   EXPECT_GT(stats.budget_exhausted, 0u);
   EXPECT_GT(stats.timeouts, 0u);
-  const auto health = run->health();
+  const auto health = run.analyzer->health();
   EXPECT_EQ(health.probe_budget_exhausted, stats.budget_exhausted);
 
   // The degradation is visible in the exported document.

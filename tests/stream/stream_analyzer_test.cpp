@@ -1,0 +1,339 @@
+// StreamAnalyzer contract tests: batch output stays byte-identical across
+// shard counts (the caps never engage outside streaming mode), an
+// unstressed stream reproduces the batch diagnosis set exactly, tick
+// cadence cannot change reports, the shed policies account every loss, the
+// credit gate has hysteresis, overdue reports are deadline-forced, idle
+// streams still reap orphans, and the steady-state stall watchdog flags a
+// wedged shard without an ingest-path trigger.  (Suite names Stream* are in
+// the TSan/ASan CI filters.)
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gretel/json_export.h"
+#include "gretel/shard_pipeline.h"
+#include "gretel/training.h"
+#include "net/chaos.h"
+#include "stream/stream_analyzer.h"
+#include "tempest/workload.h"
+
+namespace gretel::stream {
+namespace {
+
+using util::SimDuration;
+using util::SimTime;
+
+struct Env {
+  tempest::TempestCatalog catalog = tempest::TempestCatalog::build(21, 0.04);
+  stack::Deployment deployment = stack::Deployment::standard(3);
+  core::TrainingReport training = core::learn_fingerprints(catalog, deployment);
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+std::vector<net::WireRecord> record_workload(int tests, int faults,
+                                             std::uint64_t seed) {
+  auto& e = env();
+  tempest::WorkloadSpec spec;
+  spec.concurrent_tests = tests;
+  spec.faults = faults;
+  spec.window = SimDuration::seconds(30);
+  spec.seed = seed;
+  const auto w = make_parallel_workload(e.catalog, spec);
+  stack::WorkflowExecutor executor(&e.deployment, &e.catalog.apis(),
+                                   &e.catalog.infra(), seed ^ 0xE8ec);
+  return executor.execute(w.launches);
+}
+
+core::Analyzer::Options base_options(std::size_t num_shards = 1) {
+  auto& e = env();
+  core::Analyzer::Options opt;
+  opt.config.fp_max = e.training.fp_max;
+  opt.config.p_rate = 150.0;
+  opt.config.num_shards = num_shards;
+  opt.run_root_cause = false;
+  return opt;
+}
+
+std::string batch_json(const std::vector<net::WireRecord>& recs,
+                       std::size_t num_shards) {
+  auto& e = env();
+  core::Analyzer analyzer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          base_options(num_shards));
+  for (const auto& r : recs) analyzer.on_wire(r);
+  analyzer.finish();
+  return core::to_json(analyzer.diagnoses(), e.catalog.apis(),
+                       e.training.db);
+}
+
+// Streams the capture in arrival order and returns the emitted diagnoses
+// serialized exactly like the batch path.
+std::string stream_json(const std::vector<net::WireRecord>& recs,
+                        core::Analyzer::Options opt) {
+  auto& e = env();
+  std::vector<core::Diagnosis> emitted;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          std::move(opt),
+                          [&](const StreamReport& r) {
+                            emitted.push_back(r.diagnosis);
+                          });
+  for (const auto& r : recs) {
+    streamer.advance_to(r.ts);
+    streamer.offer(r);
+  }
+  streamer.finish();
+  return core::to_json(emitted, e.catalog.apis(), e.training.db);
+}
+
+// The PR-level regression gate: with streaming off, reports must stay
+// byte-identical across shard counts — none of the bounded-state plumbing
+// may leak into batch mode.
+TEST(StreamAnalyzer, BatchOutputByteIdenticalAcrossShardCounts) {
+  const auto recs = record_workload(10, 3, 0x5EED01);
+  const auto reference = batch_json(recs, 1);
+  EXPECT_FALSE(reference.empty());
+  EXPECT_EQ(reference, batch_json(recs, 2)) << "2 shards diverged";
+  EXPECT_EQ(reference, batch_json(recs, 4)) << "4 shards diverged";
+}
+
+// An unstressed stream (no shedding, deadline forcing off) must reproduce
+// the batch diagnosis set byte-for-byte: ticks only change *when* work
+// runs, never what it concludes.
+TEST(StreamAnalyzer, UnstressedStreamMatchesBatchExactly) {
+  const auto recs = record_workload(10, 3, 0x5EED01);
+  auto opt = base_options(1);
+  opt.config.stream_max_report_delay_s = 0.0;  // no deadline forcing
+  EXPECT_EQ(batch_json(recs, 1), stream_json(recs, opt));
+}
+
+TEST(StreamAnalyzer, UnstressedShardedStreamMatchesBatch) {
+  const auto recs = record_workload(10, 3, 0x5EED01);
+  auto opt = base_options(2);
+  opt.config.stream_max_report_delay_s = 0.0;
+  EXPECT_EQ(batch_json(recs, 1), stream_json(recs, opt));
+}
+
+TEST(StreamAnalyzer, TickCadenceDoesNotChangeReports) {
+  const auto recs = record_workload(8, 2, 0x5EED02);
+  auto fast = base_options(1);
+  fast.config.stream_max_report_delay_s = 0.0;
+  fast.config.stream_tick_ms = 100.0;
+  auto slow = fast;
+  slow.config.stream_tick_ms = 997.0;
+  EXPECT_EQ(stream_json(recs, fast), stream_json(recs, slow));
+}
+
+TEST(StreamAnalyzer, DropOldestShedsWithExactAccounting) {
+  auto& e = env();
+  const auto recs = record_workload(8, 2, 0x5EED03);
+  ASSERT_GT(recs.size(), 64u);
+  auto opt = base_options(1);
+  opt.config.stream_source_ring = 8;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  // Offer everything without ever advancing the watermark: nothing drains,
+  // so all but the newest 8 records must be shed — each loss accounted.
+  for (const auto& r : recs) streamer.offer(r);
+  EXPECT_TRUE(streamer.gate_closed());
+  EXPECT_EQ(streamer.credits(), 0u);
+  EXPECT_EQ(streamer.queued(), 8u);
+  const auto& c = streamer.counters();
+  EXPECT_EQ(c.offered, recs.size());
+  EXPECT_EQ(c.shed, recs.size() - 8);
+  EXPECT_GE(c.shed_episodes, 1u);
+  streamer.finish();
+  EXPECT_EQ(c.offered, c.ingested + c.shed);
+  EXPECT_EQ(streamer.queued(), 0u);
+  // Every shed record reappears as a window-loss annotation.
+  EXPECT_EQ(streamer.health().losses_recorded, c.shed);
+}
+
+TEST(StreamAnalyzer, DropNewestRefusesTheFreshRecord) {
+  auto& e = env();
+  const auto recs = record_workload(8, 2, 0x5EED03);
+  ASSERT_GT(recs.size(), 16u);
+  auto opt = base_options(1);
+  opt.config.stream_source_ring = 4;
+  opt.config.stream_shed_policy = core::StreamShedPolicy::DropNewest;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  std::size_t accepted = 0;
+  for (const auto& r : recs) accepted += streamer.offer(r) ? 1 : 0;
+  EXPECT_EQ(accepted, 4u);  // the first four; everything after is refused
+  EXPECT_EQ(streamer.queued(), 4u);
+  EXPECT_EQ(streamer.counters().shed, recs.size() - 4);
+  streamer.finish();
+  EXPECT_EQ(streamer.counters().offered,
+            streamer.counters().ingested + streamer.counters().shed);
+  EXPECT_EQ(streamer.health().losses_recorded, streamer.counters().shed);
+}
+
+TEST(StreamAnalyzer, CreditGateReopensAfterDrain) {
+  auto& e = env();
+  const auto recs = record_workload(8, 2, 0x5EED03);
+  auto opt = base_options(1);
+  opt.config.stream_source_ring = 8;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  for (std::size_t i = 0; i < 9 && i < recs.size(); ++i)
+    streamer.offer(recs[i]);
+  ASSERT_TRUE(streamer.gate_closed());
+  EXPECT_EQ(streamer.credits(), 0u);
+  // One tick drains the ring past half occupancy: the gate reopens and
+  // full credit comes back.
+  streamer.advance_to(recs[8].ts + SimDuration::seconds(1));
+  EXPECT_FALSE(streamer.gate_closed());
+  EXPECT_EQ(streamer.credits(), 8u);
+}
+
+TEST(StreamAnalyzer, DeadlineForcesReportsWhenStreamGoesQuiet) {
+  auto& e = env();
+  // A lone faulty operation with almost no background: the trigger's
+  // future half-window never fills after the capture ends, so only the
+  // deadline can emit it before finish().
+  const auto recs = record_workload(1, 1, 0x5EED04);
+  ASSERT_FALSE(recs.empty());
+  auto opt = base_options(1);
+  opt.config.stream_max_report_delay_s = 1.0;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  for (const auto& r : recs) {
+    streamer.advance_to(r.ts);
+    streamer.offer(r);
+  }
+  // Advance well past the deadline with zero traffic.
+  streamer.advance_to(recs.back().ts + SimDuration::seconds(10));
+  EXPECT_GE(streamer.analyzer().detector_stats().forced_reports, 1u);
+  EXPECT_GE(streamer.counters().reports, 1u);
+  for (const auto& r : streamer.recent_reports())
+    EXPECT_GT(r.tick, 0u) << "report waited for finish()";
+}
+
+TEST(StreamAnalyzer, IdleStreamStillReapsOrphans) {
+  auto& e = env();
+  auto recs = record_workload(8, 2, 0x5EED05);
+  // Drop a slice of frames so some responses never arrive and their
+  // requests linger in the pending tables.
+  net::ChaosConfig chaos;
+  chaos.seed = 0xD20;
+  chaos.drop_rate = 0.2;
+  std::vector<net::WireRecord> degraded;
+  net::ChaosTap tap(chaos,
+                    [&](const net::WireRecord& r) { degraded.push_back(r); });
+  for (const auto& r : recs) tap.on_record(r);
+  tap.finish();
+
+  auto opt = base_options(1);
+  opt.config.orphan_timeout_seconds = 5.0;
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  for (const auto& r : degraded) {
+    streamer.advance_to(r.ts);
+    streamer.offer(r);
+  }
+  // Traffic stops.  Requests from the last 5 s whose responses were
+  // dropped are still pending — the observe-cadence sweep cannot run with
+  // no events flowing, so only the tick-driven sweep can reclaim them.
+  const auto pending_before = streamer.footprint().pending_requests;
+  ASSERT_GT(pending_before, 0u);
+  const auto reaped_before = streamer.health().orphans_reaped;
+  streamer.advance_to(degraded.back().ts + SimDuration::seconds(30));
+  EXPECT_EQ(streamer.footprint().pending_requests, 0u);
+  EXPECT_GT(streamer.health().orphans_reaped, reaped_before);
+}
+
+// Steady-state watchdog (ShardPipeline level): a wedged worker holding
+// backlog is flagged by check_stalls() during quiet streaming — no blocked
+// submit or drain required — and shard_health() surfaces its progress age.
+TEST(StreamWatchdog, SteadyStateCheckFlagsWedgedShard) {
+  detect::LatencyShardSet latency(2);
+  core::ResilienceOptions resilience;
+  resilience.watchdog_ms = 50.0;
+  core::ShardPipeline pipeline(&latency, 64, resilience);
+
+  // An API owned by shard 0.
+  wire::ApiId target(1);
+  for (std::uint16_t v = 1; v < 1000; ++v) {
+    if (detect::LatencyShardSet::shard_of(wire::ApiId(v), 2) == 0) {
+      target = wire::ApiId(v);
+      break;
+    }
+  }
+  pipeline.debug_pause_shard(0, true);
+  wire::Event e;
+  e.api = target;
+  e.kind = wire::ApiKind::Rest;
+  e.dir = wire::Direction::Request;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    e.seq = i;
+    e.ts = SimTime(static_cast<std::int64_t>(i) * 1000000);
+    e.conn_id = static_cast<std::uint32_t>(i + 1);
+    pipeline.submit(e);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_GE(pipeline.check_stalls(), 1u);
+  EXPECT_GE(pipeline.watchdog_trips(), 1u);
+  bool found_stalled = false;
+  for (const auto& h : pipeline.shard_health()) {
+    if (!h.stalled) continue;
+    found_stalled = true;
+    EXPECT_GT(h.backlog, 0u);
+    EXPECT_GE(h.progress_age_ms, 50.0);
+  }
+  EXPECT_TRUE(found_stalled);
+  // A stall is flagged once per episode, not once per check.
+  const auto trips = pipeline.watchdog_trips();
+  EXPECT_EQ(pipeline.check_stalls(), 1u);
+  EXPECT_EQ(pipeline.watchdog_trips(), trips);
+
+  // Worker resumes: the flag clears as soon as progress is observed.
+  pipeline.debug_pause_shard(0, false);
+  std::vector<core::ShardTrigger> triggers;
+  pipeline.drain(&triggers);
+  EXPECT_EQ(pipeline.check_stalls(), 0u);
+  for (const auto& h : pipeline.shard_health()) {
+    EXPECT_FALSE(h.stalled);
+    EXPECT_EQ(h.backlog, 0u);
+  }
+}
+
+// An idle (fully drained) shard is not a stall, no matter how long it
+// sits: the watchdog keys on backlog age, not on inactivity.
+TEST(StreamWatchdog, IdleShardIsNotAStall) {
+  detect::LatencyShardSet latency(2);
+  core::ResilienceOptions resilience;
+  resilience.watchdog_ms = 10.0;
+  core::ShardPipeline pipeline(&latency, 64, resilience);
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_EQ(pipeline.check_stalls(), 0u);
+  EXPECT_EQ(pipeline.watchdog_trips(), 0u);
+}
+
+// The health snapshot carries per-shard progress ages through the whole
+// facade stack while streaming.
+TEST(StreamWatchdog, HealthSurfacesPerShardProgress) {
+  auto& e = env();
+  const auto recs = record_workload(6, 1, 0x5EED06);
+  auto opt = base_options(2);
+  StreamAnalyzer streamer(&e.training.db, &e.catalog.apis(), &e.deployment,
+                          opt);
+  for (const auto& r : recs) {
+    streamer.advance_to(r.ts);
+    streamer.offer(r);
+  }
+  streamer.finish();
+  const auto health = streamer.health();
+  EXPECT_EQ(health.shard_progress_age_ms.size(), 2u);
+  EXPECT_EQ(health.stalled_shards, 0u);
+  for (double age : health.shard_progress_age_ms) EXPECT_GE(age, 0.0);
+}
+
+}  // namespace
+}  // namespace gretel::stream
