@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "detect/level_shift.h"
+#include "util/binio.h"
 
 namespace gretel::detect {
 
@@ -189,6 +190,193 @@ std::size_t LatencyTracker::series_points() const {
   std::size_t total = 0;
   for (const auto& [api, pa] : state_) total += pa.series.size();
   return total;
+}
+
+void LatencyTracker::save_state(std::string& out) const {
+  // Unordered maps are walked in sorted-key order so the same tracker state
+  // always produces the same bytes (checkpoint files diff cleanly and the
+  // recovery tests can compare blobs directly).
+  {
+    std::vector<std::uint32_t> keys;
+    keys.reserve(pending_rest_.size());
+    for (const auto& [k, ts] : pending_rest_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    util::put_u32(out, static_cast<std::uint32_t>(keys.size()));
+    for (std::uint32_t k : keys) {
+      util::put_u32(out, k);
+      util::put_i64(out, pending_rest_.at(k).nanos());
+    }
+  }
+  {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(pending_rpc_.size());
+    for (const auto& [k, ts] : pending_rpc_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    util::put_u32(out, static_cast<std::uint32_t>(keys.size()));
+    for (std::uint64_t k : keys) {
+      util::put_u64(out, k);
+      util::put_i64(out, pending_rpc_.at(k).nanos());
+    }
+  }
+  {
+    std::vector<wire::ApiId> apis;
+    apis.reserve(state_.size());
+    for (const auto& [api, pa] : state_) apis.push_back(api);
+    std::sort(apis.begin(), apis.end());
+    util::put_u32(out, static_cast<std::uint32_t>(apis.size()));
+    for (wire::ApiId api : apis) {
+      const PerApi& pa = state_.at(api);
+      util::put_u16(out, api.value());
+      util::put_bytes(out, pa.detector->name());
+      std::string det;
+      pa.detector->save_state(det);
+      util::put_bytes(out, det);
+      std::string sk;
+      pa.sketch.save_state(sk);
+      util::put_bytes(out, sk);
+      util::put_u32(out, static_cast<std::uint32_t>(pa.series.size()));
+      for (const auto& p : pa.series.points()) {
+        util::put_f64(out, p.t_seconds);
+        util::put_f64(out, p.value);
+      }
+    }
+  }
+  // The live slice of the in-flight FIFO, verbatim: eviction order after a
+  // restore is exactly what it would have been without the crash.  Stale
+  // (already-paired / already-swept) entries only exist to be skipped, so
+  // they are not worth the bytes.
+  {
+    std::uint32_t live = 0;
+    for (std::size_t i = inflight_head_; i < inflight_fifo_.size(); ++i) {
+      if (!stale(inflight_fifo_[i])) ++live;
+    }
+    util::put_u32(out, live);
+    for (std::size_t i = inflight_head_; i < inflight_fifo_.size(); ++i) {
+      const InflightEntry& e = inflight_fifo_[i];
+      if (stale(e)) continue;
+      util::put_u64(out, e.key);
+      util::put_i64(out, e.ts.nanos());
+      util::put_u8(out, e.rpc ? 1 : 0);
+    }
+  }
+  util::put_u64(out, samples_);
+  util::put_u32(out, observes_since_sweep_);
+  util::put_u64(out, guards_.clamped_negative);
+  util::put_u64(out, guards_.rejected_nonfinite);
+  util::put_u64(out, guards_.orphans_reaped);
+  util::put_u64(out, guards_.inflight_evicted);
+  util::put_u64(out, guards_.series_trimmed);
+}
+
+bool LatencyTracker::load_state(std::string_view& in) {
+  const auto reset_all = [this] {
+    pending_rest_.clear();
+    pending_rpc_.clear();
+    state_.clear();
+    inflight_fifo_.clear();
+    inflight_head_ = 0;
+    samples_ = 0;
+    observes_since_sweep_ = 0;
+    guards_ = LatencyGuardStats{};
+  };
+  reset_all();
+  constexpr std::uint32_t kMaxElems = 1u << 24;
+
+  std::uint32_t n_rest = 0;
+  if (!util::get_u32(in, n_rest) || n_rest > kMaxElems) return false;
+  for (std::uint32_t i = 0; i < n_rest; ++i) {
+    std::uint32_t k = 0;
+    std::int64_t ts = 0;
+    if (!util::get_u32(in, k) || !util::get_i64(in, ts)) {
+      reset_all();
+      return false;
+    }
+    pending_rest_.emplace(k, util::SimTime(ts));
+  }
+  std::uint32_t n_rpc = 0;
+  if (!util::get_u32(in, n_rpc) || n_rpc > kMaxElems) {
+    reset_all();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < n_rpc; ++i) {
+    std::uint64_t k = 0;
+    std::int64_t ts = 0;
+    if (!util::get_u64(in, k) || !util::get_i64(in, ts)) {
+      reset_all();
+      return false;
+    }
+    pending_rpc_.emplace(k, util::SimTime(ts));
+  }
+
+  std::uint32_t n_apis = 0;
+  if (!util::get_u32(in, n_apis) || n_apis > kMaxElems) {
+    reset_all();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < n_apis; ++i) {
+    std::uint16_t api_raw = 0;
+    std::string_view det_name;
+    std::string_view det_blob;
+    std::string_view sk_blob;
+    std::uint32_t n_pts = 0;
+    if (!util::get_u16(in, api_raw) || !util::get_bytes(in, det_name) ||
+        !util::get_bytes(in, det_blob) || !util::get_bytes(in, sk_blob)) {
+      reset_all();
+      return false;
+    }
+    PerApi pa{{}, factory_()};
+    // A checkpoint written under a different detector configuration must
+    // not be grafted onto this one: the blob layouts differ per type.
+    if (pa.detector->name() != det_name ||
+        !pa.detector->load_state(det_blob) || !det_blob.empty() ||
+        !pa.sketch.load_state(sk_blob) || !sk_blob.empty()) {
+      reset_all();
+      return false;
+    }
+    if (!util::get_u32(in, n_pts) || n_pts > kMaxElems) {
+      reset_all();
+      return false;
+    }
+    for (std::uint32_t p = 0; p < n_pts; ++p) {
+      double t = 0.0;
+      double v = 0.0;
+      if (!util::get_f64(in, t) || !util::get_f64(in, v)) {
+        reset_all();
+        return false;
+      }
+      pa.series.add(t, v);
+    }
+    state_.emplace(wire::ApiId(api_raw), std::move(pa));
+  }
+
+  std::uint32_t n_fifo = 0;
+  if (!util::get_u32(in, n_fifo) || n_fifo > kMaxElems) {
+    reset_all();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < n_fifo; ++i) {
+    std::uint64_t key = 0;
+    std::int64_t ts = 0;
+    std::uint8_t rpc = 0;
+    if (!util::get_u64(in, key) || !util::get_i64(in, ts) ||
+        !util::get_u8(in, rpc)) {
+      reset_all();
+      return false;
+    }
+    inflight_fifo_.push_back({key, util::SimTime(ts), rpc != 0});
+  }
+
+  if (!util::get_u64(in, samples_) ||
+      !util::get_u32(in, observes_since_sweep_) ||
+      !util::get_u64(in, guards_.clamped_negative) ||
+      !util::get_u64(in, guards_.rejected_nonfinite) ||
+      !util::get_u64(in, guards_.orphans_reaped) ||
+      !util::get_u64(in, guards_.inflight_evicted) ||
+      !util::get_u64(in, guards_.series_trimmed)) {
+    reset_all();
+    return false;
+  }
+  return true;
 }
 
 }  // namespace gretel::detect

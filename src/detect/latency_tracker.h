@@ -121,6 +121,17 @@ class LatencyTracker {
     return inflight_fifo_.size() - inflight_head_;
   }
 
+  // Checkpoint support (src/persist/): serializes the dynamic state —
+  // pending request maps, per-API series/detector/sketch, in-flight FIFO,
+  // guard counters — in deterministic (sorted-key) order.  The knobs
+  // (orphan timeout, caps, sketch enable) are config, not state: restore
+  // re-arms them from GretelConfig before calling load_state.  save_state
+  // never mutates the tracker; load_state replaces all dynamic state, or
+  // resets the tracker and returns false on torn/malformed input or a
+  // detector-type mismatch against this tracker's factory.
+  void save_state(std::string& out) const;
+  bool load_state(std::string_view& in);
+
  private:
   struct PerApi {
     util::TimeSeries series;

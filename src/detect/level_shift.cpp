@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/binio.h"
 #include "util/stats.h"
 
 namespace gretel::detect {
@@ -91,6 +92,58 @@ void LevelShiftDetector::reset() {
   cached_median_ = 0.0;
   cached_sigma_ = 0.0;
   stale_ = 0;
+}
+
+void LevelShiftDetector::save_state(std::string& out) const {
+  // Raw fields only: the cached median/sigma are serialized as-is rather
+  // than recomputed (level()/refresh_baseline() mutate the cache refresh
+  // clock, which would make a checkpointed run diverge from an
+  // uncheckpointed one).  scratch_ is a temp buffer, always re-assigned
+  // before use, so it carries no state.
+  util::put_u32(out, static_cast<std::uint32_t>(window_.size()));
+  for (double v : window_) util::put_f64(out, v);
+  util::put_u32(out, static_cast<std::uint32_t>(pending_.size()));
+  for (double v : pending_) util::put_f64(out, v);
+  util::put_i64(out, pending_sign_);
+  util::put_f64(out, last_alarm_t_);
+  util::put_f64(out, cached_median_);
+  util::put_f64(out, cached_sigma_);
+  util::put_i64(out, stale_);
+  util::put_u64(out, rejected_nonfinite_);
+}
+
+bool LevelShiftDetector::load_state(std::string_view& in) {
+  reset();
+  // Element counts are bounded by baseline_window / confirm in any state
+  // save_state can produce; anything larger is corrupt input, rejected
+  // before allocating.
+  constexpr std::uint32_t kMaxElems = 1u << 20;
+  std::uint32_t wn = 0;
+  if (!util::get_u32(in, wn) || wn > kMaxElems) return false;
+  for (std::uint32_t i = 0; i < wn; ++i) {
+    double v = 0.0;
+    if (!util::get_f64(in, v)) return false;
+    window_.push_back(v);
+  }
+  std::uint32_t pn = 0;
+  if (!util::get_u32(in, pn) || pn > kMaxElems) return false;
+  for (std::uint32_t i = 0; i < pn; ++i) {
+    double v = 0.0;
+    if (!util::get_f64(in, v)) return false;
+    pending_.push_back(v);
+  }
+  std::int64_t sign = 0;
+  std::int64_t stale = 0;
+  if (!util::get_i64(in, sign) || !util::get_f64(in, last_alarm_t_) ||
+      !util::get_f64(in, cached_median_) ||
+      !util::get_f64(in, cached_sigma_) || !util::get_i64(in, stale) ||
+      !util::get_u64(in, rejected_nonfinite_)) {
+    reset();
+    return false;
+  }
+  pending_sign_ = static_cast<int>(sign);
+  stale_ = static_cast<int>(stale);
+  return true;
 }
 
 std::unique_ptr<OutlierDetector> make_level_shift() {

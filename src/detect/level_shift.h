@@ -36,6 +36,8 @@ class LevelShiftDetector final : public OutlierDetector {
   std::optional<Alarm> observe(double t_seconds, double value) override;
   std::string_view name() const override { return "level-shift"; }
   void reset() override;
+  void save_state(std::string& out) const override;
+  bool load_state(std::string_view& in) override;
 
   // Current robust level estimate (for plots / tests).
   double level();

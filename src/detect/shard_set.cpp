@@ -1,6 +1,7 @@
 #include "detect/shard_set.h"
 
 #include "detect/level_shift.h"
+#include "util/binio.h"
 
 namespace gretel::detect {
 
@@ -34,6 +35,20 @@ std::size_t LatencyShardSet::pending() const {
   std::size_t total = 0;
   for (const auto& s : shards_) total += s.pending();
   return total;
+}
+
+void LatencyShardSet::save_state(std::string& out) const {
+  util::put_u32(out, static_cast<std::uint32_t>(shards_.size()));
+  for (const auto& s : shards_) s.save_state(out);
+}
+
+bool LatencyShardSet::load_state(std::string_view& in) {
+  std::uint32_t n = 0;
+  if (!util::get_u32(in, n) || n != shards_.size()) return false;
+  for (auto& s : shards_) {
+    if (!s.load_state(in)) return false;
+  }
+  return true;
 }
 
 }  // namespace gretel::detect

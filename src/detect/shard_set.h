@@ -93,6 +93,14 @@ class LatencyShardSet {
     for (const auto& s : shards_) total += s.inflight_queue();
     return total;
   }
+  // Checkpoint support: per-shard LatencyTracker blobs, shard count first.
+  // load_state refuses a blob written under a different shard count — the
+  // API→shard mapping is part of the state's shape, and restore always
+  // constructs the set from the same config that wrote the checkpoint
+  // (quiescent pipeline only, like the other aggregate accessors).
+  void save_state(std::string& out) const;
+  bool load_state(std::string_view& in);
+
   LatencyGuardStats guards_total() const {
     LatencyGuardStats total;
     for (const auto& s : shards_) {

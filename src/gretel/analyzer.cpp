@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/binio.h"
+
 namespace gretel::core {
 
 namespace {
@@ -162,6 +164,21 @@ monitor::PipelineHealthCounters Analyzer::health() {
     if (s.stalled) ++h.stalled_shards;
   }
   return h;
+}
+
+void Analyzer::save_state(std::string& out) const {
+  detector_.save_state(out);
+  resource_stream_.save_state(out);
+  util::put_u64(out, sink_stale_series_);
+}
+
+bool Analyzer::load_state(std::string_view& in) {
+  if (!detector_.load_state(in)) return false;
+  if (!resource_stream_.load_state(in)) return false;
+  std::uint64_t stale = 0;
+  if (!util::get_u64(in, stale)) return false;
+  sink_stale_series_ = stale;
+  return true;
 }
 
 }  // namespace gretel::core

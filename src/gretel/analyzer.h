@@ -132,6 +132,17 @@ class Analyzer {
     return detector_.latency_shards();
   }
 
+  // Checkpoint support (src/persist/): the learned analyzer state — the
+  // anomaly detector's latency baselines/sketches/guards and the resource
+  // stream's detectors and alarms.  The metrics store is deliberately not
+  // snapshotted: it is repopulated by the monitor re-attach on restart
+  // (ResourceMonitor::sample_range), the same way a fresh analyzer gets
+  // its metrics.  Call only at quiescent points (after finish()/tick()).
+  // load_state expects a freshly constructed analyzer with the same
+  // options; returns false on torn input.
+  void save_state(std::string& out) const;
+  bool load_state(std::string_view& in);
+
  private:
   net::CaptureTap tap_;
   monitor::MetricsStore metrics_;

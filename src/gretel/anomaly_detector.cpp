@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/binio.h"
 #include "util/simd.h"
 
 namespace gretel::core {
@@ -306,6 +307,58 @@ void AnomalyDetector::tick(util::SimTime now) {
   latency_.sweep_now(now);
   refresh_guard_stats();
   if (pipeline_) stats_.watchdog_trips = pipeline_->watchdog_trips();
+}
+
+void AnomalyDetector::save_state(std::string& out) const {
+  latency_.save_state(out);
+  util::put_u64(out, loss_count_);
+  util::put_u64(out, stats_.events);
+  util::put_u64(out, stats_.rest_errors);
+  util::put_u64(out, stats_.rpc_errors);
+  util::put_u64(out, stats_.operational_reports);
+  util::put_u64(out, stats_.performance_reports);
+  util::put_u64(out, stats_.suppressed_triggers);
+  util::put_u64(out, stats_.losses_recorded);
+  util::put_u64(out, stats_.overflow_drops);
+  util::put_u64(out, stats_.watchdog_trips);
+  util::put_u64(out, stats_.orphans_reaped);
+  util::put_u64(out, stats_.latency_clamped);
+  util::put_u64(out, stats_.latency_rejected);
+  util::put_u64(out, stats_.stale_freezes);
+  util::put_u64(out, stats_.degraded_reports);
+  util::put_u64(out, stats_.inflight_evicted);
+  util::put_u64(out, stats_.series_trimmed);
+  util::put_u64(out, stats_.forced_reports);
+}
+
+bool AnomalyDetector::load_state(std::string_view& in) {
+  if (!latency_.load_state(in)) return false;
+  std::uint64_t loss = 0;
+  Stats s;
+  if (!util::get_u64(in, loss) || !util::get_u64(in, s.events) ||
+      !util::get_u64(in, s.rest_errors) || !util::get_u64(in, s.rpc_errors) ||
+      !util::get_u64(in, s.operational_reports) ||
+      !util::get_u64(in, s.performance_reports) ||
+      !util::get_u64(in, s.suppressed_triggers) ||
+      !util::get_u64(in, s.losses_recorded) ||
+      !util::get_u64(in, s.overflow_drops) ||
+      !util::get_u64(in, s.watchdog_trips) ||
+      !util::get_u64(in, s.orphans_reaped) ||
+      !util::get_u64(in, s.latency_clamped) ||
+      !util::get_u64(in, s.latency_rejected) ||
+      !util::get_u64(in, s.stale_freezes) ||
+      !util::get_u64(in, s.degraded_reports) ||
+      !util::get_u64(in, s.inflight_evicted) ||
+      !util::get_u64(in, s.series_trimmed) ||
+      !util::get_u64(in, s.forced_reports)) {
+    return false;
+  }
+  loss_count_ = loss;
+  stats_ = s;
+  // The new pipeline's overflow counter restarts at zero; folding resumes
+  // from there, not from the pre-crash total.
+  overflow_folded_ = 0;
+  return true;
 }
 
 }  // namespace gretel::core

@@ -126,6 +126,23 @@ class AnomalyDetector {
     return latency_.series(api);
   }
 
+  // Checkpoint support (src/persist/): serializes the *learned* state — the
+  // latency shard set (baselines, sketches, pending pairings, orphan
+  // clocks), the cumulative loss count, and the stats counters.  The dual
+  // buffer, pending snapshots and per-API suppression maps are window-local
+  // transients spanning at most α messages; they are deliberately not
+  // checkpointed (the recovery invariant already allows one checkpoint
+  // interval of context to regress, and seq numbers restart with the new
+  // window).  Quiescent points only (after flush()/tick(), workers parked).
+  //
+  // load_state expects a freshly constructed detector with the same config
+  // (shard count, detector type); on success the pipeline-local counters
+  // (overflow_drops, watchdog_trips, stale_freezes) restart at zero while
+  // the tracker-backed guard stats resume exactly.  On torn input returns
+  // false with the detector left reset to its constructed state.
+  void save_state(std::string& out) const;
+  bool load_state(std::string_view& in);
+
  private:
   struct PendingSnapshot {
     std::uint64_t center = 0;   // seq of the triggering message

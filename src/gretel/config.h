@@ -14,8 +14,11 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "gretel/matcher.h"
 
@@ -329,6 +332,107 @@ struct GretelConfig {
   // quiet) is force-emitted with the context that did arrive, so a fault
   // followed by silence still reports within a bounded delay.
   double stream_max_report_delay_s = 2.0;
+
+  // --- durability (src/persist/; see docs/ARCHITECTURE.md, "Durability &
+  // recovery").  These knobs only take effect when a StreamAnalyzer is
+  // given a persistence directory; without one nothing is ever written and
+  // streaming behavior is byte-identical to pre-durability builds. ---
+
+  // (durability) · 5.0 · stream-time seconds between checkpoints.  On the
+  // first tick boundary past the cadence the analyzer snapshots its
+  // learned state (GRTCKP01, tmp+fsync+rename).  The recovery invariant is
+  // phrased in this unit: a crash regresses at most this much learned
+  // baseline.  Must be at least one stream tick — a sub-tick cadence can
+  // never fire.
+  double checkpoint_interval_s = 5.0;
+
+  // (durability) · 2 · newest checkpoint files retained on disk; older
+  // ones are pruned after each successful write.  ≥ 2 means a checkpoint
+  // torn by a crash mid-write still leaves a previous complete one to fall
+  // back to (the loader falls back across corrupt files regardless).
+  std::size_t checkpoint_keep = 2;
+
+  // (durability) · 4096 · journal records per WAL segment before rotation.
+  // Smaller segments bound the replay-scan cost after a crash; larger ones
+  // reduce file churn.  Fully checkpoint-covered segments are purged at
+  // each checkpoint.
+  std::size_t journal_segment_records = 4096;
+
+  // Sanity-checks the knob surface; returns one itemized, human-readable
+  // error per nonsensical value (empty = valid).  Tool CLIs call this
+  // after flag parsing and refuse to start on errors — a zero tick or a
+  // negative cap otherwise surfaces as a hung stream or a silent div/0
+  // far from the flag that caused it.
+  std::vector<std::string> validate() const {
+    std::vector<std::string> errors;
+    const auto bad = [&errors](const std::string& msg) {
+      errors.push_back(msg);
+    };
+    if (fp_max == 0) bad("fp_max must be > 0 (longest fingerprint bound)");
+    if (!std::isfinite(p_rate) || p_rate <= 0.0)
+      bad("p_rate must be a finite rate > 0 packets/s");
+    if (!std::isfinite(t_seconds) || t_seconds <= 0.0)
+      bad("t_seconds must be a finite horizon > 0 s");
+    if (!std::isfinite(c1) || c1 <= 0.0)
+      bad("c1 (initial context fraction) must be > 0");
+    if (!std::isfinite(c2) || c2 <= 0.0)
+      bad("c2 (context growth fraction) must be > 0");
+    if (!std::isfinite(evidence_ratio) || evidence_ratio <= 0.0 ||
+        evidence_ratio > 1.0)
+      bad("evidence_ratio must be in (0, 1]");
+    if (stable_growths_stop < 1) bad("stable_growths_stop must be >= 1");
+    if (!std::isfinite(anchor_proximity_seconds) ||
+        anchor_proximity_seconds < 0.0)
+      bad("anchor_proximity_seconds must be >= 0");
+    if (num_shards == 0) bad("num_shards must be >= 1");
+    if (decode_arena_kb == 0) bad("decode_arena_kb must be > 0");
+    if (ingest_batch == 0) bad("ingest_batch must be > 0");
+    if (!std::isfinite(orphan_timeout_seconds) ||
+        orphan_timeout_seconds < 0.0)
+      bad("orphan_timeout_seconds must be >= 0 (0 = off)");
+    if (!std::isfinite(watchdog_ms) || watchdog_ms < 0.0)
+      bad("watchdog_ms must be >= 0 (0 = off)");
+    if (!std::isfinite(rca_window_pad_seconds) ||
+        rca_window_pad_seconds < 0.0)
+      bad("rca_window_pad_seconds must be >= 0");
+    if (!std::isfinite(rca_k_sigma) || rca_k_sigma <= 0.0)
+      bad("rca_k_sigma must be > 0");
+    if (!std::isfinite(probe_timeout_ms) || probe_timeout_ms <= 0.0)
+      bad("probe_timeout_ms must be > 0");
+    if (probe_retries < 0) bad("probe_retries must be >= 0");
+    if (!std::isfinite(backoff_base_ms) || backoff_base_ms < 0.0)
+      bad("backoff_base_ms must be >= 0");
+    if (!std::isfinite(backoff_cap_ms) || backoff_cap_ms < 0.0)
+      bad("backoff_cap_ms must be >= 0");
+    if (breaker_open_after < 1) bad("breaker_open_after must be >= 1");
+    if (flap_hysteresis < 1) bad("flap_hysteresis must be >= 1");
+    if (!std::isfinite(metric_staleness_s) || metric_staleness_s < 0.0)
+      bad("metric_staleness_s must be >= 0 (0 = off)");
+    if (!std::isfinite(probe_budget_ms) || probe_budget_ms < 0.0)
+      bad("probe_budget_ms must be >= 0 (0 = unbounded)");
+    if (campaign_max_concurrent_faults == 0)
+      bad("campaign_max_concurrent_faults must be >= 1");
+    if (!std::isfinite(stream_tick_ms) || stream_tick_ms <= 0.0)
+      bad("stream_tick_ms must be > 0 (a zero tick never advances)");
+    if (stream_source_ring == 0) bad("stream_source_ring must be > 0");
+    if (stream_report_cap == 0) bad("stream_report_cap must be > 0");
+    if (!std::isfinite(stream_max_report_delay_s) ||
+        stream_max_report_delay_s < 0.0)
+      bad("stream_max_report_delay_s must be >= 0 (0 = off)");
+    if (!std::isfinite(stream_metrics_retention_s) ||
+        stream_metrics_retention_s < 0.0)
+      bad("stream_metrics_retention_s must be >= 0 (0 = unbounded)");
+    if (!std::isfinite(checkpoint_interval_s) || checkpoint_interval_s <= 0.0)
+      bad("checkpoint_interval_s must be > 0");
+    else if (std::isfinite(stream_tick_ms) && stream_tick_ms > 0.0 &&
+             checkpoint_interval_s * 1000.0 < stream_tick_ms)
+      bad("checkpoint_interval_s must be at least one stream tick "
+          "(a sub-tick cadence can never fire)");
+    if (checkpoint_keep == 0) bad("checkpoint_keep must be >= 1");
+    if (journal_segment_records == 0)
+      bad("journal_segment_records must be > 0");
+    return errors;
+  }
 
   std::size_t alpha() const {
     const auto rate_window =

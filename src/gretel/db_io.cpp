@@ -1,51 +1,111 @@
 #include "gretel/db_io.h"
 
-#include <cstdio>
-#include <memory>
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
+#include "util/atomic_file.h"
+#include "util/binio.h"
+#include "util/crc32.h"
 
 namespace gretel::core {
 
 namespace {
 
-constexpr std::string_view kMagic = "GRTFDB01";
+// v2 (current): every section is length-prefixed and CRC-checked, so a
+// flipped bit or a torn tail is detected before any record is trusted.
+//   magic    "GRTFDB02"
+//   meta     u32 len, u32 crc32, bytes { u64 catalog-hash, u32 count }
+//   records  u32 len, u32 crc32, bytes { count × record }
+//   record:  op u32, name (u16 len + bytes), sequence (u32 len + u16 each)
+//
+// v1 (legacy, still readable): magic "GRTFDB01", then the same hash /
+// count / records laid out flat with no checksums.
+constexpr std::string_view kMagicV2 = "GRTFDB02";
+constexpr std::string_view kMagicV1 = "GRTFDB01";
 
-void put_u16(std::string& out, std::uint16_t v) {
-  out += static_cast<char>((v >> 8) & 0xFF);
-  out += static_cast<char>(v & 0xFF);
+void put_section(std::string& out, std::string_view body) {
+  util::put_u32(out, static_cast<std::uint32_t>(body.size()));
+  util::put_u32(out, util::crc32(body));
+  out += body;
 }
-void put_u32(std::string& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+
+bool pop_section(std::string_view& in, std::string_view& body) {
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+  if (!util::get_u32(in, len) || !util::get_u32(in, crc) || in.size() < len)
+    return false;
+  body = in.substr(0, len);
+  in.remove_prefix(len);
+  return util::crc32(body) == crc;
 }
-void put_u64(std::string& out, std::uint64_t v) {
-  put_u32(out, static_cast<std::uint32_t>(v >> 32));
-  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+
+void encode_records(std::string& out, const FingerprintDb& db) {
+  for (const auto& fp : db.all()) {
+    util::put_u32(out, fp.op.value());
+    util::put_u16(out, static_cast<std::uint16_t>(fp.name.size()));
+    out += fp.name.substr(0, 0xFFFF);
+    util::put_u32(out, static_cast<std::uint32_t>(fp.sequence.size()));
+    for (auto api : fp.sequence) util::put_u16(out, api.value());
+  }
 }
-bool get_u16(std::string_view& in, std::uint16_t& v) {
-  if (in.size() < 2) return false;
-  v = static_cast<std::uint16_t>(
-      (static_cast<std::uint8_t>(in[0]) << 8) |
-      static_cast<std::uint8_t>(in[1]));
-  in.remove_prefix(2);
-  return true;
+
+// Shared by both format versions: the record stream after hash/count.
+std::optional<FingerprintDb> decode_records(std::string_view data,
+                                            std::uint32_t count,
+                                            const wire::ApiCatalog& catalog) {
+  FingerprintDb db;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Fingerprint fp;
+    std::uint32_t op = 0;
+    std::uint16_t name_len = 0;
+    std::uint32_t seq_len = 0;
+    if (!util::get_u32(data, op) || !util::get_u16(data, name_len) ||
+        data.size() < name_len) {
+      return std::nullopt;
+    }
+    fp.op = wire::OpTemplateId(op);
+    fp.name = std::string(data.substr(0, name_len));
+    data.remove_prefix(name_len);
+    if (!util::get_u32(data, seq_len)) return std::nullopt;
+    fp.sequence.reserve(seq_len);
+    for (std::uint32_t k = 0; k < seq_len; ++k) {
+      std::uint16_t api = 0;
+      if (!util::get_u16(data, api)) return std::nullopt;
+      if (api >= catalog.size()) return std::nullopt;  // foreign catalog
+      fp.sequence.emplace_back(api);
+    }
+    // State sequences are derived data; recompute against the catalog.
+    for (auto api : fp.sequence) {
+      if (catalog.get(api).state_change()) fp.state_sequence.push_back(api);
+    }
+    db.add(std::move(fp));
+  }
+  if (!data.empty()) return std::nullopt;
+  return db;
 }
-bool get_u32(std::string_view& in, std::uint32_t& v) {
-  std::uint16_t hi = 0;
-  std::uint16_t lo = 0;
-  if (!get_u16(in, hi) || !get_u16(in, lo)) return false;
-  v = (static_cast<std::uint32_t>(hi) << 16) | lo;
-  return true;
+
+std::optional<FingerprintDb> decode_v1(std::string_view data,
+                                       const wire::ApiCatalog& catalog) {
+  std::uint64_t hash = 0;
+  if (!util::get_u64(data, hash) || hash != catalog_hash(catalog))
+    return std::nullopt;
+  std::uint32_t count = 0;
+  if (!util::get_u32(data, count)) return std::nullopt;
+  return decode_records(data, count, catalog);
 }
-bool get_u64(std::string_view& in, std::uint64_t& v) {
-  std::uint32_t hi = 0;
-  std::uint32_t lo = 0;
-  if (!get_u32(in, hi) || !get_u32(in, lo)) return false;
-  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
-  return true;
+
+std::optional<FingerprintDb> decode_v2(std::string_view data,
+                                       const wire::ApiCatalog& catalog) {
+  std::string_view meta;
+  std::string_view records;
+  if (!pop_section(data, meta) || !pop_section(data, records) ||
+      !data.empty()) {
+    return std::nullopt;
+  }
+  std::uint64_t hash = 0;
+  std::uint32_t count = 0;
+  if (!util::get_u64(meta, hash) || hash != catalog_hash(catalog) ||
+      !util::get_u32(meta, count) || !meta.empty()) {
+    return std::nullopt;
+  }
+  return decode_records(records, count, catalog);
 }
 
 }  // namespace
@@ -66,108 +126,41 @@ std::uint64_t catalog_hash(const wire::ApiCatalog& catalog) {
 std::string encode_fingerprint_db(const FingerprintDb& db,
                                   const wire::ApiCatalog& catalog) {
   std::string out;
-  out += kMagic;
-  put_u64(out, catalog_hash(catalog));
-  put_u32(out, static_cast<std::uint32_t>(db.size()));
-  for (const auto& fp : db.all()) {
-    put_u32(out, fp.op.value());
-    put_u16(out, static_cast<std::uint16_t>(fp.name.size()));
-    out += fp.name.substr(0, 0xFFFF);
-    put_u32(out, static_cast<std::uint32_t>(fp.sequence.size()));
-    for (auto api : fp.sequence) put_u16(out, api.value());
-  }
+  out += kMagicV2;
+  std::string meta;
+  util::put_u64(meta, catalog_hash(catalog));
+  util::put_u32(meta, static_cast<std::uint32_t>(db.size()));
+  put_section(out, meta);
+  std::string records;
+  encode_records(records, db);
+  put_section(out, records);
   return out;
 }
 
 std::optional<FingerprintDb> decode_fingerprint_db(
     std::string_view data, const wire::ApiCatalog& catalog) {
-  if (!data.starts_with(kMagic)) return std::nullopt;
-  data.remove_prefix(kMagic.size());
-
-  std::uint64_t hash = 0;
-  if (!get_u64(data, hash) || hash != catalog_hash(catalog))
-    return std::nullopt;
-
-  std::uint32_t count = 0;
-  if (!get_u32(data, count)) return std::nullopt;
-
-  FingerprintDb db;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Fingerprint fp;
-    std::uint32_t op = 0;
-    std::uint16_t name_len = 0;
-    std::uint32_t seq_len = 0;
-    if (!get_u32(data, op) || !get_u16(data, name_len) ||
-        data.size() < name_len) {
-      return std::nullopt;
-    }
-    fp.op = wire::OpTemplateId(op);
-    fp.name = std::string(data.substr(0, name_len));
-    data.remove_prefix(name_len);
-    if (!get_u32(data, seq_len)) return std::nullopt;
-    fp.sequence.reserve(seq_len);
-    for (std::uint32_t k = 0; k < seq_len; ++k) {
-      std::uint16_t api = 0;
-      if (!get_u16(data, api)) return std::nullopt;
-      if (api >= catalog.size()) return std::nullopt;  // foreign catalog
-      fp.sequence.emplace_back(api);
-    }
-    // State sequences are derived data; recompute against the catalog.
-    for (auto api : fp.sequence) {
-      if (catalog.get(api).state_change()) fp.state_sequence.push_back(api);
-    }
-    db.add(std::move(fp));
+  if (data.starts_with(kMagicV2)) {
+    data.remove_prefix(kMagicV2.size());
+    return decode_v2(data, catalog);
   }
-  if (!data.empty()) return std::nullopt;
-  return db;
+  if (data.starts_with(kMagicV1)) {
+    data.remove_prefix(kMagicV1.size());
+    return decode_v1(data, catalog);
+  }
+  return std::nullopt;
 }
 
 bool save_fingerprint_db(const std::string& path, const FingerprintDb& db,
                          const wire::ApiCatalog& catalog) {
-  const auto data = encode_fingerprint_db(db, catalog);
-  // Crash-safe save: write a sibling temp file (same directory, so the
-  // rename below cannot cross filesystems), flush it all the way down,
-  // then atomically rename over the destination.  A crash mid-save leaves
-  // either the old complete file or the new complete file — never a
-  // truncated database.
-  const std::string tmp = path + ".tmp";
-  {
-    std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-        std::fopen(tmp.c_str(), "wb"), &std::fclose);
-    if (!f) return false;
-    if (std::fwrite(data.data(), 1, data.size(), f.get()) != data.size() ||
-        std::fflush(f.get()) != 0) {
-      f.reset();
-      std::remove(tmp.c_str());
-      return false;
-    }
-#if defined(__unix__) || defined(__APPLE__)
-    if (fsync(fileno(f.get())) != 0) {
-      f.reset();
-      std::remove(tmp.c_str());
-      return false;
-    }
-#endif
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return true;
+  return util::write_file_atomic(path,
+                                 encode_fingerprint_db(db, catalog));
 }
 
 std::optional<FingerprintDb> load_fingerprint_db(
     const std::string& path, const wire::ApiCatalog& catalog) {
-  std::unique_ptr<std::FILE, int (*)(std::FILE*)> f(
-      std::fopen(path.c_str(), "rb"), &std::fclose);
-  if (!f) return std::nullopt;
-  std::string data;
-  char buf[1 << 16];
-  std::size_t n = 0;
-  while ((n = std::fread(buf, 1, sizeof buf, f.get())) > 0) {
-    data.append(buf, n);
-  }
-  return decode_fingerprint_db(data, catalog);
+  const auto data = util::read_file(path);
+  if (!data) return std::nullopt;
+  return decode_fingerprint_db(*data, catalog);
 }
 
 }  // namespace gretel::core

@@ -8,10 +8,17 @@
 // different catalog fails instead of mismatching symbols.
 //
 // Format (integers big-endian):
-//   magic   "GRTFDB01"
-//   hash    u64      FNV-1a over every catalog API's display name
-//   count   u32      fingerprints
-//   each:   op u32, name (u16 len + bytes), sequence (u32 len + u16 each)
+//   magic   "GRTFDB02"
+//   meta    u32 len, u32 crc32, body { hash u64 (FNV-1a over every catalog
+//           API's display name), count u32 }
+//   records u32 len, u32 crc32, body { count × record }
+//   record  op u32, name (u16 len + bytes), sequence (u32 len + u16 each)
+//
+// Every section carries its own CRC32, so truncation or bit flips anywhere
+// in the file are detected before any record is trusted — the loader never
+// crashes and never returns a silently-wrong DB.  The legacy flat
+// "GRTFDB01" layout (no CRCs) is still read.  Writes are atomic
+// (tmp + fsync + rename).
 #pragma once
 
 #include <optional>

@@ -49,6 +49,14 @@ class ResourceAnomalyStream {
 
   std::size_t samples() const { return samples_; }
 
+  // Checkpoint support (src/persist/): serializes every (node, resource)
+  // detector's learned state plus the retained alarm list and sample count,
+  // keys sorted for deterministic bytes.  load_state rebuilds detectors via
+  // this stream's factory; torn input or a detector-type mismatch resets
+  // the stream and returns false.
+  void save_state(std::string& out) const;
+  bool load_state(std::string_view& in);
+
  private:
   static std::uint32_t key(wire::NodeId node, net::ResourceKind kind) {
     return (std::uint32_t{node.value()} << 8) |

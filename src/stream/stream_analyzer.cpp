@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "gretel/db_io.h"
+#include "gretel/json_export.h"
+#include "util/crc32.h"
+
 namespace gretel::stream {
 
 std::size_t StateFootprint::approx_bytes() const {
@@ -43,7 +47,9 @@ StreamAnalyzer::StreamAnalyzer(const core::FingerprintDb* db,
                                const stack::Deployment* deployment,
                                core::Analyzer::Options options,
                                ReportSink sink)
-    : cfg_(options.config),
+    : db_(db),
+      catalog_(catalog),
+      cfg_(options.config),
       tick_len_(util::SimDuration::nanos(std::max<std::int64_t>(
           1'000'000,
           static_cast<std::int64_t>(options.config.stream_tick_ms * 1e6)))),
@@ -151,6 +157,18 @@ void StreamAnalyzer::run_tick() {
   ++counters_.ticks;
   drain_ring();
   analyzer_.tick(watermark_);
+  // Checkpoint cadence rides the tick grid: the ring just drained, so the
+  // ledger reconciles with queued() == 0 inside the snapshot.  The first
+  // tick anchors the cadence instead of checkpointing empty state.
+  if (journal_) {
+    if (!checkpoint_anchored_) {
+      checkpoint_anchored_ = true;
+      last_checkpoint_at_ = watermark_;
+    } else if ((watermark_ - last_checkpoint_at_).to_seconds() >=
+               cfg_.checkpoint_interval_s) {
+      checkpoint_now();
+    }
+  }
   const auto bytes = footprint().approx_bytes();
   peak_state_bytes_ = std::max(peak_state_bytes_, bytes);
 }
@@ -163,6 +181,9 @@ void StreamAnalyzer::finish() {
   }
   finishing_ = true;
   analyzer_.finish();
+  // Clean shutdown leaves a checkpoint at the final state, so a restart
+  // resumes instead of replaying the last interval.
+  if (journal_) checkpoint_now();
   const auto bytes = footprint().approx_bytes();
   peak_state_bytes_ = std::max(peak_state_bytes_, bytes);
 }
@@ -174,6 +195,13 @@ void StreamAnalyzer::on_diagnosis(const core::Diagnosis& d) {
   report.emitted_at = watermark_;
   report.report_delay_ms =
       std::max(0.0, (watermark_ - d.fault.detected_at).to_millis());
+  if (journal_) {
+    // fsync-before-acknowledge: the report is durable before the sink or
+    // the retained ring ever sees it.  A crash between append and sink
+    // delivery loses nothing — recovery replays the journal tail.
+    journal_->append(report.tick, report.emitted_at, report.report_delay_ms,
+                     core::to_json(d, *catalog_, *db_));
+  }
   ++counters_.reports;
   if (sink_) sink_(report);
   recent_.push_back(std::move(report));
@@ -196,6 +224,135 @@ StateFootprint StreamAnalyzer::footprint() {
   fp.metric_points = analyzer_.metrics().retained_points();
   fp.reports_retained = recent_.size();
   return fp;
+}
+
+bool StreamAnalyzer::enable_durability(const std::string& dir) {
+  std::size_t truncated = 0;
+  auto journal = persist::ReportJournal::open(
+      dir, std::max<std::size_t>(1, cfg_.journal_segment_records), &truncated);
+  if (!journal) return false;
+  journal_ = std::move(*journal);
+  persist_dir_ = dir;
+  // DB identity, stamped into every checkpoint: restore() refuses to graft
+  // learned baselines onto a different fingerprint DB.
+  db_catalog_hash_ = core::catalog_hash(*catalog_);
+  db_content_crc_ = util::crc32(core::encode_fingerprint_db(*db_, *catalog_));
+  return true;
+}
+
+bool StreamAnalyzer::checkpoint_now() {
+  if (!journal_) return false;
+  // Quiesce: a mid-stream call (signal handler, manual snapshot) may land
+  // with records queued — offered but not yet ingested.  Drain them so the
+  // persisted ledger reconciles (offered == ingested + shed) and nothing
+  // admitted before the snapshot is lost from accounting.
+  drain_ring();
+  persist::Checkpoint ckp;
+  persist::CheckpointMeta& m = ckp.meta;
+  m.checkpoint_seq = checkpoint_seq_;
+  m.tick = counters_.ticks;
+  m.watermark_ns = watermark_.nanos();
+  m.journal_next_seq = journal_->next_seq();
+  m.offered = counters_.offered;
+  m.ingested = counters_.ingested;
+  m.shed = counters_.shed;
+  m.shed_episodes = counters_.shed_episodes;
+  m.ticks = counters_.ticks;
+  m.reports = counters_.reports;
+  m.reports_evicted = counters_.reports_evicted;
+  m.metrics = counters_.metrics;
+  m.db_catalog_hash = db_catalog_hash_;
+  m.db_content_crc = db_content_crc_;
+  analyzer_.save_state(ckp.analyzer_state);
+  if (!persist::write_checkpoint(persist_dir_, ckp,
+                                 std::max<std::size_t>(1, cfg_.checkpoint_keep)))
+    return false;
+  ++checkpoint_seq_;
+  last_checkpoint_at_ = watermark_;
+  checkpoint_anchored_ = true;
+  // Segments fully covered by this checkpoint will never be replayed.
+  journal_->purge_below(m.journal_next_seq);
+  return true;
+}
+
+std::unique_ptr<StreamAnalyzer> StreamAnalyzer::restore(
+    const core::FingerprintDb* db, const wire::ApiCatalog* catalog,
+    const stack::Deployment* deployment, core::Analyzer::Options options,
+    const std::string& dir, ReportSink sink, RecoveryInfo* info) {
+  RecoveryInfo local;
+  RecoveryInfo& ri = info ? *info : local;
+  ri = RecoveryInfo{};
+
+  std::unique_ptr<StreamAnalyzer> sa(new StreamAnalyzer(
+      db, catalog, deployment, std::move(options), std::move(sink)));
+
+  // Opening the journal first truncates the torn tail (crash-mid-append
+  // artifact) before anything reads it back.
+  std::size_t truncated = 0;
+  {
+    auto journal = persist::ReportJournal::open(
+        dir, std::max<std::size_t>(1, sa->cfg_.journal_segment_records),
+        &truncated);
+    if (!journal) return nullptr;
+    sa->journal_ = std::move(*journal);
+  }
+  sa->persist_dir_ = dir;
+  sa->db_catalog_hash_ = core::catalog_hash(*catalog);
+  sa->db_content_crc_ =
+      util::crc32(core::encode_fingerprint_db(*db, *catalog));
+  ri.journal_records_truncated = truncated;
+
+  std::uint64_t replay_from = 0;
+  auto ckp = persist::load_newest_checkpoint(dir,
+                                             &ri.corrupt_checkpoints_skipped);
+  if (ckp) {
+    if (ckp->meta.db_catalog_hash != sa->db_catalog_hash_ ||
+        ckp->meta.db_content_crc != sa->db_content_crc_) {
+      // Fingerprint DB hot-swapped or retrained between checkpoint and
+      // restart: the learned baselines cold-start rather than grafting
+      // onto mismatched APIs.  Journaled reports stay trusted — they were
+      // emitted against the DB that was live at the time.
+      ri.db_mismatch = true;
+    } else {
+      std::string_view state(ckp->analyzer_state);
+      if (sa->analyzer_.load_state(state) && state.empty()) {
+        const persist::CheckpointMeta& m = ckp->meta;
+        sa->counters_.offered = m.offered;
+        sa->counters_.ingested = m.ingested;
+        sa->counters_.shed = m.shed;
+        sa->counters_.shed_episodes = m.shed_episodes;
+        sa->counters_.ticks = m.ticks;
+        sa->counters_.reports = m.reports;
+        sa->counters_.reports_evicted = m.reports_evicted;
+        sa->counters_.metrics = m.metrics;
+        // The checkpoint was written at a tick boundary, so the restored
+        // watermark sits on the tick grid and advance_to() resumes the
+        // same cadence.
+        sa->watermark_ = util::SimTime(m.watermark_ns);
+        sa->started_ = true;
+        sa->checkpoint_seq_ = m.checkpoint_seq + 1;
+        sa->last_checkpoint_at_ = sa->watermark_;
+        sa->checkpoint_anchored_ = true;
+        replay_from = m.journal_next_seq;
+        ri.recovered = true;
+        ri.checkpoint_seq = m.checkpoint_seq;
+        ri.checkpoint_tick = m.tick;
+      } else {
+        // Sections passed CRC but the analyzer blob would not decode
+        // (version skew): count it with the corrupt skips and cold-start.
+        ++ri.corrupt_checkpoints_skipped;
+      }
+    }
+  }
+
+  // Replay the durable report tail (everything journaled after the
+  // checkpoint mark — or the whole journal on a cold start).  These were
+  // delivered before the crash; they resume sequence numbering, they are
+  // not re-delivered.
+  ri.replayed = persist::ReportJournal::read_from(dir, replay_from);
+  sa->counters_.reports =
+      std::max(sa->counters_.reports, sa->journal_->next_seq());
+  return sa;
 }
 
 }  // namespace gretel::stream

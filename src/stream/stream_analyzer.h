@@ -49,8 +49,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "gretel/analyzer.h"
+#include "persist/checkpoint.h"
+#include "persist/journal.h"
 
 namespace gretel::stream {
 
@@ -98,6 +104,32 @@ struct StateFootprint {
   std::size_t reports_retained = 0;
 
   std::size_t approx_bytes() const;
+};
+
+// Outcome of StreamAnalyzer::restore() — what survived the crash.
+//
+// Recovery invariant (asserted by the kill-point campaign): at most one
+// checkpoint interval of learned baseline regresses, zero journaled
+// reports are lost, and the flow ledger re-reconciles after restart
+// (offered == ingested + shed with an empty ring at every checkpoint).
+struct RecoveryInfo {
+  bool recovered = false;  // a valid checkpoint was loaded and applied
+  std::uint64_t checkpoint_seq = 0;
+  std::uint64_t checkpoint_tick = 0;
+  // Checkpoint files skipped because they failed CRC/decode (torn write
+  // artifacts); recovery fell back to the next-newest valid one.
+  std::size_t corrupt_checkpoints_skipped = 0;
+  // Torn journal-tail records truncated on open (never fsync-acknowledged,
+  // so nothing durable was lost).
+  std::size_t journal_records_truncated = 0;
+  // The checkpoint belonged to a different fingerprint DB (hot swap or
+  // retrain between checkpoint and crash): learned state cold-started
+  // rather than grafting baselines onto mismatched APIs.
+  bool db_mismatch = false;
+  // Journaled reports emitted after the checkpoint: durable and already
+  // delivered pre-crash, so they are replayed here (and their sequence
+  // numbers resumed), not re-delivered to the sink.
+  std::vector<persist::JournalRecord> replayed;
 };
 
 class StreamAnalyzer {
@@ -167,6 +199,51 @@ class StreamAnalyzer {
   core::Analyzer& analyzer() { return analyzer_; }
   const core::Analyzer& analyzer() const { return analyzer_; }
 
+  // ---- Durability (persist/) -------------------------------------------
+  //
+  // When armed, every report is fsync'd to the append-only journal BEFORE
+  // the sink sees it (fsync-before-acknowledge), and a GRTCKP01 checkpoint
+  // of the learned analyzer state + flow ledger is written atomically every
+  // checkpoint_interval_s of stream time (at a tick boundary, where the
+  // ring is drained and the ledger reconciles with queued() == 0).
+  // Durability never changes what is emitted: save paths are strictly
+  // non-mutating, so a crash-free run with checkpointing on produces
+  // byte-identical reports to one with it off.
+
+  // Arms checkpoints + report journal under `dir` (created if missing).
+  // Call before offering records.  Returns false if the journal cannot be
+  // opened; the analyzer stays usable (durability off).
+  bool enable_durability(const std::string& dir);
+  bool durable() const { return journal_.has_value(); }
+  const std::string& persist_dir() const { return persist_dir_; }
+
+  // Sequence the next journaled report will get (0 when not durable):
+  // exactly how many reports are on disk.
+  std::uint64_t journal_next_seq() const {
+    return journal_ ? journal_->next_seq() : 0;
+  }
+
+  // Writes a checkpoint of the current state immediately (used by finish()
+  // and the tools' signal handlers).  Drains the ring first so the
+  // snapshot is quiescent — the persisted ledger reconciles with
+  // queued() == 0 no matter where between offers the call lands.  No-op
+  // returning false when durability is off or the write fails.
+  bool checkpoint_now();
+
+  // Recovery: loads the newest valid checkpoint under `dir` (falling back
+  // across corrupt ones), restores the learned analyzer state, flow
+  // ledger, watermark and tick grid, truncates the journal's torn tail,
+  // and replays the journaled report tail into RecoveryInfo (not the
+  // sink — those reports were already delivered before the crash).  The
+  // returned analyzer resumes durable.  With no checkpoint on disk this
+  // degenerates to a cold start with durability armed.  Returns nullptr
+  // only when the journal cannot be opened at all.
+  static std::unique_ptr<StreamAnalyzer> restore(
+      const core::FingerprintDb* db, const wire::ApiCatalog* catalog,
+      const stack::Deployment* deployment, core::Analyzer::Options options,
+      const std::string& dir, ReportSink sink = {},
+      RecoveryInfo* info = nullptr);
+
  private:
   struct Slot {
     net::WireRecord rec;
@@ -182,6 +259,8 @@ class StreamAnalyzer {
   void drain_ring();
   void run_tick();
 
+  const core::FingerprintDb* db_;
+  const wire::ApiCatalog* catalog_;
   core::GretelConfig cfg_;       // effective (post-override) config copy
   util::SimDuration tick_len_;
   ReportSink sink_;
@@ -199,6 +278,15 @@ class StreamAnalyzer {
   StreamCounters counters_;
   std::deque<StreamReport> recent_;
   std::size_t peak_state_bytes_ = 0;
+
+  // Durability state; armed by enable_durability() / restore().
+  std::string persist_dir_;
+  std::optional<persist::ReportJournal> journal_;
+  std::uint64_t checkpoint_seq_ = 0;  // seq the next checkpoint file gets
+  util::SimTime last_checkpoint_at_;  // watermark of the last checkpoint
+  bool checkpoint_anchored_ = false;  // cadence anchor set (first tick)
+  std::uint64_t db_catalog_hash_ = 0;  // identity of the DB we snapshot for
+  std::uint32_t db_content_crc_ = 0;
 };
 
 }  // namespace gretel::stream

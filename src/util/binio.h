@@ -1,0 +1,94 @@
+// Big-endian byte (de)serialization helpers shared by the on-disk formats:
+// the fingerprint database (gretel/db_io.cpp), the checkpoint container and
+// the report journal (src/persist/).  One vocabulary, so every format
+// agrees on integer width and byte order and the decoders compose: every
+// get_* consumes from the front of a string_view and returns false on
+// truncation, which makes "reject torn input" the default behavior.
+//
+// Doubles travel as the IEEE-754 bit pattern in a u64 — bit-exact
+// round-trips, which the checkpoint format relies on for its "restored
+// detector state is the saved detector state" contract.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gretel::util {
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out += static_cast<char>(v);
+}
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>(v & 0xFF);
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+}
+inline void put_i64(std::string& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+inline void put_f64(std::string& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+// Length-prefixed byte string (u32 length).
+inline void put_bytes(std::string& out, std::string_view bytes) {
+  put_u32(out, static_cast<std::uint32_t>(bytes.size()));
+  out += bytes;
+}
+
+inline bool get_u8(std::string_view& in, std::uint8_t& v) {
+  if (in.empty()) return false;
+  v = static_cast<std::uint8_t>(in[0]);
+  in.remove_prefix(1);
+  return true;
+}
+inline bool get_u16(std::string_view& in, std::uint16_t& v) {
+  if (in.size() < 2) return false;
+  v = static_cast<std::uint16_t>((static_cast<std::uint8_t>(in[0]) << 8) |
+                                 static_cast<std::uint8_t>(in[1]));
+  in.remove_prefix(2);
+  return true;
+}
+inline bool get_u32(std::string_view& in, std::uint32_t& v) {
+  std::uint16_t hi = 0;
+  std::uint16_t lo = 0;
+  if (!get_u16(in, hi) || !get_u16(in, lo)) return false;
+  v = (static_cast<std::uint32_t>(hi) << 16) | lo;
+  return true;
+}
+inline bool get_u64(std::string_view& in, std::uint64_t& v) {
+  std::uint32_t hi = 0;
+  std::uint32_t lo = 0;
+  if (!get_u32(in, hi) || !get_u32(in, lo)) return false;
+  v = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  return true;
+}
+inline bool get_i64(std::string_view& in, std::int64_t& v) {
+  std::uint64_t u = 0;
+  if (!get_u64(in, u)) return false;
+  v = static_cast<std::int64_t>(u);
+  return true;
+}
+inline bool get_f64(std::string_view& in, double& v) {
+  std::uint64_t u = 0;
+  if (!get_u64(in, u)) return false;
+  v = std::bit_cast<double>(u);
+  return true;
+}
+inline bool get_bytes(std::string_view& in, std::string_view& bytes) {
+  std::uint32_t len = 0;
+  if (!get_u32(in, len) || in.size() < len) return false;
+  bytes = in.substr(0, len);
+  in.remove_prefix(len);
+  return true;
+}
+
+}  // namespace gretel::util

@@ -27,6 +27,10 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/binio.h"
 
 namespace gretel::util {
 
@@ -107,6 +111,40 @@ class P2Quantile {
   double q() const { return q_; }
   std::uint64_t count() const { return n_; }
 
+  // Checkpoint support: the full marker state travels as raw IEEE-754 bit
+  // patterns (util/binio.h), so a restored estimator continues the P²
+  // recurrence bit-identically — same markers, same future estimates.
+  void save_state(std::string& out) const {
+    put_f64(out, q_);
+    put_u64(out, n_);
+    for (double v : height_) put_f64(out, v);
+    for (double v : pos_) put_f64(out, v);
+    for (double v : desired_) put_f64(out, v);
+  }
+
+  bool load_state(std::string_view& in) {
+    double q = 0.0;
+    std::uint64_t n = 0;
+    std::array<double, 5> h{};
+    std::array<double, 5> p{};
+    std::array<double, 5> d{};
+    if (!get_f64(in, q) || !get_u64(in, n)) return false;
+    for (double& v : h)
+      if (!get_f64(in, v)) return false;
+    for (double& v : p)
+      if (!get_f64(in, v)) return false;
+    for (double& v : d)
+      if (!get_f64(in, v)) return false;
+    // The tracked quantile is part of the estimator's identity, fixed at
+    // construction; state saved for a different q is a wiring bug upstream.
+    if (q != q_) return false;
+    n_ = n;
+    height_ = h;
+    pos_ = p;
+    desired_ = d;
+    return true;
+  }
+
  private:
   double parabolic(int i, double s) const {
     const double np = pos_[i + 1];
@@ -182,6 +220,27 @@ class QuantileSketch {
 
   // The whole point: state size is a compile-time constant.
   static constexpr std::size_t bytes() { return sizeof(QuantileSketch); }
+
+  // Checkpoint support: full state, bit-exact round trip (see P2Quantile).
+  void save_state(std::string& out) const {
+    put_u64(out, n_);
+    put_f64(out, min_);
+    put_f64(out, max_);
+    put_f64(out, sum_);
+    for (const auto& e : estimators_) e.save_state(out);
+  }
+
+  bool load_state(std::string_view& in) {
+    QuantileSketch fresh;
+    if (!get_u64(in, fresh.n_) || !get_f64(in, fresh.min_) ||
+        !get_f64(in, fresh.max_) || !get_f64(in, fresh.sum_)) {
+      return false;
+    }
+    for (auto& e : fresh.estimators_)
+      if (!e.load_state(in)) return false;
+    *this = fresh;
+    return true;
+  }
 
  private:
   std::uint64_t n_ = 0;

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+
+#include "util/binio.h"
+#include "util/rng.h"
 
 namespace gretel::core {
 namespace {
@@ -109,6 +113,84 @@ TEST(DbIo, RejectsOutOfRangeApiIds) {
   EXPECT_FALSE(
       decode_fingerprint_db(encode_fingerprint_db(db, catalog), catalog)
           .has_value());
+}
+
+TEST(DbIo, CurrentFormatIsV2Sectioned) {
+  const auto data = encode_fingerprint_db(sample_db(), small_catalog());
+  EXPECT_EQ(data.substr(0, 8), "GRTFDB02");
+}
+
+TEST(DbIo, ReadsLegacyV1Format) {
+  // GRTFDB01 files written before the sectioned format must keep loading:
+  // magic, u64 catalog hash, u32 count, then the flat record stream.
+  const auto catalog = small_catalog();
+  const auto db = sample_db();
+  std::string v1 = "GRTFDB01";
+  util::put_u64(v1, catalog_hash(catalog));
+  util::put_u32(v1, static_cast<std::uint32_t>(db.size()));
+  for (const auto& fp : db.all()) {
+    util::put_u32(v1, fp.op.value());
+    util::put_u16(v1, static_cast<std::uint16_t>(fp.name.size()));
+    v1 += fp.name;
+    util::put_u32(v1, static_cast<std::uint32_t>(fp.sequence.size()));
+    for (auto api : fp.sequence) util::put_u16(v1, api.value());
+  }
+  const auto decoded = decode_fingerprint_db(v1, catalog);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->size(), db.size());
+  EXPECT_EQ(decoded->get(0).name, "vm-create");
+  EXPECT_EQ(decoded->get(0).sequence, db.get(0).sequence);
+  EXPECT_EQ(decoded->get(1).sequence, db.get(1).sequence);
+}
+
+// Corruption fuzz: decode must never crash and never return a DB that
+// differs from the original — every truncation and every seeded bit flip
+// either fails the section CRC (nullopt) or, if it misses all checked
+// bytes, leaves the payload untouched.
+TEST(DbIo, TruncationFuzzEveryLength) {
+  const auto catalog = small_catalog();
+  const auto data = encode_fingerprint_db(sample_db(), catalog);
+  for (std::size_t len = 0; len < data.size(); ++len) {
+    EXPECT_FALSE(decode_fingerprint_db(data.substr(0, len), catalog))
+        << "truncated to " << len << " of " << data.size();
+  }
+}
+
+TEST(DbIo, BitFlipFuzzNeverYieldsADifferentDb) {
+  const auto catalog = small_catalog();
+  const auto db = sample_db();
+  const auto data = encode_fingerprint_db(db, catalog);
+  util::Rng rng(0xF1155EEDull);
+  for (int trial = 0; trial < 2000; ++trial) {
+    auto mutated = data;
+    const auto byte = rng.next_below(mutated.size());
+    mutated[byte] = static_cast<char>(
+        mutated[byte] ^ (1u << rng.next_below(8)));
+    const auto decoded = decode_fingerprint_db(mutated, catalog);
+    if (!decoded.has_value()) continue;  // rejected: the common case
+    // Accepted: the flip must have been byte-for-byte inconsequential.
+    ASSERT_EQ(decoded->size(), db.size()) << "byte " << byte;
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      EXPECT_EQ(decoded->get(i).name, db.get(i).name) << "byte " << byte;
+      EXPECT_EQ(decoded->get(i).sequence, db.get(i).sequence)
+          << "byte " << byte;
+    }
+  }
+}
+
+TEST(DbIo, GarbageTailFuzz) {
+  // Random garbage appended past a valid image must be rejected (the
+  // section lengths pin the exact payload size).
+  const auto catalog = small_catalog();
+  const auto data = encode_fingerprint_db(sample_db(), catalog);
+  util::Rng rng(0x7A11F00Dull);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto mutated = data;
+    const auto extra = 1 + rng.next_below(17);
+    for (std::size_t i = 0; i < extra; ++i)
+      mutated.push_back(static_cast<char>(rng.next_below(256)));
+    EXPECT_FALSE(decode_fingerprint_db(mutated, catalog));
+  }
 }
 
 TEST(DbIo, FileRoundTrip) {

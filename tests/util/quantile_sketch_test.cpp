@@ -9,6 +9,8 @@
 #include <cmath>
 #include <limits>
 #include <random>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/quantile_sketch.h"
@@ -136,6 +138,74 @@ TEST(QuantileSketch, QuantilesAreMonotone) {
   EXPECT_LE(s.p95(), s.p99());
   EXPECT_LE(s.p99(), s.max());
   EXPECT_GE(s.p50(), s.min());
+}
+
+// Checkpoint support: the serialized marker state must restore an
+// estimator that is indistinguishable from the original — same estimates
+// to the bit, and the same estimates forever after under identical input.
+TEST(QuantileSketch, SaveLoadRoundTripIsBitIdentical) {
+  std::mt19937_64 rng(0xC4C9ull);
+  std::exponential_distribution<double> ex(0.05);
+  std::uniform_real_distribution<double> u(0.0, 1000.0);
+  std::normal_distribution<double> n(250.0, 40.0);
+  const auto fill = [&](QuantileSketch& s, int count, int dist) {
+    for (int i = 0; i < count; ++i)
+      s.add(dist == 0 ? ex(rng) : dist == 1 ? u(rng) : n(rng));
+  };
+  for (int dist = 0; dist < 3; ++dist) {
+    for (int count : {0, 3, 5, 100, 20000}) {
+      SCOPED_TRACE("dist=" + std::to_string(dist) +
+                   " count=" + std::to_string(count));
+      QuantileSketch original;
+      fill(original, count, dist);
+      std::string blob;
+      original.save_state(blob);
+
+      QuantileSketch restored;
+      std::string_view in(blob);
+      ASSERT_TRUE(restored.load_state(in));
+      EXPECT_TRUE(in.empty()) << "trailing bytes after load";
+      EXPECT_EQ(restored.count(), original.count());
+      for (double q : QuantileSketch::kQuantiles) {
+        // Bit-identical, not approximately equal: the raw IEEE-754
+        // patterns travel through the blob unchanged.
+        EXPECT_DOUBLE_EQ(restored.quantile(q), original.quantile(q));
+      }
+      EXPECT_DOUBLE_EQ(restored.min(), original.min());
+      EXPECT_DOUBLE_EQ(restored.max(), original.max());
+
+      // The P² recurrence continues identically: same future inputs must
+      // give bit-identical future estimates.
+      auto rng_a = rng;  // identical streams for both sketches
+      auto rng_b = rng;
+      QuantileSketch cont_orig = original;
+      for (int i = 0; i < 500; ++i) {
+        const double va = std::exponential_distribution<double>(0.05)(rng_a);
+        const double vb = std::exponential_distribution<double>(0.05)(rng_b);
+        cont_orig.add(va);
+        restored.add(vb);
+      }
+      for (double q : QuantileSketch::kQuantiles)
+        EXPECT_DOUBLE_EQ(restored.quantile(q), cont_orig.quantile(q));
+    }
+  }
+}
+
+TEST(QuantileSketch, LoadRejectsTruncationAndKeepsOldState) {
+  QuantileSketch s;
+  for (int i = 0; i < 1000; ++i) s.add(static_cast<double>(i));
+  std::string blob;
+  s.save_state(blob);
+
+  QuantileSketch target;
+  target.add(7.0);
+  for (std::size_t len = 0; len < blob.size(); len += 9) {
+    std::string_view in(blob.data(), len);
+    EXPECT_FALSE(target.load_state(in)) << "truncated to " << len;
+  }
+  // A failed load must not have corrupted the target.
+  EXPECT_EQ(target.count(), 1u);
+  EXPECT_DOUBLE_EQ(target.quantile(0.5), 7.0);
 }
 
 TEST(QuantileSketch, FootprintIsConstant) {

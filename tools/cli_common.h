@@ -7,7 +7,22 @@
 #include <optional>
 #include <string>
 
+#include "gretel/config.h"
+
 namespace gretel::tools {
+
+// Itemized config validation for the tool CLIs: a nonsensical knob (zero
+// tick, negative cap, sub-tick checkpoint cadence, ...) prints every
+// violated constraint and refuses to run, instead of arming the pipeline
+// with values the math cannot mean anything for.
+inline bool check_config(const core::GretelConfig& config, const char* tool) {
+  const auto errors = config.validate();
+  if (errors.empty()) return true;
+  std::fprintf(stderr, "%s: invalid configuration (%zu problems):\n", tool,
+               errors.size());
+  for (const auto& e : errors) std::fprintf(stderr, "  - %s\n", e.c_str());
+  return false;
+}
 
 class Args {
  public:

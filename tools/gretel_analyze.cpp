@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
   options.config.fp_max = db->max_fingerprint_size();
   options.config.p_rate =
       span > 0 ? static_cast<double>(records->size()) / span : 150.0;
+  if (!tools::check_config(options.config, "gretel_analyze")) return 2;
 
   core::Analyzer analyzer(&*db, &catalog.apis(), &deployment, options);
   monitor::ResourceMonitor monitor(&deployment, util::SimDuration::seconds(1),

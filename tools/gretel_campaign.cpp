@@ -10,16 +10,31 @@
 //       per-scenario deterministic), prints its fault plan, runs it, and
 //       dumps the canonical reports behind its fingerprint — the workflow
 //       for inspecting one member of a cluster from a BENCH_campaigns run.
+//
+//   gretel_campaign --recovery N [--recovery-dir D] [--tick-ms T]
+//                   [--checkpoint-interval S]
+//       Runs N kill-point recovery rounds (crash the durable streaming
+//       analyzer at seeded points, restore from disk, assert the
+//       durability invariant); exits 1 if any round fails the invariant.
+//
+// SIGINT/SIGTERM stops a sweep gracefully: the current scenario finishes,
+// the partial coverage table prints, and the tool exits 0.
+#include <csignal>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "bench/harness.h"
 #include "campaign/cluster.h"
 #include "campaign/orchestrator.h"
+#include "campaign/recovery_campaign.h"
 #include "gretel/analyzer.h"
 #include "tools/cli_common.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
 
 void print_scenario(const gretel::campaign::ScenarioSpec& spec,
                     const gretel::tempest::TempestCatalog& catalog) {
@@ -71,7 +86,52 @@ int main(int argc, char** argv) {
       args.get_int("--seed", 0xCA59A16EL));
   const double fraction = args.get_double("--fraction", 0.12);
 
+  // The knobs this tool arms, validated as the config rows they map to.
+  {
+    core::GretelConfig probe;
+    probe.campaign_seed = seed;
+    probe.campaign_budget_events =
+        static_cast<std::size_t>(args.get_int("--budget", 200000));
+    probe.stream_tick_ms = args.get_double("--tick-ms", 200.0);
+    probe.checkpoint_interval_s =
+        args.get_double("--checkpoint-interval", 2.0);
+    if (!tools::check_config(probe, "gretel_campaign")) return 2;
+  }
+
   auto env = bench::BenchEnv::make(fraction, 0xC0DE2016ull);
+
+  if (const auto rec = args.get("--recovery")) {
+    campaign::RecoveryCampaignConfig rcfg;
+    rcfg.seed = seed;
+    rcfg.rounds = static_cast<std::size_t>(std::stoull(*rec));
+    rcfg.stream_tick_ms = args.get_double("--tick-ms", 200.0);
+    rcfg.checkpoint_interval_s =
+        args.get_double("--checkpoint-interval", 2.0);
+    rcfg.dir = args.get("--recovery-dir").value_or("recovery-campaign");
+    campaign::RecoveryCampaign rc(&env.catalog, &env.training, rcfg);
+    const auto report = rc.run();
+    std::printf("%-6s %-24s %-8s %-10s %-7s %-9s %-9s %s\n", "round",
+                "kill-point", "crashed", "recovered", "acked", "journaled",
+                "regress", "invariant");
+    for (const auto& r : report.rounds) {
+      std::printf("%-6llu %-24s %-8s %-10s %-7llu %-9llu %-9.2f %s%s%s\n",
+                  static_cast<unsigned long long>(r.round),
+                  to_string(r.kill_point), r.crashed ? "yes" : "no",
+                  r.recovered ? "yes" : "no",
+                  static_cast<unsigned long long>(r.reports_pre_crash),
+                  static_cast<unsigned long long>(r.reports_journaled),
+                  r.baseline_regressed_s, r.invariant_ok ? "ok" : "FAIL",
+                  r.note.empty() ? "" : " — ", r.note.c_str());
+    }
+    std::printf("\n%zu rounds: %zu crashes, %zu recovered, %zu invariant "
+                "failures\n",
+                report.rounds.size(), report.crashes, report.recovered,
+                report.invariant_failures);
+    std::error_code ec;
+    std::filesystem::remove_all(rcfg.dir, ec);
+    return report.all_ok() ? 0 : 1;
+  }
+
   campaign::CampaignPlan plan;
   plan.seed = seed;
   plan.scenarios = static_cast<std::size_t>(args.get_int("--scenarios", 90));
@@ -101,7 +161,18 @@ int main(int argc, char** argv) {
   }
 
   const auto specs = generator.generate();
-  const auto results = orchestrator.run_all(specs);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::vector<campaign::ScenarioResult> results;
+  results.reserve(specs.size());
+  for (const auto& spec : specs) {
+    if (g_signal) break;
+    results.push_back(orchestrator.run(spec));
+  }
+  const bool interrupted = g_signal != 0;
+  if (interrupted)
+    std::printf("signal %d: stopping after %zu/%zu scenarios\n\n",
+                static_cast<int>(g_signal), results.size(), specs.size());
   const auto summary = campaign::summarize(results);
 
   std::printf("%-22s %-6s %-10s %-8s %-14s %-8s %-9s\n", "class", "runs",

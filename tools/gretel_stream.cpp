@@ -4,6 +4,7 @@
 //   gretel_stream [--fraction F] [--tests N] [--faults N] [--window S]
 //                 [--seed S] [--tick-ms T] [--ring N] [--shed newest|oldest]
 //                 [--shards N] [--quiet]
+//                 [--persist DIR] [--resume] [--checkpoint-interval S]
 //
 // Builds the training environment (fraction of the Tempest catalog),
 // executes a parallel workload with injected faults, and replays the
@@ -12,7 +13,16 @@
 // record, and every emitted report is printed as it happens.  The exit
 // summary shows the flow ledger (offered = ingested + shed), the emission-
 // delay distribution, and the itemized bounded-state footprint.
+//
+// --persist arms the durability layer: every report is journaled (fsync'd
+// before it prints) and checkpoints are written on the
+// --checkpoint-interval cadence.  --resume restores from the newest valid
+// checkpoint in DIR first.  SIGINT/SIGTERM is a graceful stop: the stream
+// halts at the next record, a final checkpoint is written, the flow
+// ledger is dumped, and the tool exits 0 — a later --resume continues
+// where the signal landed.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -25,6 +35,9 @@
 #include "util/seed.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
 
 double percentile(std::vector<double> sorted, double p) {
   if (sorted.empty()) return 0.0;
@@ -75,33 +88,86 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("--ring", 8192));
   if (args.get("--shed").value_or("oldest") == "newest")
     opt.config.stream_shed_policy = core::StreamShedPolicy::DropNewest;
+  opt.config.checkpoint_interval_s =
+      args.get_double("--checkpoint-interval", 5.0);
+  if (!tools::check_config(opt.config, "gretel_stream")) return 2;
+
+  const auto persist_dir = args.get("--persist");
+  const bool resume = args.has_flag("--resume");
 
   std::vector<double> delays;
-  stream::StreamAnalyzer streamer(
-      &env.training.db, &env.catalog.apis(), &env.deployment, opt,
-      [&](const stream::StreamReport& r) {
-        delays.push_back(r.report_delay_ms);
-        if (quiet) return;
-        const auto& f = r.diagnosis.fault;
-        const auto& api = env.catalog.apis().get(f.offending_api);
-        const std::string service(wire::to_string(api.service));
-        std::printf(
-            "[%9.3fs] tick %4llu  %-11s  %s %s  theta=%.2f  matched=%zu  "
-            "delay=%.1fms%s\n",
-            r.emitted_at.to_seconds(),
-            static_cast<unsigned long long>(r.tick),
-            f.kind == core::FaultKind::Operational ? "operational"
-                                                   : "performance",
-            service.c_str(), api.path.c_str(), f.theta,
-            f.matched_fingerprints.size(), r.report_delay_ms,
-            f.degraded_confidence ? "  [degraded]" : "");
-      });
+  auto sink = [&](const stream::StreamReport& r) {
+    delays.push_back(r.report_delay_ms);
+    if (quiet) return;
+    const auto& f = r.diagnosis.fault;
+    const auto& api = env.catalog.apis().get(f.offending_api);
+    const std::string service(wire::to_string(api.service));
+    std::printf(
+        "[%9.3fs] tick %4llu  %-11s  %s %s  theta=%.2f  matched=%zu  "
+        "delay=%.1fms%s\n",
+        r.emitted_at.to_seconds(), static_cast<unsigned long long>(r.tick),
+        f.kind == core::FaultKind::Operational ? "operational"
+                                               : "performance",
+        service.c_str(), api.path.c_str(), f.theta,
+        f.matched_fingerprints.size(), r.report_delay_ms,
+        f.degraded_confidence ? "  [degraded]" : "");
+  };
 
+  std::unique_ptr<stream::StreamAnalyzer> owned;
+  if (persist_dir && resume) {
+    stream::RecoveryInfo ri;
+    owned = stream::StreamAnalyzer::restore(&env.training.db,
+                                            &env.catalog.apis(),
+                                            &env.deployment, opt,
+                                            *persist_dir, sink, &ri);
+    if (!owned) {
+      std::fprintf(stderr, "cannot open persistence dir %s\n",
+                   persist_dir->c_str());
+      return 1;
+    }
+    std::printf(
+        "resume: %s (checkpoint %llu @ tick %llu, %zu corrupt skipped, "
+        "%zu torn journal records truncated, %zu reports replayed%s)\n",
+        ri.recovered ? "recovered" : "cold start",
+        static_cast<unsigned long long>(ri.checkpoint_seq),
+        static_cast<unsigned long long>(ri.checkpoint_tick),
+        ri.corrupt_checkpoints_skipped, ri.journal_records_truncated,
+        ri.replayed.size(), ri.db_mismatch ? ", DB MISMATCH" : "");
+  } else {
+    owned = std::make_unique<stream::StreamAnalyzer>(
+        &env.training.db, &env.catalog.apis(), &env.deployment, opt, sink);
+    if (persist_dir && !owned->enable_durability(*persist_dir)) {
+      std::fprintf(stderr, "cannot open persistence dir %s\n",
+                   persist_dir->c_str());
+      return 1;
+    }
+  }
+  stream::StreamAnalyzer& streamer = *owned;
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
   for (const auto& r : records) {
+    if (g_signal) break;
+    if (r.ts.nanos() <= streamer.watermark().nanos() && resume) continue;
     streamer.advance_to(r.ts);
     streamer.offer(r);
   }
-  streamer.finish();
+  if (g_signal) {
+    // Graceful stop: the journal already holds every emitted report
+    // (fsync-before-acknowledge); flush a final checkpoint so --resume
+    // continues from this exact watermark, then fall through to the
+    // ledger dump below and exit 0.
+    const bool ckpt = streamer.checkpoint_now();
+    std::printf("\nsignal %d: stopping at watermark %.3fs%s\n",
+                static_cast<int>(g_signal),
+                streamer.watermark().to_seconds(),
+                streamer.durable()
+                    ? (ckpt ? ", final checkpoint written"
+                            : ", FINAL CHECKPOINT FAILED")
+                    : "");
+  } else {
+    streamer.finish();
+  }
 
   const auto& c = streamer.counters();
   std::sort(delays.begin(), delays.end());
